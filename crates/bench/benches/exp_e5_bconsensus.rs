@@ -1,0 +1,47 @@
+//! E5 — §5: the modified B-Consensus (weak-ordering oracle implemented from
+//! Lamport clocks + a 2δ delivery wait, majority-gated rounds, round
+//! jumping) also reaches consensus within `O(δ)` of stability; "the actual
+//! maximum delay is about the same as for the modified Paxos algorithm"
+//! (same order: a small constant number of `O(δ)` rounds).
+//!
+//! The shape to verify: all three columns are `O(δ)` — flat in N and seed —
+//! with the modified B-Consensus paying a small constant factor for its
+//! `2δ` oracle wait and `8δ` round timeout.
+
+use esync_bench::{chaos_cfg, fmt_stats, Table};
+use esync_core::bconsensus::BConsensus;
+use esync_core::paxos::session::SessionPaxos;
+use esync_sim::harness::{decision_stats, run_seeds};
+
+fn main() {
+    let seeds = 10;
+    let mut table = Table::new(
+        "E5: decision delay after TS — B-Consensus family vs modified Paxos (chaos before TS)",
+        &[
+            "N",
+            "modified B-Consensus",
+            "original B-Consensus (ideal oracle)",
+            "modified Paxos",
+        ],
+    );
+    for n in [3usize, 5, 9] {
+        let modified =
+            run_seeds(seeds, |s| chaos_cfg(n, s), BConsensus::modified).expect("completes");
+        let original =
+            run_seeds(seeds, |s| chaos_cfg(n, s), BConsensus::original).expect("completes");
+        let paxos = run_seeds(seeds, |s| chaos_cfg(n, s), SessionPaxos::new).expect("completes");
+        for r in modified.iter().chain(&original).chain(&paxos) {
+            assert!(r.agreement() && r.validity());
+        }
+        table.row_owned(vec![
+            n.to_string(),
+            fmt_stats(decision_stats(&modified)),
+            fmt_stats(decision_stats(&original)),
+            fmt_stats(decision_stats(&paxos)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("all columns are O(δ), independent of N. The modified B-Consensus pays");
+    println!("a constant factor (~2-3 rounds of w-broadcast + 2δ wait + echo + vote");
+    println!("under an 8δ round timeout) but needs no oracle from the environment.");
+}

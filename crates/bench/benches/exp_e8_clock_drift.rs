@@ -1,0 +1,50 @@
+//! E8 — §1/§4: clocks only need a *bounded rate error* `ρ ≪ 1`; the
+//! algorithm absorbs it by requiring `σ ≥ 4δ(1+ρ)/(1−ρ)`, so the decision
+//! bound degrades smoothly (and mildly) as clocks get worse.
+//!
+//! Sweep `ρ` with `σ` at its minimum admissible value. The shape to
+//! verify: decision delay and the analytic bound grow only marginally with
+//! ρ — timer slack, not rounds.
+
+use esync_bench::{fmt_stats, Table, TS_MS};
+use esync_core::config::TimingConfig;
+use esync_core::paxos::session::SessionPaxos;
+use esync_core::time::RealDuration;
+use esync_sim::harness::{decision_stats, run_seeds};
+use esync_sim::{PreStability, SimConfig};
+
+fn main() {
+    let n = 5;
+    let seeds = 8;
+    let delta = RealDuration::from_millis(10);
+    let mut table = Table::new(
+        "E8: clock-rate error sweep (n=5, δ=10ms, σ at its minimum, chaos before TS)",
+        &["ρ", "min σ", "decide−TS min/mean/max", "analytic bound"],
+    );
+    for rho in [0.0f64, 1e-4, 1e-3, 1e-2, 5e-2, 0.2] {
+        let mk = |seed: u64| {
+            SimConfig::builder(n)
+                .seed(seed)
+                .stability_at_millis(TS_MS)
+                .rho(rho)
+                .pre_stability(PreStability::chaos())
+                .build()
+                .expect("valid config")
+        };
+        let reports = run_seeds(seeds, mk, SessionPaxos::new).expect("completes");
+        assert!(reports.iter().all(|r| r.agreement()));
+        let cfg = mk(0);
+        let bound = (cfg.timing.decision_bound() + cfg.timing.epsilon()).as_nanos() as f64
+            / delta.as_nanos() as f64;
+        let min_sigma = TimingConfig::min_sigma(delta, rho);
+        table.row_owned(vec![
+            format!("{rho}"),
+            format!("{:.2}δ", min_sigma.as_nanos() as f64 / delta.as_nanos() as f64),
+            fmt_stats(decision_stats(&reports)),
+            format!("{bound:.1}δ"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("ρ inflates σ by (1+ρ)/(1−ρ) and thus τ; the bound scales smoothly —");
+    println!("no extra rounds, just timer slack (the paper assumes ρ ≪ 1).");
+}

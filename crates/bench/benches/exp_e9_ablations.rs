@@ -1,0 +1,168 @@
+//! E9 — ablations: each of the paper's §4 modifications is load-bearing.
+//!
+//! * **no session gating** (change 1): arbitrarily high-session ballots
+//!   become reachable pre-`TS` states, so the adversary may inject them
+//!   after `TS`; each one re-enters a fresh session (resetting the session
+//!   timer) whose owner never completes it, costing ~σ apiece — the
+//!   `O(Nδ)` pathology is back. Gated, the strongest injectable ballot is
+//!   session 1 (proof step 1) and the cost is bounded.
+//! * **no ε-retransmission** (change 4): if every pre-`TS` message is
+//!   lost, nothing is ever sent again after `TS` — processes sit gated on
+//!   a majority they will never hear: deadlock (DNF).
+//! * **no 1a-on-session-entry** (change 3): convergence leans on the ε
+//!   rule alone; mild slowdown.
+//! * **σ sweep** (E9b): when a session entry lands right at `TS` (one
+//!   injected session-2 ballot), the next session must wait out the
+//!   freshly reset session timer — the decision delay tracks σ, as
+//!   `τ = max(2δ+ε, σ)` says it should.
+
+use esync_bench::{delay_in_delta, fmt_delta, Table, TS_MS};
+use esync_core::ballot::Ballot;
+use esync_core::paxos::messages::PaxosMsg;
+use esync_core::paxos::session::{Ablation, SessionPaxos};
+use esync_core::time::RealDuration;
+use esync_core::types::ProcessId;
+use esync_sim::{PreStability, SimConfig, SimTime, World};
+
+const N: usize = 9;
+
+fn cfg(seed: u64, pre: PreStability, sigma: Option<RealDuration>) -> SimConfig {
+    let mut b = SimConfig::builder(N)
+        .seed(seed)
+        .stability_at_millis(TS_MS)
+        .pre_stability(pre)
+        .max_time(SimTime::from_secs(5));
+    if let Some(s) = sigma {
+        b = b.sigma(s);
+    }
+    b.build().expect("valid config")
+}
+
+/// Injects `k` obsolete ballots with ever-higher sessions, one every 5δ —
+/// timed so each lands while the previous recovery session is in flight.
+/// Only reachable against the ungated variant; against the full algorithm
+/// the same schedule capped at session 1 is used (the strongest legal one).
+fn inject(w: &mut World<SessionPaxos>, k: usize, gated: bool) {
+    let owner = ProcessId::new(N as u32 - 1);
+    for i in 0..k {
+        let session = if gated { 1 } else { 1_000 * (i as u64 + 1) };
+        let mbal = Ballot::new(session * N as u64 + owner.as_u32() as u64);
+        w.inject_message(
+            SimTime::from_millis(TS_MS + 10 + 50 * i as u64), // every 5δ
+            owner,
+            ProcessId::new(0),
+            PaxosMsg::P1a { mbal },
+        );
+    }
+}
+
+/// Runs a variant; None = did not finish by the horizon (deadlock/stall).
+fn run(
+    variant: SessionPaxos,
+    cfg: SimConfig,
+    injections: Option<(usize, bool)>,
+) -> Option<f64> {
+    let mut w = World::new(cfg, variant);
+    if let Some((k, gated)) = injections {
+        inject(&mut w, k, gated);
+    }
+    w.run_to_completion().ok().map(|r| delay_in_delta(&r))
+}
+
+fn fmt(d: Option<f64>) -> String {
+    match d {
+        Some(d) => fmt_delta(d),
+        None => "DNF".to_string(),
+    }
+}
+
+fn main() {
+    let full = Ablation::full();
+    let no_gating = Ablation {
+        session_gating: false,
+        ..full
+    };
+    let no_retransmit = Ablation {
+        epsilon_retransmit: false,
+        ..full
+    };
+    let no_entry_1a = Ablation {
+        p1a_on_entry: false,
+        ..full
+    };
+
+    let mut table = Table::new(
+        "E9a: ablations of the §4 modifications (n=9, worst over 4 seeds, DNF = no decision in 5s)",
+        &[
+            "variant",
+            "chaos pre-TS",
+            "silent pre-TS",
+            "+6 obsolete ballots (strongest legal)",
+        ],
+    );
+    for (name, ab) in [
+        ("full algorithm", full),
+        ("no session gating", no_gating),
+        ("no ε-retransmit", no_retransmit),
+        ("no 1a on entry", no_entry_1a),
+    ] {
+        let gated = ab.session_gating;
+        let worst = |pre: PreStability, inj: Option<(usize, bool)>| -> Option<f64> {
+            let mut worst: Option<f64> = Some(0.0);
+            for seed in 0..4 {
+                let d = run(SessionPaxos::with_ablation(ab), cfg(seed, pre.clone(), None), inj);
+                worst = match (worst, d) {
+                    (Some(w), Some(d)) => Some(w.max(d)),
+                    _ => None,
+                };
+            }
+            worst
+        };
+        table.row_owned(vec![
+            name.to_string(),
+            fmt(worst(PreStability::chaos(), None)),
+            fmt(worst(PreStability::silent(), None)),
+            fmt(worst(PreStability::silent(), Some((6, gated)))),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mut sweep = Table::new(
+        "E9b: σ sweep — a session entry at TS makes the next session wait out the timer (n=9)",
+        &["σ", "worst decide−TS (4 seeds)", "analytic bound"],
+    );
+    for sigma_delta in [5u64, 8, 12, 16, 24] {
+        let sigma = RealDuration::from_millis(sigma_delta * 10);
+        let mut worst: f64 = 0.0;
+        for seed in 0..4 {
+            let c = cfg(seed, PreStability::silent(), Some(sigma));
+            let mut w = World::new(c, SessionPaxos::new());
+            // One session-2 ballot lands just after TS: everyone adopts it,
+            // resetting session timers; its owner never completes it, so
+            // the decision waits for the timer before session 3 can win.
+            let owner = ProcessId::new(N as u32 - 1);
+            let mbal = Ballot::new(2 * N as u64 + owner.as_u32() as u64);
+            w.inject_message(
+                SimTime::from_millis(TS_MS + 5),
+                owner,
+                ProcessId::new(0),
+                PaxosMsg::P1a { mbal },
+            );
+            if let Ok(r) = w.run_to_completion() {
+                worst = worst.max(delay_in_delta(&r));
+            }
+        }
+        let c = cfg(0, PreStability::silent(), Some(sigma));
+        let bound = (c.timing.decision_bound() + c.timing.epsilon()).as_nanos() as f64
+            / c.timing.delta().as_nanos() as f64;
+        sweep.row_owned(vec![
+            format!("{sigma_delta}δ"),
+            fmt_delta(worst),
+            format!("{bound:.1}δ"),
+        ]);
+    }
+    println!("{}", sweep.render());
+    println!("gating bounds what obsolete ballots can exist; ε-retransmission is");
+    println!("what guarantees anything is sent again after a silent pre-TS phase;");
+    println!("σ is the recovery pace once a bad session must be waited out.");
+}

@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks: simulator event throughput, protocol step
+//! cost, and end-to-end run cost vs N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esync_core::ballot::Ballot;
+use esync_core::config::TimingConfig;
+use esync_core::outbox::{Outbox, Process, Protocol};
+use esync_core::paxos::messages::PaxosMsg;
+use esync_core::paxos::session::SessionPaxos;
+use esync_core::time::LocalInstant;
+use esync_core::types::{ProcessId, Value};
+use esync_sim::{PreStability, SimConfig, World};
+use std::hint::black_box;
+
+fn full_run(n: usize, seed: u64) -> u64 {
+    let cfg = SimConfig::builder(n)
+        .seed(seed)
+        .stability_at_millis(100)
+        .pre_stability(PreStability::lossless())
+        .build()
+        .unwrap();
+    let mut w = World::new(cfg, SessionPaxos::new());
+    let r = w.run_to_completion().unwrap();
+    r.events
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_stable_run");
+    for n in [3usize, 5, 9, 17] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(full_run(n, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_chaos_run(c: &mut Criterion) {
+    c.bench_function("end_to_end_chaos_run_n5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = SimConfig::builder(5)
+                .seed(seed)
+                .stability_at_millis(300)
+                .pre_stability(PreStability::chaos())
+                .build()
+                .unwrap();
+            let mut w = World::new(cfg, SessionPaxos::new());
+            black_box(w.run_to_completion().unwrap().events)
+        });
+    });
+}
+
+fn bench_protocol_step(c: &mut Criterion) {
+    c.bench_function("session_paxos_on_message_p1a", |b| {
+        let cfg = TimingConfig::for_n_processes(5).unwrap();
+        let proto = SessionPaxos::new();
+        let mut p = proto.spawn(ProcessId::new(0), &cfg, Value::new(1));
+        let mut out = Outbox::new(LocalInstant::ZERO);
+        p.on_start(&mut out);
+        out.drain();
+        let mut ballot = 6u64;
+        b.iter(|| {
+            ballot += 5; // fresh higher ballot every iteration
+            p.on_message(
+                ProcessId::new(1),
+                PaxosMsg::P1a {
+                    mbal: Ballot::new(ballot),
+                },
+                &mut out,
+            );
+            black_box(out.drain().len())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_end_to_end, bench_chaos_run, bench_protocol_step
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! # esync-check — adversarial schedule exploration for consensus safety
+//!
+//! The discrete-event simulator (`esync-sim`) executes *timed* schedules:
+//! messages are delivered in network-delay order and timers fire when their
+//! local clocks say so. Safety (Agreement, Validity), however, must hold
+//! under **every** schedule — including ones no timed network produces.
+//! This crate drives the same sans-IO state machines through a maximally
+//! nondeterministic scheduler:
+//!
+//! * in-flight messages are delivered in **any** order (or dropped, up to
+//!   a budget);
+//! * pending timers may fire at **any** moment, arbitrarily early or late;
+//! * processes crash and restart (keeping state, losing timers) up to a
+//!   budget;
+//! * the leader oracle is fully adversarial: any process can be told it
+//!   leads at any time;
+//! * the weak-ordering oracle is fully adversarial: w-broadcasts are
+//!   w-delivered per process in any order.
+//!
+//! Two modes:
+//!
+//! * [`Explorer::explore`] — exhaustive BFS over all schedules up to a
+//!   depth bound, with visited-state deduplication. Feasible for 2–3
+//!   processes and modest depths; proves safety for the covered prefix.
+//! * [`Explorer::random_walks`] — long adversarial random walks for larger
+//!   systems; probabilistic coverage, cheap to scale.
+//!
+//! Liveness is *not* checked here (it genuinely depends on timing; the
+//! simulator's bound experiments cover it). Every state is checked for
+//! Agreement and Validity plus any user-supplied invariant.
+//!
+//! ```
+//! use esync_check::{Budgets, Explorer};
+//! use esync_core::paxos::session::SessionPaxos;
+//!
+//! let report = Explorer::new(SessionPaxos::new(), 2)
+//!     .budgets(Budgets { drops: 1, crashes: 1, leader_lies: 0 })
+//!     .max_depth(8)
+//!     .max_states(20_000)
+//!     .explore();
+//! assert!(report.violation.is_none(), "{:?}", report.violation);
+//! assert!(report.states_seen > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod explorer;
+pub mod state;
+
+pub use explorer::{Budgets, CheckReport, Explorer, Violation};

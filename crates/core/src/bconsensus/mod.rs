@@ -1,0 +1,9 @@
+//! The B-Consensus family (§5): a leaderless round-based algorithm over a
+//! weak-ordering oracle, and the paper's modification that *implements* the
+//! oracle from logical clocks plus a `2δ` delivery wait.
+
+pub mod oracle;
+pub mod process;
+
+pub use oracle::TimestampOracle;
+pub use process::{BConsensus, BConsensusProcess, BcMsg, WabMode};

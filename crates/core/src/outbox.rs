@@ -1,0 +1,307 @@
+//! The sans-IO interface between protocol state machines and their drivers.
+//!
+//! A consensus protocol is a [`Process`]: a deterministic state machine that
+//! reacts to events (start, message arrival, timer expiration, restart) by
+//! pushing [`Action`]s into an [`Outbox`]. Drivers — the discrete-event
+//! simulator in `esync-sim` and the threaded runtime in `esync-runtime` —
+//! own all IO: they deliver messages subject to the network model, convert
+//! the process's local-clock timer requests into real firings, and record
+//! decisions.
+//!
+//! This split keeps every line of the paper's algorithms testable without a
+//! network, and guarantees the simulator and the real runtime execute the
+//! *same* algorithm.
+
+use crate::config::TimingConfig;
+use crate::time::{LocalDuration, LocalInstant};
+use crate::types::{ProcessId, TimerId, Value};
+use crate::wab::WabMessage;
+use core::fmt;
+
+/// An effect requested by a protocol state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action<M> {
+    /// Send `msg` to process `to` over the (unreliable before stability,
+    /// `δ`-bounded after) network. Sending to oneself is allowed and also
+    /// traverses the network, as the paper's timing analysis assumes.
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// The message.
+        msg: M,
+    },
+    /// Send `msg` to every process, *including the sender*.
+    Broadcast {
+        /// The message.
+        msg: M,
+    },
+    /// Arm (or re-arm, replacing any pending instance with the same id) a
+    /// one-shot timer that fires after `after` units of the **local** clock.
+    SetTimer {
+        /// The protocol-chosen timer id.
+        id: TimerId,
+        /// Local-clock delay until firing.
+        after: LocalDuration,
+    },
+    /// Cancel the pending timer with this id, if any.
+    CancelTimer {
+        /// The protocol-chosen timer id.
+        id: TimerId,
+    },
+    /// Irrevocably decide `value`.
+    Decide {
+        /// The decided value.
+        value: Value,
+    },
+    /// Hand a message to the weak-ordering oracle (B-Consensus only; see
+    /// [`crate::wab`]). Drivers without an oracle reject protocols that use
+    /// this.
+    WabBroadcast {
+        /// The message for the oracle.
+        msg: WabMessage,
+    },
+}
+
+/// Collects the [`Action`]s emitted while handling one event, and exposes
+/// the process's current local-clock reading.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    now: LocalInstant,
+    actions: Vec<Action<M>>,
+}
+
+impl<M> Outbox<M> {
+    /// Creates an outbox for an event handled at local time `now`.
+    pub fn new(now: LocalInstant) -> Self {
+        Outbox {
+            now,
+            actions: Vec::new(),
+        }
+    }
+
+    /// The local-clock reading at which the current event is being handled.
+    pub fn now(&self) -> LocalInstant {
+        self.now
+    }
+
+    /// Requests sending `msg` to `to`.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Requests broadcasting `msg` to all processes (including self).
+    pub fn broadcast(&mut self, msg: M) {
+        self.actions.push(Action::Broadcast { msg });
+    }
+
+    /// Arms (or re-arms) timer `id` to fire after local duration `after`.
+    pub fn set_timer(&mut self, id: TimerId, after: LocalDuration) {
+        self.actions.push(Action::SetTimer { id, after });
+    }
+
+    /// Cancels timer `id`.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer { id });
+    }
+
+    /// Records the decision `value`.
+    pub fn decide(&mut self, value: Value) {
+        self.actions.push(Action::Decide { value });
+    }
+
+    /// Hands `msg` to the weak-ordering oracle.
+    pub fn wab_broadcast(&mut self, msg: WabMessage) {
+        self.actions.push(Action::WabBroadcast { msg });
+    }
+
+    /// The actions emitted so far, in emission order.
+    pub fn actions(&self) -> &[Action<M>] {
+        &self.actions
+    }
+
+    /// Whether no actions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Removes and returns all emitted actions, in emission order.
+    pub fn drain(&mut self) -> Vec<Action<M>> {
+        std::mem::take(&mut self.actions)
+    }
+}
+
+/// A consensus process: a deterministic, sans-IO state machine.
+///
+/// Drivers call exactly one handler per event and then execute the drained
+/// actions. Handlers must not block or perform IO.
+///
+/// # Restart semantics
+///
+/// The paper's processes keep their state "in stable storage so \[they\] can
+/// restart after failure by simply resuming where \[they\] left off". We model
+/// this as: the state machine's fields survive a crash, but all pending
+/// timers are lost and messages delivered while down are dropped. On
+/// restart the driver calls [`Process::on_restart`], where the protocol
+/// re-arms its timers.
+pub trait Process {
+    /// The protocol's wire message type.
+    type Msg: Clone + fmt::Debug;
+
+    /// This process's identifier.
+    fn id(&self) -> ProcessId;
+
+    /// Called exactly once, when the process first boots.
+    fn on_start(&mut self, out: &mut Outbox<Self::Msg>);
+
+    /// Called when a message from `from` arrives.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, out: &mut Outbox<Self::Msg>);
+
+    /// Called when the pending timer `timer` fires.
+    fn on_timer(&mut self, timer: TimerId, out: &mut Outbox<Self::Msg>);
+
+    /// Called after a crash–restart cycle: state is intact, timers are gone.
+    fn on_restart(&mut self, out: &mut Outbox<Self::Msg>);
+
+    /// Called by drivers that run a leader-election oracle when the oracle's
+    /// choice changes (traditional Paxos §2). Protocols that elect leaders
+    /// implicitly (the paper's §4 algorithm) ignore this.
+    fn on_leader_change(&mut self, leader: ProcessId, out: &mut Outbox<Self::Msg>) {
+        let _ = (leader, out);
+    }
+
+    /// Called by drivers that run a weak-ordering oracle when the oracle
+    /// w-delivers a message (original B-Consensus §5).
+    fn on_wab_deliver(&mut self, msg: WabMessage, out: &mut Outbox<Self::Msg>) {
+        let _ = (msg, out);
+    }
+
+    /// Called when an application submits a command to this process.
+    /// Only multi-instance protocols (the replicated-log layer) consume
+    /// this; single-shot consensus processes ignore it.
+    fn on_client(&mut self, value: Value, out: &mut Outbox<Self::Msg>) {
+        let _ = (value, out);
+    }
+
+    /// The value this process has decided, if any.
+    fn decision(&self) -> Option<Value>;
+}
+
+/// A factory for one protocol's processes.
+pub trait Protocol {
+    /// The protocol's wire message type.
+    type Msg: Clone + fmt::Debug;
+    /// The process state machine type.
+    type Process: Process<Msg = Self::Msg>;
+
+    /// A short human-readable protocol name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// A short static label classifying `msg`, used by drivers for
+    /// per-kind message-count metrics (experiment E6). The default lumps
+    /// everything under `"msg"`.
+    fn kind_of(msg: &Self::Msg) -> &'static str {
+        let _ = msg;
+        "msg"
+    }
+
+    /// Creates the state machine for process `id` proposing `initial`.
+    fn spawn(&self, id: ProcessId, cfg: &TimingConfig, initial: Value) -> Self::Process;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::LocalDuration;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Ping;
+
+    #[test]
+    fn outbox_collects_in_order() {
+        let mut out: Outbox<Ping> = Outbox::new(LocalInstant::from_nanos(5));
+        assert_eq!(out.now(), LocalInstant::from_nanos(5));
+        assert!(out.is_empty());
+        out.send(ProcessId::new(1), Ping);
+        out.broadcast(Ping);
+        out.set_timer(TimerId::new(0), LocalDuration::from_millis(1));
+        out.cancel_timer(TimerId::new(0));
+        out.decide(Value::new(3));
+        let acts = out.drain();
+        assert_eq!(acts.len(), 5);
+        assert!(matches!(acts[0], Action::Send { to, .. } if to == ProcessId::new(1)));
+        assert!(matches!(acts[1], Action::Broadcast { .. }));
+        assert!(matches!(acts[2], Action::SetTimer { .. }));
+        assert!(matches!(acts[3], Action::CancelTimer { .. }));
+        assert!(matches!(acts[4], Action::Decide { value } if value == Value::new(3)));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut out: Outbox<Ping> = Outbox::new(LocalInstant::ZERO);
+        out.broadcast(Ping);
+        assert_eq!(out.drain().len(), 1);
+        assert_eq!(out.drain().len(), 0);
+    }
+
+    #[test]
+    fn wab_broadcast_action() {
+        let mut out: Outbox<Ping> = Outbox::new(LocalInstant::ZERO);
+        out.wab_broadcast(WabMessage::new(ProcessId::new(0), 1, Value::new(2)));
+        let acts = out.drain();
+        assert!(matches!(acts[0], Action::WabBroadcast { msg } if msg.round == 1));
+    }
+
+    // A minimal protocol exercising the default trait methods.
+    #[derive(Debug)]
+    struct Echo {
+        id: ProcessId,
+        decided: Option<Value>,
+    }
+
+    impl Process for Echo {
+        type Msg = Ping;
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+        fn on_start(&mut self, out: &mut Outbox<Ping>) {
+            out.broadcast(Ping);
+        }
+        fn on_message(&mut self, from: ProcessId, _msg: Ping, out: &mut Outbox<Ping>) {
+            out.send(from, Ping);
+            self.decided = Some(Value::new(1));
+            out.decide(Value::new(1));
+        }
+        fn on_timer(&mut self, _timer: TimerId, _out: &mut Outbox<Ping>) {}
+        fn on_restart(&mut self, _out: &mut Outbox<Ping>) {}
+        fn decision(&self) -> Option<Value> {
+            self.decided
+        }
+    }
+
+    #[test]
+    fn default_oracle_handlers_are_noops() {
+        let mut e = Echo {
+            id: ProcessId::new(0),
+            decided: None,
+        };
+        let mut out = Outbox::new(LocalInstant::ZERO);
+        e.on_leader_change(ProcessId::new(1), &mut out);
+        e.on_wab_deliver(WabMessage::new(ProcessId::new(1), 0, Value::new(0)), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn echo_process_flow() {
+        let mut e = Echo {
+            id: ProcessId::new(0),
+            decided: None,
+        };
+        assert_eq!(e.id(), ProcessId::new(0));
+        let mut out = Outbox::new(LocalInstant::ZERO);
+        e.on_start(&mut out);
+        assert_eq!(out.drain().len(), 1);
+        e.on_message(ProcessId::new(2), Ping, &mut out);
+        assert_eq!(e.decision(), Some(Value::new(1)));
+    }
+}

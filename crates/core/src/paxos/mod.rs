@@ -1,0 +1,9 @@
+//! The Paxos family: traditional Paxos (§2 baseline), the paper's modified
+//! **session Paxos** (§4, the headline algorithm), and a multi-instance
+//! replicated-log layer.
+
+pub mod messages;
+pub mod multi;
+pub mod session;
+pub mod state;
+pub mod traditional;

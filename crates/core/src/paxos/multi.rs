@@ -1,0 +1,876 @@
+//! Multi-instance session Paxos: a replicated log.
+//!
+//! The paper's §4 "Reducing Message Complexity" observes that, as in
+//! ordinary Paxos, "phase 1 is executed in advance for all instances of the
+//! algorithm, and all nonfaulty processes decide within 3 message delays
+//! when the system is stable" — and that the modified algorithm can be made
+//! to behave the same way. This module is that construction: the session
+//! machinery (gating, session timer, ε-retransmission) runs **once**,
+//! shared by all log slots; a process whose ballot gathers a phase-1b
+//! majority becomes *anchored* and thereafter commits each submitted
+//! command with a single 2a/2b exchange — decision within 3 message delays
+//! of submission (forward → 2a → 2b) in the stable period, as experiment
+//! E7 measures.
+//!
+//! Commands are applied **at-least-once**: a command submitted during a
+//! leadership change may be proposed in two different slots. Deduplication
+//! is an application concern (the replicated-log example tags commands with
+//! unique ids).
+
+use crate::ballot::{Ballot, Session};
+use crate::config::TimingConfig;
+use crate::outbox::{Outbox, Process, Protocol};
+use crate::paxos::messages::Vote;
+use crate::quorum::QuorumTracker;
+use crate::time::LocalInstant;
+use crate::types::{ProcessId, TimerId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Timer id of the session timer (shared-phase-1 machinery).
+pub const TIMER_SESSION: TimerId = TimerId::new(0);
+/// Timer id of the ε-retransmission tick.
+pub const TIMER_EPSILON: TimerId = TimerId::new(1);
+
+/// A per-slot vote reported in phase 1b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotVote {
+    /// The log slot.
+    pub slot: u64,
+    /// The last vote cast in that slot.
+    pub vote: Vote,
+}
+
+/// Wire messages of the replicated-log layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MultiMsg {
+    /// Phase 1a for **all** slots at once.
+    M1a {
+        /// The ballot being started.
+        mbal: Ballot,
+    },
+    /// Phase 1b: every slot the acceptor has ever voted in.
+    M1b {
+        /// The joined ballot.
+        mbal: Ballot,
+        /// All per-slot last votes.
+        votes: Vec<SlotVote>,
+    },
+    /// Phase 2a for one slot.
+    M2a {
+        /// The ballot.
+        mbal: Ballot,
+        /// The log slot.
+        slot: u64,
+        /// The proposed value.
+        value: Value,
+    },
+    /// Phase 2b for one slot, broadcast to everyone.
+    M2b {
+        /// The ballot.
+        mbal: Ballot,
+        /// The log slot.
+        slot: u64,
+        /// The voted value.
+        value: Value,
+    },
+    /// A client command forwarded to the presumed leader.
+    Forward {
+        /// The command.
+        value: Value,
+    },
+    /// A chosen log entry being announced.
+    LogDecided {
+        /// The log slot.
+        slot: u64,
+        /// The chosen value.
+        value: Value,
+    },
+}
+
+impl MultiMsg {
+    /// The ballot carried by this message, if any.
+    pub fn ballot(&self) -> Option<Ballot> {
+        match self {
+            MultiMsg::M1a { mbal }
+            | MultiMsg::M1b { mbal, .. }
+            | MultiMsg::M2a { mbal, .. }
+            | MultiMsg::M2b { mbal, .. } => Some(*mbal),
+            MultiMsg::Forward { .. } | MultiMsg::LogDecided { .. } => None,
+        }
+    }
+
+    /// A short static label for message-count metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MultiMsg::M1a { .. } => "1a",
+            MultiMsg::M1b { .. } => "1b",
+            MultiMsg::M2a { .. } => "2a",
+            MultiMsg::M2b { .. } => "2b",
+            MultiMsg::Forward { .. } => "forward",
+            MultiMsg::LogDecided { .. } => "decided",
+        }
+    }
+}
+
+/// Leader-side phase-1b aggregation across all slots.
+#[derive(Debug, Clone)]
+struct Multi1bQuorum {
+    bal: Ballot,
+    tracker: QuorumTracker,
+    /// Best (highest-ballot) reported vote per slot.
+    best: BTreeMap<u64, Vote>,
+}
+
+impl Multi1bQuorum {
+    fn new(bal: Ballot, n: usize) -> Self {
+        Multi1bQuorum {
+            bal,
+            tracker: QuorumTracker::new(n),
+            best: BTreeMap::new(),
+        }
+    }
+
+    /// Returns `true` when the majority threshold is crossed by this call.
+    fn record(&mut self, from: ProcessId, votes: &[SlotVote]) -> bool {
+        let before = self.tracker.reached();
+        if !self.tracker.insert(from) {
+            return false;
+        }
+        for sv in votes {
+            let better = match self.best.get(&sv.slot) {
+                None => true,
+                Some(b) => sv.vote.bal > b.bal,
+            };
+            if better {
+                self.best.insert(sv.slot, sv.vote);
+            }
+        }
+        !before && self.tracker.reached()
+    }
+}
+
+/// Protocol factory for the replicated-log layer.
+#[derive(Debug, Clone, Default)]
+pub struct MultiPaxos;
+
+impl MultiPaxos {
+    /// Creates the factory.
+    pub fn new() -> Self {
+        MultiPaxos
+    }
+}
+
+impl Protocol for MultiPaxos {
+    type Msg = MultiMsg;
+    type Process = MultiPaxosProcess;
+
+    fn name(&self) -> &'static str {
+        "multi-session-paxos"
+    }
+
+    fn kind_of(msg: &MultiMsg) -> &'static str {
+        msg.kind()
+    }
+
+    fn spawn(&self, id: ProcessId, cfg: &TimingConfig, _initial: Value) -> MultiPaxosProcess {
+        MultiPaxosProcess {
+            id,
+            cfg: *cfg,
+            mbal: Ballot::initial(id),
+            accepted: BTreeMap::new(),
+            log: BTreeMap::new(),
+            decisions: BTreeMap::new(),
+            p1b: None,
+            anchored: None,
+            proposals: BTreeMap::new(),
+            next_slot: 0,
+            pending: Vec::new(),
+            session_heard: QuorumTracker::new(cfg.n()),
+            timer_expired: false,
+            last_p1a2a: None,
+        }
+    }
+}
+
+/// One replicated-log process. The single-shot `initial` value from
+/// [`Protocol::spawn`] is unused — commands arrive via
+/// [`Process::on_client`].
+#[derive(Debug, Clone)]
+pub struct MultiPaxosProcess {
+    id: ProcessId,
+    cfg: TimingConfig,
+    mbal: Ballot,
+    /// Per-slot acceptor votes.
+    accepted: BTreeMap<u64, Vote>,
+    /// Chosen entries.
+    log: BTreeMap<u64, Value>,
+    /// 2b counts per (slot, ballot).
+    decisions: BTreeMap<(u64, Ballot), (QuorumTracker, Value)>,
+    p1b: Option<Multi1bQuorum>,
+    /// The ballot we are anchored at (phase 1 complete for all slots).
+    anchored: Option<Ballot>,
+    /// Values we proposed per slot under our anchored ballot.
+    proposals: BTreeMap<u64, Value>,
+    next_slot: u64,
+    /// Commands awaiting an anchored leader.
+    pending: Vec<Value>,
+    session_heard: QuorumTracker,
+    timer_expired: bool,
+    last_p1a2a: Option<LocalInstant>,
+}
+
+impl MultiPaxosProcess {
+    /// The process's current ballot.
+    pub fn mbal(&self) -> Ballot {
+        self.mbal
+    }
+
+    /// The process's current session.
+    pub fn session(&self) -> Session {
+        self.mbal.session(self.cfg.n())
+    }
+
+    /// Whether this process is anchored (leader with phase 1 pre-executed).
+    pub fn is_anchored(&self) -> bool {
+        self.anchored == Some(self.mbal) && self.mbal.owner(self.cfg.n()) == self.id
+    }
+
+    /// The chosen log so far.
+    pub fn log(&self) -> &BTreeMap<u64, Value> {
+        &self.log
+    }
+
+    /// The chosen entry in `slot`, if any.
+    pub fn log_entry(&self, slot: u64) -> Option<Value> {
+        self.log.get(&slot).copied()
+    }
+
+    fn broadcast_m1a(&mut self, out: &mut Outbox<MultiMsg>) {
+        out.broadcast(MultiMsg::M1a { mbal: self.mbal });
+        self.last_p1a2a = Some(out.now());
+    }
+
+    fn enter_session(&mut self, announce: bool, out: &mut Outbox<MultiMsg>) {
+        self.session_heard.clear();
+        self.timer_expired = false;
+        out.set_timer(TIMER_SESSION, self.cfg.session_timer_local());
+        if announce {
+            self.broadcast_m1a(out);
+        }
+    }
+
+    fn adopt(&mut self, b: Ballot, out: &mut Outbox<MultiMsg>) {
+        debug_assert!(b > self.mbal);
+        let old_session = self.session();
+        self.mbal = b;
+        if self.p1b.as_ref().is_some_and(|q| q.bal < b) {
+            self.p1b = None;
+        }
+        if self.anchored.is_some_and(|ab| ab < b) {
+            self.anchored = None;
+            self.proposals.clear();
+        }
+        if b.session(self.cfg.n()) > old_session {
+            self.enter_session(true, out);
+        }
+    }
+
+    fn start_phase1(&mut self, out: &mut Outbox<MultiMsg>) {
+        let next = self.mbal.next_session(self.id, self.cfg.n());
+        self.mbal = next;
+        self.p1b = Some(Multi1bQuorum::new(next, self.cfg.n()));
+        self.anchored = None;
+        self.proposals.clear();
+        self.enter_session(false, out);
+        self.broadcast_m1a(out);
+    }
+
+    fn try_start_phase1(&mut self, out: &mut Outbox<MultiMsg>) {
+        if !self.timer_expired {
+            return;
+        }
+        // An anchored leader has nothing to gain from a fresh session: its
+        // phase 1 already covers every slot (§4 "Reducing Message
+        // Complexity": the stable case behaves like ordinary Paxos).
+        if self.is_anchored() {
+            return;
+        }
+        if self.session() == Session::ZERO || self.session_heard.reached() {
+            self.start_phase1(out);
+        }
+    }
+
+    fn propose(&mut self, slot: u64, value: Value, out: &mut Outbox<MultiMsg>) {
+        debug_assert!(self.is_anchored());
+        let bal = self.mbal;
+        // Never propose two values for the same (ballot, slot).
+        let value = *self.proposals.entry(slot).or_insert(value);
+        out.broadcast(MultiMsg::M2a { mbal: bal, slot, value });
+        self.last_p1a2a = Some(out.now());
+    }
+
+    /// Becomes anchored: re-complete every slot reported in the 1b quorum,
+    /// then assign fresh slots to pending commands.
+    fn anchor(&mut self, out: &mut Outbox<MultiMsg>) {
+        let q = self.p1b.take().expect("anchor follows a 1b quorum");
+        debug_assert_eq!(q.bal, self.mbal);
+        self.anchored = Some(q.bal);
+        self.next_slot = q.best.keys().next_back().map_or(0, |m| m + 1);
+        let to_recomplete: Vec<(u64, Vote)> = q.best.iter().map(|(s, v)| (*s, *v)).collect();
+        for (slot, vote) in to_recomplete {
+            if !self.log.contains_key(&slot) {
+                self.propose(slot, vote.value, out);
+            }
+        }
+        let pending = std::mem::take(&mut self.pending);
+        for value in pending {
+            self.assign(value, out);
+        }
+    }
+
+    fn assign(&mut self, value: Value, out: &mut Outbox<MultiMsg>) {
+        debug_assert!(self.is_anchored());
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.propose(slot, value, out);
+    }
+
+    fn choose(&mut self, slot: u64, value: Value, out: &mut Outbox<MultiMsg>) {
+        if self.log.contains_key(&slot) {
+            return;
+        }
+        self.log.insert(slot, value);
+        out.decide(value);
+        out.broadcast(MultiMsg::LogDecided { slot, value });
+    }
+}
+
+impl Process for MultiPaxosProcess {
+    type Msg = MultiMsg;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_start(&mut self, out: &mut Outbox<MultiMsg>) {
+        out.set_timer(TIMER_SESSION, self.cfg.session_timer_local());
+        out.set_timer(TIMER_EPSILON, self.cfg.epsilon_timer_local());
+        self.broadcast_m1a(out);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: MultiMsg, out: &mut Outbox<MultiMsg>) {
+        match &msg {
+            MultiMsg::M1a { mbal } => {
+                let mbal = *mbal;
+                if mbal > self.mbal {
+                    self.adopt(mbal, out);
+                }
+                if mbal == self.mbal {
+                    let votes: Vec<SlotVote> = self
+                        .accepted
+                        .iter()
+                        .map(|(slot, vote)| SlotVote {
+                            slot: *slot,
+                            vote: *vote,
+                        })
+                        .collect();
+                    out.send(mbal.owner(self.cfg.n()), MultiMsg::M1b { mbal, votes });
+                }
+            }
+            MultiMsg::M1b { mbal, votes } => {
+                if *mbal == self.mbal {
+                    if let Some(q) = self.p1b.as_mut() {
+                        if q.bal == *mbal && q.record(from, votes) {
+                            self.anchor(out);
+                        }
+                    }
+                }
+            }
+            MultiMsg::M2a { mbal, slot, value } => {
+                if *mbal >= self.mbal {
+                    if *mbal > self.mbal {
+                        self.adopt(*mbal, out);
+                    }
+                    if let Some(prev) = self.accepted.get(slot) {
+                        debug_assert!(*mbal >= prev.bal, "slot votes are ballot-monotone");
+                    }
+                    self.accepted.insert(*slot, Vote::new(*mbal, *value));
+                    out.broadcast(MultiMsg::M2b {
+                        mbal: *mbal,
+                        slot: *slot,
+                        value: *value,
+                    });
+                }
+            }
+            MultiMsg::M2b { mbal, slot, value } => {
+                let entry = self
+                    .decisions
+                    .entry((*slot, *mbal))
+                    .or_insert_with(|| (QuorumTracker::new(self.cfg.n()), *value));
+                debug_assert_eq!(entry.1, *value, "one value per (slot, ballot)");
+                let before = entry.0.reached();
+                entry.0.insert(from);
+                if !before && entry.0.reached() {
+                    let v = entry.1;
+                    self.choose(*slot, v, out);
+                }
+            }
+            MultiMsg::Forward { value } => {
+                if self.is_anchored() {
+                    self.assign(*value, out);
+                } else {
+                    // Hold it; we will assign it if we ever anchor. (The
+                    // submitter keeps its own copy too — at-least-once.)
+                    self.pending.push(*value);
+                }
+            }
+            MultiMsg::LogDecided { slot, value } => {
+                self.choose(*slot, *value, out);
+            }
+        }
+        if let Some(b) = msg.ballot() {
+            // Leader-liveness suppression (the paper's "appropriate
+            // acknowledgement messages"): a message from the owner of our
+            // current ballot proves the leader is alive, so we defer our
+            // own takeover by resetting the session timer. The leader's
+            // ε-period 1a/2a traffic keeps every follower suppressed, so
+            // the stable case runs one leader indefinitely — exactly
+            // ordinary Paxos. If the leader dies before TS, the traffic
+            // stops and timers expire within σ.
+            if b == self.mbal && from == b.owner(self.cfg.n()) && from != self.id {
+                self.timer_expired = false;
+                out.set_timer(TIMER_SESSION, self.cfg.session_timer_local());
+            }
+            if b.session(self.cfg.n()) == self.session() {
+                self.session_heard.insert(from);
+            }
+        }
+        self.try_start_phase1(out);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, out: &mut Outbox<MultiMsg>) {
+        match timer {
+            TIMER_SESSION => {
+                self.timer_expired = true;
+                self.try_start_phase1(out);
+            }
+            TIMER_EPSILON => {
+                out.set_timer(TIMER_EPSILON, self.cfg.epsilon_timer_local());
+                let idle = match self.last_p1a2a {
+                    None => true,
+                    Some(t) => out.now().saturating_since(t) >= self.cfg.epsilon_timer_local(),
+                };
+                if idle {
+                    if self.is_anchored() {
+                        // Re-propose undecided slots (recovery), or just
+                        // re-announce the ballot.
+                        let undecided: Vec<(u64, Value)> = self
+                            .proposals
+                            .iter()
+                            .filter(|(s, _)| !self.log.contains_key(s))
+                            .map(|(s, v)| (*s, *v))
+                            .collect();
+                        if undecided.is_empty() {
+                            self.broadcast_m1a(out);
+                        } else {
+                            for (slot, value) in undecided {
+                                self.propose(slot, value, out);
+                            }
+                        }
+                    } else {
+                        self.broadcast_m1a(out);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_restart(&mut self, out: &mut Outbox<MultiMsg>) {
+        self.timer_expired = false;
+        out.set_timer(TIMER_SESSION, self.cfg.session_timer_local());
+        out.set_timer(TIMER_EPSILON, self.cfg.epsilon_timer_local());
+        self.broadcast_m1a(out);
+    }
+
+    fn on_client(&mut self, value: Value, out: &mut Outbox<MultiMsg>) {
+        if self.is_anchored() {
+            self.assign(value, out);
+        } else {
+            // Remember it and forward to the presumed leader (the owner of
+            // our current ballot).
+            self.pending.push(value);
+            let owner = self.mbal.owner(self.cfg.n());
+            if owner != self.id {
+                out.send(owner, MultiMsg::Forward { value });
+            }
+        }
+    }
+
+    /// The replicated log never "terminates"; for the single-shot driver
+    /// interface, the decision is the first log entry.
+    fn decision(&self) -> Option<Value> {
+        self.log_entry(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outbox::Action;
+
+    fn cfg(n: usize) -> TimingConfig {
+        TimingConfig::for_n_processes(n).unwrap()
+    }
+
+    fn spawn(n: usize, id: u32) -> MultiPaxosProcess {
+        MultiPaxos::new().spawn(ProcessId::new(id), &cfg(n), Value::new(0))
+    }
+
+    fn out() -> Outbox<MultiMsg> {
+        Outbox::new(LocalInstant::ZERO)
+    }
+
+    /// Drives p (id 1 of 3) to anchored state on ballot 4.
+    fn anchor_p1(p: &mut MultiPaxosProcess, o: &mut Outbox<MultiMsg>) -> Ballot {
+        p.on_start(o);
+        p.on_timer(TIMER_SESSION, o); // session 1, ballot 4, owns it
+        o.drain();
+        let b = Ballot::new(4);
+        for from in [0u32, 2] {
+            p.on_message(
+                ProcessId::new(from),
+                MultiMsg::M1b {
+                    mbal: b,
+                    votes: vec![],
+                },
+                o,
+            );
+        }
+        o.drain();
+        b
+    }
+
+    #[test]
+    fn anchoring_after_1b_quorum() {
+        let mut p = spawn(3, 1);
+        let mut o = out();
+        anchor_p1(&mut p, &mut o);
+        assert!(p.is_anchored());
+    }
+
+    #[test]
+    fn client_command_proposed_when_anchored() {
+        let mut p = spawn(3, 1);
+        let mut o = out();
+        let b = anchor_p1(&mut p, &mut o);
+        p.on_client(Value::new(77), &mut o);
+        let acts = o.drain();
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: MultiMsg::M2a { mbal, slot: 0, value } }
+                if *mbal == b && *value == Value::new(77)
+        )));
+        p.on_client(Value::new(78), &mut o);
+        assert!(o.drain().iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: MultiMsg::M2a { slot: 1, value, .. } }
+                if *value == Value::new(78)
+        )));
+    }
+
+    #[test]
+    fn client_command_forwarded_when_not_leader() {
+        let mut p = spawn(3, 2);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        // p2's initial ballot is 2, owned by itself; adopt p1's ballot 4.
+        p.on_message(
+            ProcessId::new(1),
+            MultiMsg::M1a {
+                mbal: Ballot::new(4),
+            },
+            &mut o,
+        );
+        o.drain();
+        p.on_client(Value::new(9), &mut o);
+        let acts = o.drain();
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send { to, msg: MultiMsg::Forward { value } }
+                if *to == ProcessId::new(1) && *value == Value::new(9)
+        )));
+    }
+
+    #[test]
+    fn forwarded_command_assigned_by_anchored_leader() {
+        let mut p = spawn(3, 1);
+        let mut o = out();
+        anchor_p1(&mut p, &mut o);
+        p.on_message(
+            ProcessId::new(2),
+            MultiMsg::Forward {
+                value: Value::new(9),
+            },
+            &mut o,
+        );
+        assert!(o.drain().iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: MultiMsg::M2a { slot: 0, value, .. } }
+                if *value == Value::new(9)
+        )));
+    }
+
+    #[test]
+    fn pending_commands_assigned_on_anchoring() {
+        let mut p = spawn(3, 1);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        p.on_client(Value::new(5), &mut o); // not anchored yet: pending
+        o.drain();
+        let _ = anchor_p1(&mut p, &mut o); // drains start/timer again is fine
+        // anchor_p1 drained the outbox; the assignment happened inside it.
+        // Re-check state: slot 0 proposed with the pending command.
+        assert_eq!(p.proposals.get(&0), Some(&Value::new(5)));
+    }
+
+    #[test]
+    fn acceptor_votes_and_broadcasts_2b() {
+        let mut p = spawn(3, 0);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        p.on_message(
+            ProcessId::new(1),
+            MultiMsg::M2a {
+                mbal: Ballot::new(4),
+                slot: 3,
+                value: Value::new(7),
+            },
+            &mut o,
+        );
+        let acts = o.drain();
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: MultiMsg::M2b { slot: 3, value, .. } }
+                if *value == Value::new(7)
+        )));
+        assert_eq!(p.mbal(), Ballot::new(4), "adopted the 2a ballot");
+    }
+
+    #[test]
+    fn majority_2b_chooses_entry() {
+        let mut p = spawn(3, 0);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        let b = Ballot::new(4);
+        for from in [1u32, 2] {
+            p.on_message(
+                ProcessId::new(from),
+                MultiMsg::M2b {
+                    mbal: b,
+                    slot: 2,
+                    value: Value::new(7),
+                },
+                &mut o,
+            );
+        }
+        assert_eq!(p.log_entry(2), Some(Value::new(7)));
+        assert_eq!(p.log_entry(0), None);
+        assert!(o
+            .drain()
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast { msg: MultiMsg::LogDecided { slot: 2, .. } })));
+    }
+
+    #[test]
+    fn log_decided_catchup() {
+        let mut p = spawn(3, 0);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        p.on_message(
+            ProcessId::new(2),
+            MultiMsg::LogDecided {
+                slot: 5,
+                value: Value::new(50),
+            },
+            &mut o,
+        );
+        assert_eq!(p.log_entry(5), Some(Value::new(50)));
+    }
+
+    #[test]
+    fn anchoring_recompletes_reported_slots() {
+        let mut p = spawn(3, 1);
+        let mut o = out();
+        p.on_start(&mut o);
+        p.on_timer(TIMER_SESSION, &mut o);
+        o.drain();
+        let b = Ballot::new(4);
+        // p0 reports an old vote in slot 7.
+        p.on_message(
+            ProcessId::new(0),
+            MultiMsg::M1b {
+                mbal: b,
+                votes: vec![SlotVote {
+                    slot: 7,
+                    vote: Vote::new(Ballot::new(1), Value::new(70)),
+                }],
+            },
+            &mut o,
+        );
+        p.on_message(
+            ProcessId::new(2),
+            MultiMsg::M1b {
+                mbal: b,
+                votes: vec![],
+            },
+            &mut o,
+        );
+        let acts = o.drain();
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: MultiMsg::M2a { slot: 7, value, .. } }
+                if *value == Value::new(70)
+        )));
+        // Fresh slots start after the highest re-completed one.
+        p.on_client(Value::new(1), &mut o);
+        assert!(o.drain().iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: MultiMsg::M2a { slot: 8, .. } }
+        )));
+    }
+
+    #[test]
+    fn adoption_unanchors() {
+        let mut p = spawn(3, 1);
+        let mut o = out();
+        anchor_p1(&mut p, &mut o);
+        assert!(p.is_anchored());
+        p.on_message(
+            ProcessId::new(2),
+            MultiMsg::M1a {
+                mbal: Ballot::new(8), // session 2, owner p2
+            },
+            &mut o,
+        );
+        o.drain();
+        assert!(!p.is_anchored());
+        assert_eq!(p.mbal(), Ballot::new(8));
+    }
+
+    #[test]
+    fn epsilon_reproposes_undecided_slots() {
+        let mut p = spawn(3, 1);
+        let mut o = out();
+        anchor_p1(&mut p, &mut o);
+        p.on_client(Value::new(77), &mut o);
+        o.drain();
+        let later = LocalInstant::ZERO + cfg(3).epsilon_timer_local() * 4;
+        let mut o2 = Outbox::new(later);
+        p.on_timer(TIMER_EPSILON, &mut o2);
+        assert!(o2.drain().iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: MultiMsg::M2a { slot: 0, value, .. } }
+                if *value == Value::new(77)
+        )));
+    }
+
+    #[test]
+    fn decision_is_slot_zero() {
+        let mut p = spawn(3, 0);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        assert_eq!(p.decision(), None);
+        for from in [1u32, 2] {
+            p.on_message(
+                ProcessId::new(from),
+                MultiMsg::M2b {
+                    mbal: Ballot::new(4),
+                    slot: 0,
+                    value: Value::new(7),
+                },
+                &mut o,
+            );
+        }
+        assert_eq!(p.decision(), Some(Value::new(7)));
+    }
+
+    #[test]
+    fn leader_traffic_suppresses_follower_takeover() {
+        let mut p = spawn(3, 2);
+        let mut o = out();
+        p.on_start(&mut o);
+        // Adopt leader p1's ballot 4 (session 1).
+        p.on_message(
+            ProcessId::new(1),
+            MultiMsg::M1a {
+                mbal: Ballot::new(4),
+            },
+            &mut o,
+        );
+        o.drain();
+        // The session timer expires…
+        p.on_timer(TIMER_SESSION, &mut o);
+        // …but condition (ii) is unmet (only p1 heard), so no takeover yet.
+        assert_eq!(p.session(), Session::new(1));
+        o.drain();
+        // Fresh leader traffic resets the timer (suppression): the timer
+        // expiry flag is cleared again.
+        p.on_message(
+            ProcessId::new(1),
+            MultiMsg::M2a {
+                mbal: Ballot::new(4),
+                slot: 0,
+                value: Value::new(9),
+            },
+            &mut o,
+        );
+        let acts = o.drain();
+        assert!(
+            acts.iter()
+                .any(|a| matches!(a, Action::SetTimer { id, .. } if *id == TIMER_SESSION)),
+            "leader liveness re-arms the follower's session timer"
+        );
+        // Even after hearing a majority in session 1, the cleared expiry
+        // flag blocks an immediate takeover.
+        p.on_message(
+            ProcessId::new(0),
+            MultiMsg::M1a {
+                mbal: Ballot::new(4),
+            },
+            &mut o,
+        );
+        assert_eq!(p.session(), Session::new(1), "no takeover while leader lives");
+    }
+
+    #[test]
+    fn anchored_leader_does_not_restart_phase1() {
+        let mut p = spawn(3, 1);
+        let mut o = out();
+        anchor_p1(&mut p, &mut o);
+        assert!(p.is_anchored());
+        let before = p.mbal();
+        p.on_timer(TIMER_SESSION, &mut o);
+        assert_eq!(p.mbal(), before, "anchored leaders keep their ballot");
+        assert!(p.is_anchored());
+    }
+
+    #[test]
+    fn session_gating_applies_to_multi() {
+        let mut p = spawn(5, 1);
+        let mut o = out();
+        p.on_start(&mut o);
+        p.on_timer(TIMER_SESSION, &mut o); // session 0 -> 1 (exempt)
+        o.drain();
+        assert_eq!(p.session(), Session::new(1));
+        p.on_timer(TIMER_SESSION, &mut o);
+        assert_eq!(p.session(), Session::new(1), "gated without majority");
+    }
+}

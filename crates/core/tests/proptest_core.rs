@@ -1,0 +1,167 @@
+//! Property-based tests of the core algebra: ballots, sessions, logical
+//! clocks, quorums and the §5 timestamp oracle's ordering guarantees.
+
+use esync_core::ballot::{Ballot, Session};
+use esync_core::config::TimingConfig;
+use esync_core::lclock::{LamportClock, Timestamp};
+use esync_core::quorum::{majority, QuorumTracker};
+use esync_core::time::{LocalDuration, LocalInstant, RealDuration};
+use esync_core::types::{ProcessId, Value};
+use esync_core::wab::WabMessage;
+use proptest::prelude::*;
+
+proptest! {
+    /// session/owner decompose a ballot uniquely: b = session·n + owner.
+    #[test]
+    fn ballot_decomposition_roundtrips(raw in 0u64..1_000_000, n in 1usize..64) {
+        let b = Ballot::new(raw);
+        let s = b.session(n);
+        let o = b.owner(n);
+        prop_assert_eq!(s.get() * n as u64 + o.as_u32() as u64, raw);
+        prop_assert!(o.as_usize() < n);
+    }
+
+    /// next_session always lands exactly one session up, owned by the caller.
+    #[test]
+    fn next_session_properties(raw in 0u64..1_000_000, n in 1usize..64, p in 0u32..64) {
+        prop_assume!((p as usize) < n);
+        let pid = ProcessId::new(p);
+        let b = Ballot::new(raw);
+        let nb = b.next_session(pid, n);
+        prop_assert!(nb > b);
+        prop_assert_eq!(nb.session(n), Session::new(b.session(n).get() + 1));
+        prop_assert_eq!(nb.owner(n), pid);
+    }
+
+    /// next_for_owner_above returns the *minimal* strictly-greater ballot
+    /// in p's congruence class.
+    #[test]
+    fn next_for_owner_above_minimal(floor in 0u64..1_000_000, n in 1usize..64, p in 0u32..64) {
+        prop_assume!((p as usize) < n);
+        let pid = ProcessId::new(p);
+        let b = Ballot::next_for_owner_above(Ballot::new(floor), pid, n);
+        prop_assert!(b.get() > floor);
+        prop_assert_eq!(b.owner(n), pid);
+        // Minimality: one congruence step down is at or below the floor.
+        prop_assert!(b.get() < n as u64 || b.get() - n as u64 <= floor);
+    }
+
+    /// Any two majorities intersect; a majority is never more than all.
+    #[test]
+    fn majority_intersection(n in 1usize..500) {
+        let m = majority(n);
+        prop_assert!(m <= n);
+        prop_assert!(2 * m > n);
+    }
+
+    /// QuorumTracker counts distinct processes only and reaches exactly at
+    /// the majority threshold.
+    #[test]
+    fn quorum_tracker_thresholds(n in 1usize..40, inserts in proptest::collection::vec(0u32..40, 0..80)) {
+        let mut q = QuorumTracker::new(n);
+        let mut distinct = std::collections::BTreeSet::new();
+        for i in inserts {
+            let pid = ProcessId::new(i % n as u32);
+            let newly = q.insert(pid);
+            prop_assert_eq!(newly, distinct.insert(pid));
+            prop_assert_eq!(q.count(), distinct.len());
+            prop_assert_eq!(q.reached(), distinct.len() >= majority(n));
+        }
+    }
+
+    /// Lamport clocks: the happened-before chain strictly increases, and a
+    /// send after an observation exceeds the observed stamp.
+    #[test]
+    fn lamport_chain_monotone(hops in proptest::collection::vec(0u32..8, 1..64)) {
+        let mut clocks: Vec<_> = (0..8).map(|i| LamportClock::new(ProcessId::new(i))).collect();
+        let mut last: Option<Timestamp> = None;
+        for h in hops {
+            let c = &mut clocks[h as usize];
+            if let Some(prev) = last {
+                c.observe(prev);
+            }
+            let t = c.stamp_send();
+            if let Some(prev) = last {
+                prop_assert!(t > prev, "chain must increase: {t} after {prev}");
+            }
+            last = Some(t);
+        }
+    }
+
+    /// The §5 oracle delivers any *fully buffered* batch in timestamp
+    /// order, regardless of receipt order.
+    #[test]
+    fn oracle_orders_any_batch(
+        stamps in proptest::collection::vec((1u64..50, 0u32..5), 1..12),
+        receipt_perm in proptest::collection::vec(0usize..12, 1..12),
+    ) {
+        use esync_core::bconsensus::oracle::TimestampOracle;
+        let cfg = TimingConfig::for_n_processes(5).unwrap();
+        let mut o = TimestampOracle::new(ProcessId::new(0), &cfg);
+        // Dedup stamps (identical (time,pid) would be the same message).
+        let mut uniq: Vec<Timestamp> = stamps
+            .iter()
+            .map(|(t, p)| Timestamp::new(*t, ProcessId::new(*p)))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        // Receive them in an arbitrary order.
+        let len = uniq.len();
+        for (i, &j) in receipt_perm.iter().enumerate() {
+            uniq.swap(i % len, j % len);
+        }
+        for (i, ts) in uniq.iter().enumerate() {
+            o.on_stamped(
+                *ts,
+                WabMessage::new(ts.pid, 0, Value::new(ts.time)),
+                LocalInstant::from_nanos(i as u64),
+            );
+        }
+        // Wait long enough for everything, then release.
+        let (msgs, next) = o.release(LocalInstant::from_nanos(u64::MAX / 2));
+        prop_assert_eq!(msgs.len(), len);
+        prop_assert!(next.is_none());
+        let delivered: Vec<u64> = msgs.iter().map(|m| m.value.get()).collect();
+        let mut sorted = uniq.clone();
+        sorted.sort();
+        // Same pid+time can only come from one stamp; order must be the
+        // sorted stamp order projected to values.
+        let expected: Vec<u64> = sorted.iter().map(|t| t.time).collect();
+        prop_assert_eq!(delivered, expected);
+    }
+
+    /// Timer stretching: local_at_least(d) spans at least d of real time on
+    /// any admissible clock rate; local_at_most(d) at most d.
+    #[test]
+    fn timer_stretch_bounds(d_ms in 1u64..10_000, rho_bp in 0u32..2_000, rate_bp in 0i32..2) {
+        let rho = rho_bp as f64 / 10_000.0; // up to 0.2
+        let cfg = TimingConfig::builder(3).rho(rho).build().unwrap();
+        let d = RealDuration::from_millis(d_ms);
+        // The two extreme admissible rates.
+        let rate = if rate_bp == 0 { 1.0 - rho } else { 1.0 + rho };
+        let at_least: LocalDuration = cfg.local_at_least(d);
+        let real_elapsed = at_least.as_nanos() as f64 / rate;
+        prop_assert!(real_elapsed + 2.0 >= d.as_nanos() as f64);
+        let at_most: LocalDuration = cfg.local_at_most(d);
+        let real_elapsed = at_most.as_nanos() as f64 / rate;
+        prop_assert!(real_elapsed <= d.as_nanos() as f64 + 2.0);
+    }
+
+    /// The decision bound is monotone in each of its inputs.
+    #[test]
+    fn decision_bound_monotone(eps_us in 100u64..40_000, sigma_extra_ms in 0u64..100) {
+        let delta = RealDuration::from_millis(10);
+        let base = TimingConfig::builder(5)
+            .delta(delta)
+            .epsilon(RealDuration::from_micros(eps_us))
+            .build()
+            .unwrap();
+        let bigger_sigma = TimingConfig::builder(5)
+            .delta(delta)
+            .epsilon(RealDuration::from_micros(eps_us))
+            .sigma(base.sigma() + RealDuration::from_millis(sigma_extra_ms))
+            .build()
+            .unwrap();
+        prop_assert!(bigger_sigma.decision_bound() >= base.decision_bound());
+    }
+}

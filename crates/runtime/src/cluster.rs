@@ -1,0 +1,354 @@
+//! Spawning and supervising a cluster of protocol threads.
+
+use crate::node::{run_node, LocalClock};
+use crate::transport::{make_inboxes, spawn_delayer, Transport, Wire};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use esync_core::config::TimingConfig;
+use esync_core::error::ConfigError;
+use esync_core::outbox::Protocol;
+use esync_core::time::RealDuration;
+use esync_core::types::{ProcessId, Value};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A decision reported by one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The deciding process.
+    pub pid: ProcessId,
+    /// The decided value.
+    pub value: Value,
+    /// Wall time since cluster start.
+    pub elapsed: Duration,
+}
+
+/// Errors from running a cluster.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The timing parameters were invalid.
+    Config(ConfigError),
+    /// Not every node decided within the allotted wall time.
+    Timeout {
+        /// Nodes that did decide.
+        decided: usize,
+        /// Cluster size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Config(e) => write!(f, "invalid timing configuration: {e}"),
+            RuntimeError::Timeout { decided, n } => {
+                write!(f, "only {decided} of {n} nodes decided before the deadline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for RuntimeError {
+    fn from(e: ConfigError) -> Self {
+        RuntimeError::Config(e)
+    }
+}
+
+/// Configuration of a threaded cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    n: usize,
+    delta: Duration,
+    epsilon: Option<Duration>,
+    sigma: Option<Duration>,
+    rho: f64,
+    stability_after: Duration,
+    loss_prob: f64,
+    max_extra_delay: Option<Duration>,
+    seed: u64,
+    initial_values: Option<Vec<Value>>,
+}
+
+impl ClusterConfig {
+    /// A cluster of `n` nodes with `δ = 5ms`, stable from the start.
+    pub fn new(n: usize) -> Self {
+        ClusterConfig {
+            n,
+            delta: Duration::from_millis(5),
+            epsilon: None,
+            sigma: None,
+            rho: 1e-3,
+            stability_after: Duration::ZERO,
+            loss_prob: 0.0,
+            max_extra_delay: None,
+            seed: 0,
+            initial_values: None,
+        }
+    }
+
+    /// Sets the protocol-visible `δ`. Must comfortably exceed channel and
+    /// scheduling latency (milliseconds are fine; microseconds are not).
+    pub fn delta(mut self, delta: Duration) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets `ε` (default `δ/4`).
+    pub fn epsilon(mut self, epsilon: Duration) -> Self {
+        self.epsilon = Some(epsilon);
+        self
+    }
+
+    /// Sets `σ` (default: minimum admissible).
+    pub fn sigma(mut self, sigma: Duration) -> Self {
+        self.sigma = Some(sigma);
+        self
+    }
+
+    /// Sets the clock-rate error bound `ρ` (default `10⁻³`).
+    pub fn rho(mut self, rho: f64) -> Self {
+        self.rho = rho;
+        self
+    }
+
+    /// Length of the unstable window from cluster start (default zero).
+    pub fn stability_after(mut self, window: Duration) -> Self {
+        self.stability_after = window;
+        self
+    }
+
+    /// Message-loss probability inside the unstable window.
+    pub fn pre_stability_loss(mut self, p: f64) -> Self {
+        self.loss_prob = p;
+        self
+    }
+
+    /// Maximum extra delay inside the unstable window (default `5δ`).
+    pub fn pre_stability_max_delay(mut self, d: Duration) -> Self {
+        self.max_extra_delay = Some(d);
+        self
+    }
+
+    /// Seed for loss, delay and clock-rate sampling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Explicit initial values (default `100 + i`).
+    pub fn initial_values(mut self, values: Vec<Value>) -> Self {
+        self.initial_values = Some(values);
+        self
+    }
+
+    fn timing(&self) -> Result<TimingConfig, ConfigError> {
+        let mut b = TimingConfig::builder(self.n);
+        b.delta(to_real(self.delta)).rho(self.rho);
+        if let Some(e) = self.epsilon {
+            b.epsilon(to_real(e));
+        }
+        if let Some(s) = self.sigma {
+            b.sigma(to_real(s));
+        }
+        b.build()
+    }
+}
+
+fn to_real(d: Duration) -> RealDuration {
+    RealDuration::from_nanos(u64::try_from(d.as_nanos()).expect("duration fits in u64 ns"))
+}
+
+/// A running cluster of protocol threads.
+#[derive(Debug)]
+pub struct Cluster<P: Protocol> {
+    n: usize,
+    start: Instant,
+    node_senders: Vec<Sender<Wire<P::Msg>>>,
+    decisions_rx: Receiver<Decision>,
+    handles: Vec<JoinHandle<()>>,
+    delayer_handle: Option<JoinHandle<()>>,
+}
+
+impl<P> Cluster<P>
+where
+    P: Protocol,
+    P::Process: Send + 'static,
+    P::Msg: Send + Clone + 'static,
+{
+    /// Spawns one thread per process plus the delay-injector thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Config`] for invalid timing parameters.
+    pub fn spawn(cfg: ClusterConfig, protocol: P) -> Result<Cluster<P>, RuntimeError> {
+        let timing = cfg.timing()?;
+        let n = cfg.n;
+        let start = Instant::now();
+        let stable_at = start + cfg.stability_after;
+        let max_extra_delay = cfg.max_extra_delay.unwrap_or(cfg.delta * 5);
+        let initial_values: Vec<Value> = cfg
+            .initial_values
+            .clone()
+            .unwrap_or_else(|| (0..n as u64).map(|i| Value::new(100 + i)).collect());
+        assert_eq!(initial_values.len(), n, "one initial value per node");
+
+        let (senders, receivers) = make_inboxes::<P::Msg>(n);
+        let (delayer_tx, delayer_handle) = spawn_delayer(senders.clone());
+        let (dec_tx, dec_rx) = unbounded::<Decision>();
+        let mut seed_rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, inbox) in receivers.into_iter().enumerate() {
+            let pid = ProcessId::new(i as u32);
+            let proc = protocol.spawn(pid, &timing, initial_values[i]);
+            let rate = if cfg.rho == 0.0 {
+                1.0
+            } else {
+                1.0 + seed_rng.gen_range(-cfg.rho..=cfg.rho)
+            };
+            let transport = Transport::new(
+                senders.clone(),
+                delayer_tx.clone(),
+                start,
+                stable_at,
+                cfg.loss_prob,
+                max_extra_delay,
+                ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(1 + i as u64)),
+            );
+            let clock = LocalClock::new(rate, start);
+            let decisions = dec_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("esync-node-{i}"))
+                .spawn(move || run_node(pid, proc, inbox, transport, clock, decisions))
+                .expect("spawn node thread");
+            handles.push(handle);
+        }
+        Ok(Cluster {
+            n,
+            start,
+            node_senders: senders,
+            decisions_rx: dec_rx,
+            handles,
+            delayer_handle: Some(delayer_handle),
+        })
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Wall time since the cluster started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Submits a client command to node `pid` (multi-instance protocols).
+    pub fn submit(&self, pid: ProcessId, value: Value) {
+        let _ = self.node_senders[pid.as_usize()].send(Wire::Submit { value });
+    }
+
+    /// Waits until every node has reported a decision, or the deadline.
+    ///
+    /// Returns one [`Decision`] per node, ordered by process id.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Timeout`] with the partial count on deadline.
+    pub fn await_decisions(&self, timeout: Duration) -> Result<Vec<Decision>, RuntimeError> {
+        let deadline = Instant::now() + timeout;
+        let mut got: BTreeMap<ProcessId, Decision> = BTreeMap::new();
+        while got.len() < self.n {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RuntimeError::Timeout {
+                    decided: got.len(),
+                    n: self.n,
+                });
+            }
+            match self.decisions_rx.recv_timeout(deadline - now) {
+                Ok(d) => {
+                    got.entry(d.pid).or_insert(d);
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    return Err(RuntimeError::Timeout {
+                        decided: got.len(),
+                        n: self.n,
+                    });
+                }
+            }
+        }
+        Ok(got.into_values().collect())
+    }
+
+    /// Stops all nodes and joins their threads.
+    pub fn shutdown(mut self) {
+        for s in &self.node_senders {
+            let _ = s.send(Wire::Stop);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        // With the node threads (and their transports) gone, dropping our
+        // channel ends drain the delayer's input; it exits on disconnect.
+        self.node_senders.clear();
+        if let Some(h) = self.delayer_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esync_core::paxos::session::SessionPaxos;
+
+    #[test]
+    fn stable_cluster_decides_quickly() {
+        let cfg = ClusterConfig::new(3)
+            .delta(Duration::from_millis(5))
+            .seed(1);
+        let cluster = Cluster::spawn(cfg, SessionPaxos::new()).unwrap();
+        let decisions = cluster.await_decisions(Duration::from_secs(10)).unwrap();
+        assert_eq!(decisions.len(), 3);
+        let v = decisions[0].value;
+        assert!(decisions.iter().all(|d| d.value == v), "{decisions:?}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn lossy_window_then_stability_decides() {
+        let cfg = ClusterConfig::new(3)
+            .delta(Duration::from_millis(5))
+            .stability_after(Duration::from_millis(80))
+            .pre_stability_loss(0.5)
+            .seed(2);
+        let cluster = Cluster::spawn(cfg, SessionPaxos::new()).unwrap();
+        let decisions = cluster.await_decisions(Duration::from_secs(20)).unwrap();
+        let v = decisions[0].value;
+        assert!(decisions.iter().all(|d| d.value == v));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn config_error_propagates() {
+        let cfg = ClusterConfig::new(0);
+        assert!(matches!(
+            Cluster::<SessionPaxos>::spawn(cfg, SessionPaxos::new()),
+            Err(RuntimeError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,41 @@
+//! # esync-runtime — a threaded real-time runtime for esync protocols
+//!
+//! The discrete-event simulator (`esync-sim`) is the measurement
+//! instrument; this crate demonstrates that the *same* sans-IO state
+//! machines run unchanged over a real transport: one OS thread per process,
+//! crossbeam channels as links, wall-clock timers, and a delay/loss
+//! injector that makes the first `stability_after` of the run behave like
+//! the paper's unstable period.
+//!
+//! Scope: the runtime supports protocols that need no driver-side oracle —
+//! the paper's modified Paxos and modified B-Consensus (both leaderless and
+//! oracle-free by construction), the heartbeat-elector flavor of
+//! traditional Paxos, the rotating coordinator, and the replicated log.
+//! Fault injection (crash/restart) is the simulator's job; the runtime
+//! injects message loss and delay only.
+//!
+//! ```no_run
+//! use esync_core::paxos::session::SessionPaxos;
+//! use esync_runtime::{Cluster, ClusterConfig};
+//! use std::time::Duration;
+//!
+//! let cfg = ClusterConfig::new(5)
+//!     .delta(Duration::from_millis(5))
+//!     .stability_after(Duration::from_millis(100))
+//!     .pre_stability_loss(0.4);
+//! let cluster = Cluster::spawn(cfg, SessionPaxos::new())?;
+//! let decisions = cluster.await_decisions(Duration::from_secs(10))?;
+//! assert!(decisions.windows(2).all(|w| w[0].value == w[1].value));
+//! cluster.shutdown();
+//! # Ok::<(), esync_runtime::RuntimeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod node;
+pub mod transport;
+
+pub use cluster::{Cluster, ClusterConfig, Decision, RuntimeError};

@@ -1,0 +1,211 @@
+//! One OS thread per process: inbox, wall-clock timers, drifting local
+//! clock.
+
+use crate::cluster::Decision;
+use crate::transport::{Transport, Wire};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use esync_core::outbox::{Action, Outbox, Process};
+use esync_core::time::LocalInstant;
+use esync_core::types::{ProcessId, TimerId};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Converts elapsed wall time into this node's local-clock reading.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalClock {
+    rate: f64,
+    start: Instant,
+}
+
+impl LocalClock {
+    /// Creates a clock with the given hidden rate.
+    pub fn new(rate: f64, start: Instant) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        LocalClock { rate, start }
+    }
+
+    /// The local reading now.
+    pub fn now(&self) -> LocalInstant {
+        LocalInstant::from_nanos((self.start.elapsed().as_nanos() as f64 * self.rate) as u64)
+    }
+
+    /// The wall duration spanned by a local duration.
+    pub fn wall(&self, local: esync_core::time::LocalDuration) -> Duration {
+        Duration::from_nanos((local.as_nanos() as f64 / self.rate).ceil() as u64)
+    }
+}
+
+/// Runs one process until a [`Wire::Stop`] arrives.
+///
+/// # Panics
+///
+/// Panics if the protocol requests a weak-ordering-oracle broadcast
+/// ([`Action::WabBroadcast`]): the runtime provides no external oracle.
+/// Use the *modified* B-Consensus (in-process oracle) instead.
+pub fn run_node<Proc>(
+    pid: ProcessId,
+    mut proc: Proc,
+    inbox: Receiver<Wire<Proc::Msg>>,
+    mut transport: Transport<Proc::Msg>,
+    clock: LocalClock,
+    decisions: Sender<Decision>,
+) where
+    Proc: Process,
+    Proc::Msg: Clone,
+{
+    let mut timers: HashMap<TimerId, Instant> = HashMap::new();
+    let mut reported = false;
+
+    let mut out = Outbox::new(clock.now());
+    proc.on_start(&mut out);
+    apply(
+        pid,
+        &mut out,
+        &mut transport,
+        &mut timers,
+        &clock,
+        &decisions,
+        &mut reported,
+    );
+
+    loop {
+        // Fire all due timers first.
+        let now = Instant::now();
+        let due: Vec<TimerId> = timers
+            .iter()
+            .filter(|(_, at)| **at <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        if !due.is_empty() {
+            for id in due {
+                timers.remove(&id);
+                let mut out = Outbox::new(clock.now());
+                proc.on_timer(id, &mut out);
+                apply(
+                    pid,
+                    &mut out,
+                    &mut transport,
+                    &mut timers,
+                    &clock,
+                    &decisions,
+                    &mut reported,
+                );
+            }
+            continue;
+        }
+        // Wait for a message or the next timer deadline.
+        let wire = match timers.values().min() {
+            Some(next) => {
+                let now = Instant::now();
+                let wait = next.saturating_duration_since(now);
+                match inbox.recv_timeout(wait) {
+                    Ok(w) => Some(w),
+                    Err(RecvTimeoutError::Timeout) => None, // loop fires timers
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            None => match inbox.recv() {
+                Ok(w) => Some(w),
+                Err(_) => break,
+            },
+        };
+        let Some(wire) = wire else { continue };
+        match wire {
+            Wire::Stop => break,
+            Wire::Msg { from, msg } => {
+                let mut out = Outbox::new(clock.now());
+                proc.on_message(from, msg, &mut out);
+                apply(
+                    pid,
+                    &mut out,
+                    &mut transport,
+                    &mut timers,
+                    &clock,
+                    &decisions,
+                    &mut reported,
+                );
+            }
+            Wire::Submit { value } => {
+                let mut out = Outbox::new(clock.now());
+                proc.on_client(value, &mut out);
+                apply(
+                    pid,
+                    &mut out,
+                    &mut transport,
+                    &mut timers,
+                    &clock,
+                    &decisions,
+                    &mut reported,
+                );
+            }
+        }
+    }
+}
+
+fn apply<M: Clone>(
+    pid: ProcessId,
+    out: &mut Outbox<M>,
+    transport: &mut Transport<M>,
+    timers: &mut HashMap<TimerId, Instant>,
+    clock: &LocalClock,
+    decisions: &Sender<Decision>,
+    reported: &mut bool,
+) {
+    for action in out.drain() {
+        match action {
+            Action::Send { to, msg } => transport.send(pid, to, msg),
+            Action::Broadcast { msg } => transport.broadcast(pid, msg),
+            Action::SetTimer { id, after } => {
+                timers.insert(id, Instant::now() + clock.wall(after));
+            }
+            Action::CancelTimer { id } => {
+                timers.remove(&id);
+            }
+            Action::Decide { value } => {
+                if !*reported {
+                    *reported = true;
+                    let _ = decisions.send(Decision {
+                        pid,
+                        value,
+                        elapsed: transport.elapsed(),
+                    });
+                }
+            }
+            Action::WabBroadcast { .. } => {
+                panic!(
+                    "{pid}: protocol requested an external weak-ordering \
+                     oracle; the threaded runtime provides none (use the \
+                     modified B-Consensus or run under esync-sim)"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_clock_scales_elapsed_time() {
+        let start = Instant::now();
+        let c = LocalClock::new(2.0, start);
+        let wall = c.wall(esync_core::time::LocalDuration::from_millis(10));
+        assert_eq!(wall, Duration::from_millis(5), "fast clock: shorter wall");
+    }
+
+    #[test]
+    fn local_clock_now_is_monotone() {
+        let c = LocalClock::new(1.0, Instant::now());
+        let a = c.now();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = c.now();
+        assert!(b > a);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = LocalClock::new(0.0, Instant::now());
+    }
+}

@@ -1,0 +1,318 @@
+//! Channel-based links with pre-stability loss and delay injection.
+//!
+//! Each process owns an inbox ([`crossbeam::channel`] receiver); a
+//! [`Transport`] handle fans messages out to peers. During the configured
+//! unstable window the transport drops messages with a fixed probability
+//! and routes a fraction of the survivors through a *delayer* thread that
+//! holds them for a random extra delay (possibly past the stability
+//! point — obsolete messages). After the window, sends go straight through
+//! (channel latency is far below any realistic `δ`).
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use esync_core::types::{ProcessId, Value};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BinaryHeap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What travels over a link.
+#[derive(Debug, Clone)]
+pub enum Wire<M> {
+    /// A protocol message.
+    Msg {
+        /// The sender.
+        from: ProcessId,
+        /// The message.
+        msg: M,
+    },
+    /// An application command (multi-instance protocols).
+    Submit {
+        /// The command.
+        value: Value,
+    },
+    /// Shut the node down.
+    Stop,
+}
+
+/// A message parked in the delayer until its due time.
+pub(crate) struct Parked<M> {
+    due: Instant,
+    seq: u64,
+    to: usize,
+    wire: Wire<M>,
+}
+
+impl<M> PartialEq for Parked<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for Parked<M> {}
+impl<M> PartialOrd for Parked<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Parked<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (due, seq).
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// Commands understood by the delayer thread.
+pub(crate) enum DelayerCmd<M> {
+    /// Hold a message until its due time.
+    Park(Parked<M>),
+    /// Exit the delayer loop.
+    #[allow(dead_code)]
+    Stop,
+}
+
+impl<M> std::fmt::Debug for DelayerCmd<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DelayerCmd::Park(p) => write!(f, "Park(to={}, due={:?})", p.to, p.due),
+            DelayerCmd::Stop => write!(f, "Stop"),
+        }
+    }
+}
+
+/// Spawns the delayer thread serving all links of one cluster.
+pub(crate) fn spawn_delayer<M: Send + 'static>(
+    node_senders: Vec<Sender<Wire<M>>>,
+) -> (Sender<DelayerCmd<M>>, JoinHandle<()>) {
+    let (tx, rx): (Sender<DelayerCmd<M>>, Receiver<DelayerCmd<M>>) = unbounded();
+    let handle = std::thread::Builder::new()
+        .name("esync-delayer".into())
+        .spawn(move || {
+            let mut heap: BinaryHeap<Parked<M>> = BinaryHeap::new();
+            loop {
+                let cmd = if let Some(p) = heap.peek() {
+                    let now = Instant::now();
+                    if p.due <= now {
+                        let p = heap.pop().expect("peeked");
+                        let _ = node_senders[p.to].send(p.wire);
+                        continue;
+                    }
+                    match rx.recv_timeout(p.due - now) {
+                        Ok(cmd) => cmd,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                } else {
+                    match rx.recv() {
+                        Ok(cmd) => cmd,
+                        Err(_) => break,
+                    }
+                };
+                match cmd {
+                    DelayerCmd::Park(p) => heap.push(p),
+                    DelayerCmd::Stop => break,
+                }
+            }
+        })
+        .expect("spawn delayer thread");
+    (tx, handle)
+}
+
+/// A per-node sending handle.
+#[derive(Debug)]
+pub struct Transport<M> {
+    node_senders: Vec<Sender<Wire<M>>>,
+    delayer: Sender<DelayerCmd<M>>,
+    start: Instant,
+    stable_at: Instant,
+    loss_prob: f64,
+    max_extra_delay: Duration,
+    rng: ChaCha8Rng,
+    seq: u64,
+}
+
+impl<M: Clone> Transport<M> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        node_senders: Vec<Sender<Wire<M>>>,
+        delayer: Sender<DelayerCmd<M>>,
+        start: Instant,
+        stable_at: Instant,
+        loss_prob: f64,
+        max_extra_delay: Duration,
+        rng: ChaCha8Rng,
+    ) -> Self {
+        Transport {
+            node_senders,
+            delayer,
+            start,
+            stable_at,
+            loss_prob,
+            max_extra_delay,
+            rng,
+            seq: 0,
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn n(&self) -> usize {
+        self.node_senders.len()
+    }
+
+    /// Elapsed wall time since the cluster started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Sends `msg` from `from` to `to`, applying the unstable-window policy.
+    pub fn send(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        let wire = Wire::Msg { from, msg };
+        let now = Instant::now();
+        if now < self.stable_at {
+            if self.loss_prob > 0.0 && self.rng.gen_bool(self.loss_prob) {
+                return; // lost
+            }
+            if !self.max_extra_delay.is_zero() {
+                let extra_ns = self.rng.gen_range(0..=self.max_extra_delay.as_nanos() as u64);
+                if extra_ns > 0 {
+                    self.seq += 1;
+                    let _ = self.delayer.send(DelayerCmd::Park(Parked {
+                        due: now + Duration::from_nanos(extra_ns),
+                        seq: self.seq,
+                        to: to.as_usize(),
+                        wire,
+                    }));
+                    return;
+                }
+            }
+        }
+        let _ = self.node_senders[to.as_usize()].send(wire);
+    }
+
+    /// Broadcasts to all endpoints, including the sender.
+    pub fn broadcast(&mut self, from: ProcessId, msg: M) {
+        for to in 0..self.n() {
+            self.send(from, ProcessId::new(to as u32), msg.clone());
+        }
+    }
+}
+
+/// The sending and receiving halves of all node inboxes.
+pub(crate) type Inboxes<M> = (Vec<Sender<Wire<M>>>, Vec<Receiver<Wire<M>>>);
+
+/// Creates the inbox channels for `n` nodes. Bounded at a generous depth so
+/// a stuck node exerts backpressure instead of ballooning memory.
+pub(crate) fn make_inboxes<M>(n: usize) -> Inboxes<M> {
+    (0..n).map(|_| bounded(65_536)).unzip()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stable_send_is_immediate() {
+        let (senders, receivers) = make_inboxes::<u32>(2);
+        let (dtx, dh) = spawn_delayer(senders.clone());
+        let now = Instant::now();
+        let mut t = Transport::new(
+            senders,
+            dtx.clone(),
+            now,
+            now, // stable immediately
+            1.0, // loss prob irrelevant after stability
+            Duration::from_secs(1),
+            ChaCha8Rng::seed_from_u64(1),
+        );
+        t.send(ProcessId::new(0), ProcessId::new(1), 42u32);
+        match receivers[1].recv_timeout(Duration::from_millis(100)) {
+            Ok(Wire::Msg { from, msg }) => {
+                assert_eq!(from, ProcessId::new(0));
+                assert_eq!(msg, 42);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let _ = dtx.send(DelayerCmd::Stop);
+        dh.join().unwrap();
+    }
+
+    #[test]
+    fn unstable_send_can_drop() {
+        let (senders, receivers) = make_inboxes::<u32>(2);
+        let (dtx, dh) = spawn_delayer(senders.clone());
+        let now = Instant::now();
+        let mut t = Transport::new(
+            senders,
+            dtx.clone(),
+            now,
+            now + Duration::from_secs(3600),
+            1.0, // always lose
+            Duration::ZERO,
+            ChaCha8Rng::seed_from_u64(2),
+        );
+        for _ in 0..10 {
+            t.send(ProcessId::new(0), ProcessId::new(1), 1u32);
+        }
+        assert!(
+            receivers[1].recv_timeout(Duration::from_millis(50)).is_err(),
+            "everything lost in the unstable window"
+        );
+        let _ = dtx.send(DelayerCmd::Stop);
+        dh.join().unwrap();
+    }
+
+    #[test]
+    fn delayed_messages_arrive_later() {
+        let (senders, receivers) = make_inboxes::<u32>(1);
+        let (dtx, dh) = spawn_delayer(senders.clone());
+        let now = Instant::now();
+        let mut t = Transport::new(
+            senders,
+            dtx.clone(),
+            now,
+            now + Duration::from_secs(3600),
+            0.0,
+            Duration::from_millis(30),
+            ChaCha8Rng::seed_from_u64(3),
+        );
+        let sent_at = Instant::now();
+        for _ in 0..5 {
+            t.send(ProcessId::new(0), ProcessId::new(0), 7u32);
+        }
+        let mut got = 0;
+        while got < 5 {
+            match receivers[0].recv_timeout(Duration::from_millis(500)) {
+                Ok(Wire::Msg { .. }) => got += 1,
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert!(sent_at.elapsed() <= Duration::from_millis(400));
+        let _ = dtx.send(DelayerCmd::Stop);
+        dh.join().unwrap();
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_including_self() {
+        let (senders, receivers) = make_inboxes::<u32>(3);
+        let (dtx, dh) = spawn_delayer(senders.clone());
+        let now = Instant::now();
+        let mut t = Transport::new(
+            senders,
+            dtx.clone(),
+            now,
+            now,
+            0.0,
+            Duration::ZERO,
+            ChaCha8Rng::seed_from_u64(4),
+        );
+        t.broadcast(ProcessId::new(1), 9u32);
+        for r in &receivers {
+            assert!(matches!(
+                r.recv_timeout(Duration::from_millis(100)),
+                Ok(Wire::Msg { msg: 9, .. })
+            ));
+        }
+        let _ = dtx.send(DelayerCmd::Stop);
+        dh.join().unwrap();
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-process drifting clocks.
+//!
+//! The paper assumes "processes have (unsynchronized) local clocks that,
+//! after time `TS`, have an error in their running rate of at most some
+//! known value `ρ ≪ 1`". We model a clock as `local(t) = offset + rate·t`
+//! with a hidden `rate ∈ [1−ρ, 1+ρ]` and an arbitrary `offset` — constant
+//! for the whole run, which satisfies the post-`TS` requirement and is the
+//! conservative choice before `TS`.
+
+use crate::time::SimTime;
+use esync_core::time::{LocalDuration, LocalInstant};
+use rand::Rng;
+
+/// A process-local clock with a hidden constant rate and offset.
+#[derive(Debug, Clone)]
+pub struct DriftClock {
+    rate: f64,
+    offset_ns: u64,
+}
+
+impl DriftClock {
+    /// A perfect clock (rate 1, offset 0) — useful in tests.
+    pub fn perfect() -> Self {
+        DriftClock {
+            rate: 1.0,
+            offset_ns: 0,
+        }
+    }
+
+    /// Creates a clock with an explicit rate and offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn new(rate: f64, offset_ns: u64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "clock rate must be finite and positive, got {rate}"
+        );
+        DriftClock { rate, offset_ns }
+    }
+
+    /// Samples a clock whose rate error is uniform in `[−ρ, +ρ]` and whose
+    /// offset is up to one second.
+    pub fn sample<R: Rng>(rho: f64, rng: &mut R) -> Self {
+        let rate = if rho == 0.0 {
+            1.0
+        } else {
+            1.0 + rng.gen_range(-rho..=rho)
+        };
+        let offset_ns = rng.gen_range(0..1_000_000_000u64);
+        DriftClock::new(rate, offset_ns)
+    }
+
+    /// The hidden rate (tests and diagnostics only — protocols must not
+    /// read this).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The local-clock reading at real time `t`.
+    pub fn local_at(&self, t: SimTime) -> LocalInstant {
+        LocalInstant::from_nanos(self.offset_ns + (t.as_nanos() as f64 * self.rate).round() as u64)
+    }
+
+    /// The real time at which a timer set *now* (real time `now`) for local
+    /// duration `d` fires: `now + d/rate`.
+    pub fn real_after(&self, now: SimTime, d: LocalDuration) -> SimTime {
+        let real_ns = (d.as_nanos() as f64 / self.rate).round() as u64;
+        SimTime::from_nanos(now.as_nanos() + real_ns.max(if d.is_zero() { 0 } else { 1 }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn perfect_clock_is_identity_plus_offset() {
+        let c = DriftClock::perfect();
+        assert_eq!(c.local_at(SimTime::from_nanos(42)).as_nanos(), 42);
+        assert_eq!(
+            c.real_after(SimTime::from_nanos(10), LocalDuration::from_nanos(5)),
+            SimTime::from_nanos(15)
+        );
+    }
+
+    #[test]
+    fn fast_clock_fires_early() {
+        // rate 1.25: a local duration of 125ns spans 100ns of real time.
+        let c = DriftClock::new(1.25, 0);
+        assert_eq!(
+            c.real_after(SimTime::ZERO, LocalDuration::from_nanos(125)),
+            SimTime::from_nanos(100)
+        );
+        assert_eq!(c.local_at(SimTime::from_nanos(100)).as_nanos(), 125);
+    }
+
+    #[test]
+    fn slow_clock_fires_late() {
+        let c = DriftClock::new(0.8, 0);
+        assert_eq!(
+            c.real_after(SimTime::ZERO, LocalDuration::from_nanos(80)),
+            SimTime::from_nanos(100)
+        );
+    }
+
+    #[test]
+    fn offset_shifts_readings_not_durations() {
+        let c = DriftClock::new(1.0, 500);
+        assert_eq!(c.local_at(SimTime::from_nanos(10)).as_nanos(), 510);
+        assert_eq!(
+            c.real_after(SimTime::from_nanos(10), LocalDuration::from_nanos(5)),
+            SimTime::from_nanos(15),
+            "offset cancels out of durations"
+        );
+    }
+
+    #[test]
+    fn sampled_rates_respect_rho() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let c = DriftClock::sample(0.01, &mut rng);
+            assert!((0.99..=1.01).contains(&c.rate()));
+        }
+        let c = DriftClock::sample(0.0, &mut rng);
+        assert_eq!(c.rate(), 1.0);
+    }
+
+    #[test]
+    fn roundtrip_local_duration_bounds() {
+        // A timer set via cfg.local_at_least(d) must fire at real >= d.
+        let cfg = esync_core::config::TimingConfig::builder(3)
+            .rho(0.01)
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let d = esync_core::time::RealDuration::from_millis(40);
+        for _ in 0..50 {
+            let c = DriftClock::sample(0.01, &mut rng);
+            let fire = c.real_after(SimTime::ZERO, cfg.local_at_least(d));
+            assert!(
+                fire.as_nanos() + 2 >= d.as_nanos(),
+                "fired early: {fire} rate={}",
+                c.rate()
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_local_duration_advances_time() {
+        let c = DriftClock::new(1.5, 0);
+        let fire = c.real_after(SimTime::ZERO, LocalDuration::from_nanos(1));
+        assert!(fire > SimTime::ZERO, "timers never fire in the past");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = DriftClock::new(0.0, 0);
+    }
+}

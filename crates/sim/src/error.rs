@@ -1,0 +1,95 @@
+//! Simulator error types.
+
+use crate::time::SimTime;
+use core::fmt;
+use esync_core::error::ConfigError;
+use esync_core::types::ProcessId;
+
+/// Errors from configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The embedded timing configuration was invalid.
+    Config(ConfigError),
+    /// The run hit its safety horizon before completing.
+    Timeout {
+        /// The horizon that was reached.
+        at: SimTime,
+    },
+    /// A crash was scheduled after the stabilization time, which the model
+    /// forbids ("after time TS no process fails").
+    CrashAfterStability {
+        /// The crashing process.
+        pid: ProcessId,
+        /// The scheduled crash time.
+        at: SimTime,
+        /// The stabilization time.
+        ts: SimTime,
+    },
+    /// A scenario referenced a process outside `0..N`.
+    NoSuchProcess {
+        /// The offending id.
+        pid: ProcessId,
+        /// The system size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid timing configuration: {e}"),
+            SimError::Timeout { at } => {
+                write!(f, "simulation did not complete by its horizon ({at})")
+            }
+            SimError::CrashAfterStability { pid, at, ts } => write!(
+                f,
+                "scenario crashes {pid} at {at}, after stability ({ts}); the model forbids post-TS failures"
+            ),
+            SimError::NoSuchProcess { pid, n } => {
+                write!(f, "scenario references {pid} but the system has n={n} processes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::Timeout {
+            at: SimTime::from_millis(10),
+        };
+        assert!(e.to_string().contains("horizon"));
+        let e = SimError::CrashAfterStability {
+            pid: ProcessId::new(1),
+            at: SimTime::from_millis(10),
+            ts: SimTime::from_millis(5),
+        };
+        assert!(e.to_string().contains("forbids"));
+    }
+
+    #[test]
+    fn config_error_is_source() {
+        use std::error::Error;
+        let e = SimError::from(ConfigError::ZeroDelta);
+        assert!(e.source().is_some());
+    }
+}

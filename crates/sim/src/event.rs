@@ -1,0 +1,222 @@
+//! The deterministic event queue.
+//!
+//! Events are ordered by `(time, sequence)`: the sequence number breaks
+//! same-instant ties in insertion order, making every run a deterministic
+//! function of the seed.
+
+use crate::time::SimTime;
+use esync_core::types::{ProcessId, TimerId, Value};
+use esync_core::wab::WabMessage;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind<M> {
+    /// Start the process if it never ran, otherwise restart it.
+    Boot {
+        /// The (re)starting process.
+        pid: ProcessId,
+    },
+    /// Crash the process (loses timers; state survives).
+    Crash {
+        /// The crashing process.
+        pid: ProcessId,
+    },
+    /// Deliver a protocol message.
+    Deliver {
+        /// The sender.
+        from: ProcessId,
+        /// The recipient.
+        to: ProcessId,
+        /// The message.
+        msg: M,
+    },
+    /// Fire a timer if its epoch is still current.
+    TimerFire {
+        /// The timer's owner.
+        pid: ProcessId,
+        /// The protocol-chosen timer id.
+        timer: TimerId,
+        /// The epoch at scheduling time; stale epochs are ignored.
+        epoch: u64,
+    },
+    /// The idealized weak-ordering oracle w-delivers a message.
+    WabDeliver {
+        /// The recipient.
+        to: ProcessId,
+        /// The oracle message.
+        msg: WabMessage,
+    },
+    /// The idealized election oracle computes and fans out its choice.
+    LeaderAnnounce,
+    /// The idealized election oracle informs one process.
+    LeaderChange {
+        /// The recipient.
+        to: ProcessId,
+        /// The elected leader.
+        leader: ProcessId,
+    },
+    /// An application submits a command.
+    ClientSubmit {
+        /// The receiving process.
+        pid: ProcessId,
+        /// The command.
+        value: Value,
+    },
+}
+
+/// An event with its firing time and tie-breaking sequence number.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<M> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Insertion order; breaks same-instant ties.
+    pub seq: u64,
+    /// What fires.
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for ScheduledEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for ScheduledEvent<M> {}
+
+impl<M> PartialOrd for ScheduledEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for ScheduledEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A min-heap of [`ScheduledEvent`]s ordered by `(time, seq)`.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<ScheduledEvent<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at `at`; returns the assigned sequence number.
+    pub fn push(&mut self, at: SimTime, kind: EventKind<M>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, kind });
+        seq
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<M>> {
+        self.heap.pop()
+    }
+
+    /// The firing time of the earliest event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether any pending event satisfies `pred` (O(n); used for
+    /// completion checks on rare paths).
+    pub fn any(&self, pred: impl Fn(&EventKind<M>) -> bool) -> bool {
+        self.heap.iter().any(|e| pred(&e.kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot(pid: u32) -> EventKind<()> {
+        EventKind::Boot {
+            pid: ProcessId::new(pid),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(3), boot(3));
+        q.push(SimTime::from_millis(1), boot(1));
+        q.push(SimTime::from_millis(2), boot(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_nanos() / 1_000_000)
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_instant_pops_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        for i in 0..10u32 {
+            q.push(t, boot(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Boot { pid } => pid.as_u32(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_is_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_millis(5), boot(0));
+        q.push(SimTime::from_millis(2), boot(1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn any_finds_pending_kinds() {
+        let mut q = EventQueue::<()>::new();
+        q.push(SimTime::ZERO, boot(0));
+        assert!(q.any(|k| matches!(k, EventKind::Boot { .. })));
+        assert!(!q.any(|k| matches!(k, EventKind::Crash { .. })));
+    }
+
+    #[test]
+    fn seq_numbers_are_unique_and_increasing() {
+        let mut q = EventQueue::<()>::new();
+        let a = q.push(SimTime::ZERO, boot(0));
+        let b = q.push(SimTime::ZERO, boot(1));
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,283 @@
+//! Run reports: decision times, message counts, and the derived quantities
+//! the experiments tabulate.
+
+use crate::time::SimTime;
+use esync_core::time::RealDuration;
+use esync_core::types::{ProcessId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Protocol name (from [`esync_core::outbox::Protocol::name`]).
+    pub protocol: String,
+    /// Number of processes.
+    pub n: usize,
+    /// The run's seed.
+    pub seed: u64,
+    /// The stabilization time.
+    pub ts: SimTime,
+    /// The message-delay bound.
+    pub delta: RealDuration,
+    /// Simulated time when the run stopped.
+    pub end_time: SimTime,
+    /// Per-process decision instants.
+    pub decided_at: Vec<Option<SimTime>>,
+    /// Per-process decided values.
+    pub decisions: Vec<Option<Value>>,
+    /// Per-process liveness at the end of the run.
+    pub alive_at_end: Vec<bool>,
+    /// Whether each process ever started.
+    pub started: Vec<bool>,
+    /// Applied crash instants per process.
+    pub crashes: Vec<Vec<SimTime>>,
+    /// Applied restart instants per process.
+    pub restarts: Vec<Vec<SimTime>>,
+    /// Initial values proposed.
+    pub initial_values: Vec<Value>,
+    /// Total protocol messages handed to the network.
+    pub msgs_sent: u64,
+    /// Messages handed to the network at or after `TS`.
+    pub msgs_sent_after_ts: u64,
+    /// Messages by protocol-defined kind.
+    pub msgs_by_kind: BTreeMap<String, u64>,
+    /// Messages dropped (network loss or dead destination).
+    pub msgs_dropped: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+impl Report {
+    /// **Agreement**: no two processes decided differently.
+    pub fn agreement(&self) -> bool {
+        let mut seen: Option<Value> = None;
+        for d in self.decisions.iter().flatten() {
+            match seen {
+                None => seen = Some(*d),
+                Some(v) if v != *d => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// **Validity**: every decided value was somebody's initial value.
+    pub fn validity(&self) -> bool {
+        self.decisions
+            .iter()
+            .flatten()
+            .all(|d| self.initial_values.contains(d))
+    }
+
+    /// The (agreed) decided value, if anyone decided.
+    pub fn decided_value(&self) -> Option<Value> {
+        self.decisions.iter().flatten().next().copied()
+    }
+
+    /// Whether every process alive at the end has decided.
+    pub fn all_alive_decided(&self) -> bool {
+        (0..self.n).all(|i| !(self.alive_at_end[i] && self.started[i]) || self.decisions[i].is_some())
+    }
+
+    /// Decision delay after `TS` for one process (`None` if undecided).
+    /// Decisions *before* `TS` count as zero delay.
+    pub fn decision_after_ts(&self, pid: ProcessId) -> Option<RealDuration> {
+        self.decided_at[pid.as_usize()].map(|t| t.saturating_since(self.ts))
+    }
+
+    /// The worst decision delay after `TS` over processes alive at the end,
+    /// excluding processes that restarted after `TS` (whose bound is
+    /// relative to their restart; see [`Report::decision_after_restart`]).
+    pub fn max_decision_after_ts(&self) -> Option<RealDuration> {
+        let mut worst: Option<RealDuration> = None;
+        for i in 0..self.n {
+            if !self.alive_at_end[i] || !self.started[i] {
+                continue;
+            }
+            // Restarted after TS? Their clock starts at the restart.
+            if self.restarts[i].iter().any(|t| *t > self.ts) {
+                continue;
+            }
+            let d = self.decided_at[i]?.saturating_since(self.ts);
+            worst = Some(worst.map_or(d, |w| w.max(d)));
+        }
+        worst
+    }
+
+    /// [`Report::max_decision_after_ts`] in units of `δ`.
+    pub fn max_decision_after_ts_in_delta(&self) -> Option<f64> {
+        self.max_decision_after_ts()
+            .map(|d| d.as_nanos() as f64 / self.delta.as_nanos() as f64)
+    }
+
+    /// Decision delay after the process's **last restart** (experiment E4).
+    /// `None` if it never restarted or never decided.
+    pub fn decision_after_restart(&self, pid: ProcessId) -> Option<RealDuration> {
+        let decided = self.decided_at[pid.as_usize()]?;
+        let last_restart = *self.restarts[pid.as_usize()].last()?;
+        Some(decided.saturating_since(last_restart))
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: n={} seed={} decided={}/{} agree={} valid={} max(decide-TS)={:.2}δ msgs={} (post-TS {})",
+            self.protocol,
+            self.n,
+            self.seed,
+            self.decisions.iter().flatten().count(),
+            self.n,
+            self.agreement(),
+            self.validity(),
+            self.max_decision_after_ts_in_delta().unwrap_or(f64::NAN),
+            self.msgs_sent,
+            self.msgs_sent_after_ts,
+        )
+    }
+}
+
+/// Aggregate statistics over a set of runs (seed sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl Stats {
+    /// Computes statistics over `xs`; `None` if empty.
+    pub fn over(xs: impl IntoIterator<Item = f64>) -> Option<Stats> {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for x in xs {
+            min = min.min(x);
+            max = max.max(x);
+            sum += x;
+            count += 1;
+        }
+        (count > 0).then(|| Stats {
+            min,
+            max,
+            mean: sum / count as f64,
+            count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_report() -> Report {
+        Report {
+            protocol: "test".into(),
+            n: 3,
+            seed: 0,
+            ts: SimTime::from_millis(100),
+            delta: RealDuration::from_millis(10),
+            end_time: SimTime::from_millis(500),
+            decided_at: vec![
+                Some(SimTime::from_millis(150)),
+                Some(SimTime::from_millis(160)),
+                Some(SimTime::from_millis(170)),
+            ],
+            decisions: vec![Some(Value::new(5)); 3],
+            alive_at_end: vec![true; 3],
+            started: vec![true; 3],
+            crashes: vec![vec![]; 3],
+            restarts: vec![vec![]; 3],
+            initial_values: vec![Value::new(5), Value::new(6), Value::new(7)],
+            msgs_sent: 100,
+            msgs_sent_after_ts: 40,
+            msgs_by_kind: BTreeMap::new(),
+            msgs_dropped: 3,
+            events: 200,
+        }
+    }
+
+    #[test]
+    fn agreement_and_validity_hold() {
+        let r = base_report();
+        assert!(r.agreement());
+        assert!(r.validity());
+        assert!(r.all_alive_decided());
+        assert_eq!(r.decided_value(), Some(Value::new(5)));
+    }
+
+    #[test]
+    fn disagreement_detected() {
+        let mut r = base_report();
+        r.decisions[2] = Some(Value::new(6));
+        assert!(!r.agreement());
+    }
+
+    #[test]
+    fn invalid_value_detected() {
+        let mut r = base_report();
+        r.decisions[0] = Some(Value::new(999));
+        assert!(!r.validity());
+    }
+
+    #[test]
+    fn undecided_processes_allowed_in_agreement() {
+        let mut r = base_report();
+        r.decisions[1] = None;
+        assert!(r.agreement());
+        assert!(!r.all_alive_decided());
+        // Dead processes do not count against completion.
+        r.alive_at_end[1] = false;
+        assert!(r.all_alive_decided());
+    }
+
+    #[test]
+    fn max_decision_after_ts_in_delta_units() {
+        let r = base_report();
+        // Worst decide is 170ms, TS 100ms, delta 10ms => 7δ.
+        assert_eq!(r.max_decision_after_ts_in_delta(), Some(7.0));
+    }
+
+    #[test]
+    fn restarted_after_ts_excluded_from_max() {
+        let mut r = base_report();
+        r.restarts[2] = vec![SimTime::from_millis(120)];
+        // p2 restarted post-TS: excluded; worst is now p1 at 6δ.
+        assert_eq!(r.max_decision_after_ts_in_delta(), Some(6.0));
+        // Its own recovery time is measured from the restart.
+        assert_eq!(
+            r.decision_after_restart(ProcessId::new(2)),
+            Some(RealDuration::from_millis(50))
+        );
+    }
+
+    #[test]
+    fn pre_ts_decision_counts_as_zero_delay() {
+        let mut r = base_report();
+        r.decided_at = vec![Some(SimTime::from_millis(50)); 3];
+        assert_eq!(r.max_decision_after_ts_in_delta(), Some(0.0));
+    }
+
+    #[test]
+    fn stats_over_values() {
+        let s = Stats::over([1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.count, 3);
+        assert!(Stats::over(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn summary_is_informative() {
+        let s = base_report().summary();
+        assert!(s.contains("test"));
+        assert!(s.contains("agree=true"));
+    }
+}

@@ -1,0 +1,347 @@
+//! The eventually-synchronous network model.
+//!
+//! Faithful to the paper's §1: the simulator makes **no assumption about
+//! messages sent before `TS`** — they may be dropped or delayed arbitrarily
+//! far (including past `TS`), which is exactly what enables the §2
+//! obsolete-ballot pathology. A message sent at or after `TS` is delivered
+//! (and reacted to) within `δ`.
+
+use crate::time::SimTime;
+use esync_core::time::RealDuration;
+use esync_core::types::ProcessId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Behaviour of the network before the stabilization time `TS`.
+///
+/// Delays are expressed as multiples of `δ` so that one policy scales
+/// across experiments with different `δ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreStability {
+    /// Probability that a pre-`TS` message is lost.
+    pub loss_prob: f64,
+    /// Pre-`TS` delays are uniform in `[min, max]·δ`; `max` may exceed the
+    /// time remaining to `TS`, so pre-`TS` messages can arrive *after*
+    /// stability (obsolete messages).
+    pub delay_delta_range: (f64, f64),
+    /// Processes whose pre-`TS` traffic (in and out) is entirely dropped —
+    /// models partitions.
+    pub isolated: BTreeSet<ProcessId>,
+    /// The paper's §1 simplifying variant: "every message sent before time
+    /// `TS` is either lost or delivered by time `TS + δ`". When set, the
+    /// sampled delivery time is clamped to `TS + δ`, so no message is ever
+    /// *obsolete* — under this assumption the paper notes traditional
+    /// Paxos needs only "simple modifications" to be fast.
+    pub carryover_bounded: bool,
+}
+
+impl PreStability {
+    /// Heavy chaos: 30% loss, delays up to `12δ` (the default adversarial
+    /// environment for the headline experiments).
+    pub fn chaos() -> Self {
+        PreStability {
+            loss_prob: 0.3,
+            delay_delta_range: (0.0, 12.0),
+            isolated: BTreeSet::new(),
+            carryover_bounded: false,
+        }
+    }
+
+    /// The network is synchronous from the start (`TS` is effectively 0 for
+    /// message delivery): no loss, delays within `δ`.
+    pub fn lossless() -> Self {
+        PreStability {
+            loss_prob: 0.0,
+            delay_delta_range: (0.1, 1.0),
+            isolated: BTreeSet::new(),
+            carryover_bounded: false,
+        }
+    }
+
+    /// Every pre-`TS` message is lost — the harshest admissible adversary.
+    pub fn silent() -> Self {
+        PreStability {
+            loss_prob: 1.0,
+            delay_delta_range: (0.0, 1.0),
+            isolated: BTreeSet::new(),
+            carryover_bounded: false,
+        }
+    }
+
+    /// The §1 simplifying variant: lossy (50%) before `TS`, but every
+    /// surviving pre-`TS` message is delivered **by `TS + δ`** — no
+    /// obsolete messages exist. The paper observes that under this
+    /// assumption traditional Paxos needs only "simple modifications" to
+    /// decide fast; experimentally it does (see
+    /// `tests/timing_bounds.rs::bounded_carryover_rescues_traditional_paxos`).
+    pub fn bounded_carryover() -> Self {
+        PreStability {
+            loss_prob: 0.5,
+            delay_delta_range: (0.0, 12.0),
+            isolated: BTreeSet::new(),
+            carryover_bounded: true,
+        }
+    }
+
+    /// Additionally isolates `pids` before stability.
+    pub fn with_isolated(mut self, pids: impl IntoIterator<Item = ProcessId>) -> Self {
+        self.isolated.extend(pids);
+        self
+    }
+}
+
+impl Default for PreStability {
+    fn default() -> Self {
+        PreStability::chaos()
+    }
+}
+
+/// The verdict for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message is lost.
+    Drop,
+    /// The message arrives at this time.
+    At(SimTime),
+}
+
+/// The network: pre-`TS` policy plus the post-`TS` `δ` guarantee.
+#[derive(Debug, Clone)]
+pub struct Network {
+    ts: SimTime,
+    delta: RealDuration,
+    /// Post-`TS` delays are uniform in `[min, max]·δ` with `max ≤ 1`.
+    post_delay_range: (f64, f64),
+    pre: PreStability,
+}
+
+impl Network {
+    /// Creates the network model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the post-stability delay range is not within `(0, 1]` or
+    /// the pre-stability parameters are malformed.
+    pub fn new(
+        ts: SimTime,
+        delta: RealDuration,
+        post_delay_range: (f64, f64),
+        pre: PreStability,
+    ) -> Self {
+        assert!(
+            post_delay_range.0 >= 0.0
+                && post_delay_range.0 <= post_delay_range.1
+                && post_delay_range.1 <= 1.0,
+            "post-stability delays must lie within (0, 1]·δ, got {post_delay_range:?}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&pre.loss_prob),
+            "loss probability must be in [0,1], got {}",
+            pre.loss_prob
+        );
+        assert!(
+            pre.delay_delta_range.0 >= 0.0 && pre.delay_delta_range.0 <= pre.delay_delta_range.1,
+            "pre-stability delay range malformed: {:?}",
+            pre.delay_delta_range
+        );
+        Network {
+            ts,
+            delta,
+            post_delay_range,
+            pre,
+        }
+    }
+
+    /// The stabilization time.
+    pub fn ts(&self) -> SimTime {
+        self.ts
+    }
+
+    /// Decides the fate of a message sent at `at` from `from` to `to`.
+    pub fn classify<R: Rng>(
+        &self,
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        rng: &mut R,
+    ) -> Delivery {
+        if at >= self.ts {
+            // Stability: delivered within δ, no exceptions.
+            Delivery::At(at + self.sample_delay(self.post_delay_range, rng))
+        } else {
+            if self.pre.isolated.contains(&from) || self.pre.isolated.contains(&to) {
+                return Delivery::Drop;
+            }
+            if self.pre.loss_prob >= 1.0
+                || (self.pre.loss_prob > 0.0 && rng.gen_bool(self.pre.loss_prob))
+            {
+                return Delivery::Drop;
+            }
+            let arrival = at + self.sample_delay(self.pre.delay_delta_range, rng);
+            if self.pre.carryover_bounded {
+                // §1 variant: "either lost or delivered by time TS + δ".
+                Delivery::At(arrival.min(self.ts + self.delta))
+            } else {
+                Delivery::At(arrival)
+            }
+        }
+    }
+
+    fn sample_delay<R: Rng>(&self, range: (f64, f64), rng: &mut R) -> RealDuration {
+        let frac = if range.0 == range.1 {
+            range.0
+        } else {
+            rng.gen_range(range.0..=range.1)
+        };
+        let d = self.delta.mul_f64(frac);
+        // Delivery is never instantaneous.
+        d.max(RealDuration::from_nanos(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn net(pre: PreStability) -> Network {
+        Network::new(
+            SimTime::from_millis(100),
+            RealDuration::from_millis(10),
+            (0.1, 1.0),
+            pre,
+        )
+    }
+
+    #[test]
+    fn post_ts_always_delivers_within_delta() {
+        let n = net(PreStability::chaos());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let sent = SimTime::from_millis(100);
+        for _ in 0..1000 {
+            match n.classify(sent, ProcessId::new(0), ProcessId::new(1), &mut rng) {
+                Delivery::At(t) => {
+                    assert!(t > sent);
+                    assert!(t.since(sent) <= RealDuration::from_millis(10));
+                }
+                Delivery::Drop => panic!("no loss after stability"),
+            }
+        }
+    }
+
+    #[test]
+    fn pre_ts_can_drop_and_deliver_late() {
+        let n = net(PreStability::chaos());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let sent = SimTime::from_millis(1);
+        let mut drops = 0;
+        let mut after_ts = 0;
+        for _ in 0..2000 {
+            match n.classify(sent, ProcessId::new(0), ProcessId::new(1), &mut rng) {
+                Delivery::Drop => drops += 1,
+                Delivery::At(t) => {
+                    if t >= n.ts() {
+                        after_ts += 1;
+                    }
+                }
+            }
+        }
+        assert!(drops > 300, "chaos loses messages: {drops}");
+        assert!(
+            after_ts > 100,
+            "pre-TS messages can arrive after TS: {after_ts}"
+        );
+    }
+
+    #[test]
+    fn silent_pre_ts_drops_everything() {
+        let n = net(PreStability::silent());
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(
+                n.classify(SimTime::ZERO, ProcessId::new(0), ProcessId::new(1), &mut rng),
+                Delivery::Drop
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_processes_get_nothing_before_ts() {
+        let pre = PreStability::lossless().with_isolated([ProcessId::new(2)]);
+        let n = net(pre);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        assert_eq!(
+            n.classify(SimTime::ZERO, ProcessId::new(0), ProcessId::new(2), &mut rng),
+            Delivery::Drop
+        );
+        assert_eq!(
+            n.classify(SimTime::ZERO, ProcessId::new(2), ProcessId::new(0), &mut rng),
+            Delivery::Drop
+        );
+        assert!(matches!(
+            n.classify(SimTime::ZERO, ProcessId::new(0), ProcessId::new(1), &mut rng),
+            Delivery::At(_)
+        ));
+        // After TS the isolation lifts.
+        assert!(matches!(
+            n.classify(n.ts(), ProcessId::new(0), ProcessId::new(2), &mut rng),
+            Delivery::At(_)
+        ));
+    }
+
+    #[test]
+    fn lossless_pre_ts_behaves_synchronously() {
+        let n = net(PreStability::lossless());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let sent = SimTime::ZERO;
+        for _ in 0..200 {
+            match n.classify(sent, ProcessId::new(0), ProcessId::new(1), &mut rng) {
+                Delivery::At(t) => assert!(t.since(sent) <= RealDuration::from_millis(10)),
+                Delivery::Drop => panic!("lossless"),
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_carryover_delivers_by_ts_plus_delta() {
+        let n = net(PreStability::bounded_carryover());
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let deadline = n.ts() + RealDuration::from_millis(10);
+        let mut delivered = 0;
+        for _ in 0..2000 {
+            match n.classify(SimTime::from_millis(1), ProcessId::new(0), ProcessId::new(1), &mut rng)
+            {
+                Delivery::At(t) => {
+                    assert!(t <= deadline, "{t} past TS+δ");
+                    delivered += 1;
+                }
+                Delivery::Drop => {}
+            }
+        }
+        assert!(delivered > 500, "half survive on average");
+    }
+
+    #[test]
+    fn delivery_is_never_instantaneous() {
+        let mut n = net(PreStability::lossless());
+        n.post_delay_range = (0.0, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        match n.classify(n.ts(), ProcessId::new(0), ProcessId::new(0), &mut rng) {
+            Delivery::At(t) => assert!(t > n.ts()),
+            Delivery::Drop => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "post-stability")]
+    fn post_range_above_delta_rejected() {
+        let _ = Network::new(
+            SimTime::ZERO,
+            RealDuration::from_millis(10),
+            (0.5, 1.5),
+            PreStability::lossless(),
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Fault and workload scripts.
+//!
+//! A [`Scenario`] lists the crashes, restarts and client submissions of one
+//! run. The model's constraint — "after time `TS` no process fails" — is
+//! validated by the world at construction; restarts are allowed at any time
+//! (a process that restarts after `TS` stays up and must decide within
+//! `O(δ)` of restarting, experiment E4).
+
+use crate::time::SimTime;
+use esync_core::types::{ProcessId, Value};
+use serde::{Deserialize, Serialize};
+
+/// Fault and workload script for one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// `(pid, at)` crash events; must satisfy `at ≤ TS`.
+    pub crashes: Vec<(ProcessId, SimTime)>,
+    /// `(pid, at)` restart events.
+    pub restarts: Vec<(ProcessId, SimTime)>,
+    /// `(pid, at, value)` client submissions (multi-instance protocols).
+    pub submits: Vec<(ProcessId, SimTime, Value)>,
+}
+
+impl Scenario {
+    /// The empty scenario: everyone runs from time 0, no faults.
+    pub fn none() -> Self {
+        Scenario::default()
+    }
+
+    /// Adds a crash at `at` (consumed-and-returned for chaining).
+    pub fn crash(mut self, pid: ProcessId, at: SimTime) -> Self {
+        self.crashes.push((pid, at));
+        self
+    }
+
+    /// Adds a restart at `at`.
+    pub fn restart(mut self, pid: ProcessId, at: SimTime) -> Self {
+        self.restarts.push((pid, at));
+        self
+    }
+
+    /// Crashes `pid` at `down` and restarts it at `up`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `up ≤ down`.
+    pub fn down_between(self, pid: ProcessId, down: SimTime, up: SimTime) -> Self {
+        assert!(up > down, "restart must follow the crash");
+        self.crash(pid, down).restart(pid, up)
+    }
+
+    /// Crashes `pid` at time 0, never to restart ("dead forever": allowed
+    /// as long as a majority is nonfaulty at `TS`).
+    pub fn dead_forever(self, pid: ProcessId) -> Self {
+        self.crash(pid, SimTime::ZERO)
+    }
+
+    /// Submits a client command to `pid` at `at`.
+    pub fn submit(mut self, pid: ProcessId, at: SimTime, value: Value) -> Self {
+        self.submits.push((pid, at, value));
+        self
+    }
+
+    /// Every process referenced by this scenario.
+    pub fn referenced_pids(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.crashes
+            .iter()
+            .map(|(p, _)| *p)
+            .chain(self.restarts.iter().map(|(p, _)| *p))
+            .chain(self.submits.iter().map(|(p, _, _)| *p))
+    }
+
+    /// Processes that are crashed at `t` and have no restart scheduled at
+    /// or before `t` (i.e. down at time `t` according to the script).
+    pub fn down_at(&self, t: SimTime) -> Vec<ProcessId> {
+        let mut down = Vec::new();
+        for &(pid, at) in &self.crashes {
+            if at <= t {
+                let restarted = self
+                    .restarts
+                    .iter()
+                    .any(|&(rp, rt)| rp == pid && rt >= at && rt <= t);
+                if !restarted && !down.contains(&pid) {
+                    down.push(pid);
+                }
+            }
+        }
+        down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn builder_chains() {
+        let s = Scenario::none()
+            .crash(pid(1), SimTime::from_millis(10))
+            .restart(pid(1), SimTime::from_millis(50))
+            .submit(pid(0), SimTime::from_millis(5), Value::new(9));
+        assert_eq!(s.crashes.len(), 1);
+        assert_eq!(s.restarts.len(), 1);
+        assert_eq!(s.submits.len(), 1);
+    }
+
+    #[test]
+    fn down_between_expands() {
+        let s = Scenario::none().down_between(pid(2), SimTime::from_millis(1), SimTime::from_millis(9));
+        assert_eq!(s.crashes, vec![(pid(2), SimTime::from_millis(1))]);
+        assert_eq!(s.restarts, vec![(pid(2), SimTime::from_millis(9))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart must follow")]
+    fn down_between_validates_order() {
+        let _ = Scenario::none().down_between(pid(0), SimTime::from_millis(9), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn dead_forever_is_crash_at_zero() {
+        let s = Scenario::none().dead_forever(pid(3));
+        assert_eq!(s.crashes, vec![(pid(3), SimTime::ZERO)]);
+        assert!(s.restarts.is_empty());
+    }
+
+    #[test]
+    fn down_at_reflects_script() {
+        let s = Scenario::none()
+            .down_between(pid(1), SimTime::from_millis(10), SimTime::from_millis(50))
+            .dead_forever(pid(2));
+        assert_eq!(s.down_at(SimTime::from_millis(20)), vec![pid(1), pid(2)]);
+        assert_eq!(s.down_at(SimTime::from_millis(60)), vec![pid(2)]);
+        assert_eq!(s.down_at(SimTime::from_millis(5)), vec![pid(2)]);
+    }
+
+    #[test]
+    fn referenced_pids_cover_all_fields() {
+        let s = Scenario::none()
+            .crash(pid(1), SimTime::ZERO)
+            .restart(pid(2), SimTime::ZERO)
+            .submit(pid(3), SimTime::ZERO, Value::new(0));
+        let pids: Vec<_> = s.referenced_pids().collect();
+        assert_eq!(pids, vec![pid(1), pid(2), pid(3)]);
+    }
+}

@@ -1,0 +1,892 @@
+//! The simulation world: binds protocol state machines to the network,
+//! clocks, oracles and fault script.
+
+use crate::clock::DriftClock;
+use crate::error::SimError;
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::Report;
+use crate::network::{Delivery, Network, PreStability};
+use crate::oracle::{plan_wab_delivery, LeaderOracle};
+use crate::scenario::Scenario;
+use crate::time::SimTime;
+use esync_core::config::TimingConfig;
+use esync_core::outbox::{Action, Outbox, Process, Protocol};
+use esync_core::time::RealDuration;
+use esync_core::types::{ProcessId, TimerId, Value};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, HashMap};
+
+/// Full configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The protocol-visible timing parameters (`N`, `δ`, `σ`, `ε`, `ρ`).
+    pub timing: TimingConfig,
+    /// The stabilization time `TS` (unknown to processes).
+    pub ts: SimTime,
+    /// PRNG seed; every run is a deterministic function of it.
+    pub seed: u64,
+    /// Pre-`TS` network behaviour.
+    pub pre: PreStability,
+    /// Post-`TS` delays, as fractions of `δ` (default `[0.1, 1.0]`).
+    pub post_delay_range: (f64, f64),
+    /// Safety horizon: the run errors out if it passes this time.
+    pub max_time: SimTime,
+    /// Run the idealized leader-election oracle (traditional Paxos).
+    pub leader_oracle: bool,
+    /// Oracle announcement delay after `TS` (default `2δ`).
+    pub leader_announce_after: RealDuration,
+    /// Initial values; defaults to `100 + i` for process `i`.
+    pub initial_values: Option<Vec<Value>>,
+    /// Fault and workload script.
+    pub scenario: Scenario,
+}
+
+impl SimConfig {
+    /// Starts building a configuration for `n` processes.
+    pub fn builder(n: usize) -> SimConfigBuilder {
+        SimConfigBuilder {
+            n,
+            delta: RealDuration::from_millis(10),
+            sigma: None,
+            epsilon: None,
+            rho: 1e-3,
+            ts: SimTime::from_millis(300),
+            seed: 0,
+            pre: PreStability::chaos(),
+            post_delay_range: (0.1, 1.0),
+            max_time: SimTime::from_secs(120),
+            leader_oracle: false,
+            leader_announce_after: None,
+            initial_values: None,
+            scenario: Scenario::none(),
+        }
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    n: usize,
+    delta: RealDuration,
+    sigma: Option<RealDuration>,
+    epsilon: Option<RealDuration>,
+    rho: f64,
+    ts: SimTime,
+    seed: u64,
+    pre: PreStability,
+    post_delay_range: (f64, f64),
+    max_time: SimTime,
+    leader_oracle: bool,
+    leader_announce_after: Option<RealDuration>,
+    initial_values: Option<Vec<Value>>,
+    scenario: Scenario,
+}
+
+impl SimConfigBuilder {
+    /// Sets the message-delay bound `δ` (default 10ms).
+    pub fn delta(mut self, delta: RealDuration) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the session-timer bound `σ` (default: minimum admissible).
+    pub fn sigma(mut self, sigma: RealDuration) -> Self {
+        self.sigma = Some(sigma);
+        self
+    }
+
+    /// Sets the retransmission interval `ε` (default `δ/4`).
+    pub fn epsilon(mut self, epsilon: RealDuration) -> Self {
+        self.epsilon = Some(epsilon);
+        self
+    }
+
+    /// Sets the clock-rate error bound `ρ` (default `10⁻³`).
+    pub fn rho(mut self, rho: f64) -> Self {
+        self.rho = rho;
+        self
+    }
+
+    /// Sets the stabilization time `TS` (default 300ms).
+    pub fn stability_at(mut self, ts: SimTime) -> Self {
+        self.ts = ts;
+        self
+    }
+
+    /// Sets `TS` in milliseconds.
+    pub fn stability_at_millis(self, ms: u64) -> Self {
+        self.stability_at(SimTime::from_millis(ms))
+    }
+
+    /// Sets the seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the pre-stability policy (default [`PreStability::chaos`]).
+    pub fn pre_stability(mut self, pre: PreStability) -> Self {
+        self.pre = pre;
+        self
+    }
+
+    /// Sets post-stability delays as fractions of `δ` (default `[0.1,1.0]`).
+    pub fn post_delay_range(mut self, range: (f64, f64)) -> Self {
+        self.post_delay_range = range;
+        self
+    }
+
+    /// Sets the safety horizon (default 120s).
+    pub fn max_time(mut self, max: SimTime) -> Self {
+        self.max_time = max;
+        self
+    }
+
+    /// Enables the idealized leader-election oracle.
+    pub fn leader_oracle(mut self, enabled: bool) -> Self {
+        self.leader_oracle = enabled;
+        self
+    }
+
+    /// Sets the oracle announcement delay after `TS` (default `2δ`).
+    pub fn leader_announce_after(mut self, d: RealDuration) -> Self {
+        self.leader_announce_after = Some(d);
+        self
+    }
+
+    /// Sets explicit initial values (defaults to `100 + i`).
+    pub fn initial_values(mut self, values: Vec<Value>) -> Self {
+        self.initial_values = Some(values);
+        self
+    }
+
+    /// Sets the fault/workload script.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Validates and builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for invalid timing parameters,
+    /// [`SimError::NoSuchProcess`] for out-of-range scenario pids, and
+    /// [`SimError::CrashAfterStability`] if the script violates the "no
+    /// failures after `TS`" assumption.
+    pub fn build(self) -> Result<SimConfig, SimError> {
+        let mut b = TimingConfig::builder(self.n);
+        b.delta(self.delta).rho(self.rho);
+        if let Some(s) = self.sigma {
+            b.sigma(s);
+        }
+        if let Some(e) = self.epsilon {
+            b.epsilon(e);
+        }
+        let timing = b.build()?;
+        for pid in self.scenario.referenced_pids() {
+            if pid.as_usize() >= self.n {
+                return Err(SimError::NoSuchProcess { pid, n: self.n });
+            }
+        }
+        for &(pid, at) in &self.scenario.crashes {
+            if at > self.ts {
+                return Err(SimError::CrashAfterStability {
+                    pid,
+                    at,
+                    ts: self.ts,
+                });
+            }
+        }
+        Ok(SimConfig {
+            timing,
+            ts: self.ts,
+            seed: self.seed,
+            pre: self.pre,
+            post_delay_range: self.post_delay_range,
+            max_time: self.max_time,
+            leader_oracle: self.leader_oracle,
+            leader_announce_after: self
+                .leader_announce_after
+                .unwrap_or(self.delta * 2),
+            initial_values: self.initial_values,
+            scenario: self.scenario,
+        })
+    }
+}
+
+/// Per-process runtime envelope.
+#[derive(Debug)]
+struct ProcHarness<Proc> {
+    proc: Proc,
+    clock: DriftClock,
+    alive: bool,
+    started: bool,
+    timer_epoch: HashMap<TimerId, u64>,
+    decided_at: Option<SimTime>,
+    decided_value: Option<Value>,
+    crash_times: Vec<SimTime>,
+    restart_times: Vec<SimTime>,
+}
+
+/// A deterministic run of one protocol under one configuration.
+#[derive(Debug)]
+pub struct World<P: Protocol> {
+    cfg: SimConfig,
+    protocol: P,
+    procs: Vec<ProcHarness<P::Process>>,
+    queue: EventQueue<P::Msg>,
+    network: Network,
+    rng: ChaCha8Rng,
+    now: SimTime,
+    leader: LeaderOracle,
+    initial_values: Vec<Value>,
+    msgs_sent: u64,
+    msgs_sent_after_ts: u64,
+    msgs_by_kind: BTreeMap<&'static str, u64>,
+    msgs_dropped: u64,
+    events: u64,
+    trace: Option<Vec<String>>,
+}
+
+impl<P: Protocol> World<P> {
+    /// Creates a world and schedules boots, faults and oracle events.
+    pub fn new(cfg: SimConfig, protocol: P) -> Self {
+        let n = cfg.timing.n();
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let initial_values = cfg
+            .initial_values
+            .clone()
+            .unwrap_or_else(|| (0..n as u64).map(|i| Value::new(100 + i)).collect());
+        assert_eq!(
+            initial_values.len(),
+            n,
+            "one initial value per process required"
+        );
+        let procs: Vec<ProcHarness<P::Process>> = ProcessId::all(n)
+            .map(|pid| ProcHarness {
+                proc: protocol.spawn(pid, &cfg.timing, initial_values[pid.as_usize()]),
+                clock: DriftClock::sample(cfg.timing.rho(), &mut rng),
+                alive: false,
+                started: false,
+                timer_epoch: HashMap::new(),
+                decided_at: None,
+                decided_value: None,
+                crash_times: Vec::new(),
+                restart_times: Vec::new(),
+            })
+            .collect();
+        let network = Network::new(cfg.ts, cfg.timing.delta(), cfg.post_delay_range, cfg.pre.clone());
+        let mut queue = EventQueue::new();
+        // Crashes are scheduled before boots at the same instant so that a
+        // crash at t=0 prevents the process from ever starting.
+        for &(pid, at) in &cfg.scenario.crashes {
+            queue.push(at, EventKind::Crash { pid });
+        }
+        for pid in ProcessId::all(n) {
+            queue.push(SimTime::ZERO, EventKind::Boot { pid });
+        }
+        for &(pid, at) in &cfg.scenario.restarts {
+            queue.push(at, EventKind::Boot { pid });
+        }
+        for &(pid, at, value) in &cfg.scenario.submits {
+            queue.push(at, EventKind::ClientSubmit { pid, value });
+        }
+        let leader = LeaderOracle::new(cfg.leader_announce_after);
+        if cfg.leader_oracle {
+            queue.push(leader.announce_time(cfg.ts), EventKind::LeaderAnnounce);
+        }
+        World {
+            cfg,
+            protocol,
+            procs,
+            queue,
+            network,
+            rng,
+            now: SimTime::ZERO,
+            leader,
+            initial_values,
+            msgs_sent: 0,
+            msgs_sent_after_ts: 0,
+            msgs_by_kind: BTreeMap::new(),
+            msgs_dropped: 0,
+            events: 0,
+            trace: None,
+        }
+    }
+
+    /// Starts recording a human-readable line per processed event
+    /// (delivers, timer fires, boots, crashes). Expensive; for debugging
+    /// and small runs.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded trace, if [`World::enable_trace`] was called.
+    pub fn trace(&self) -> &[String] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The stabilization time of this run.
+    pub fn ts(&self) -> SimTime {
+        self.cfg.ts
+    }
+
+    /// Read access to a process's state machine (for typed assertions in
+    /// experiments and tests).
+    pub fn process(&self, pid: ProcessId) -> &P::Process {
+        &self.procs[pid.as_usize()].proc
+    }
+
+    /// Injects a message to be delivered at `at`, bypassing the network
+    /// model. This models the paper's *obsolete messages*: messages "sent
+    /// before `TS` by failed processes" that the adversary releases at a
+    /// time of its choosing. The caller is responsible for injecting only
+    /// states the claimed sender could legitimately have reached.
+    pub fn inject_message(&mut self, at: SimTime, from: ProcessId, to: ProcessId, msg: P::Msg) {
+        self.queue.push(at, EventKind::Deliver { from, to, msg });
+    }
+
+    /// Schedules a client submission (multi-instance protocols).
+    pub fn submit(&mut self, at: SimTime, pid: ProcessId, value: Value) {
+        self.queue.push(at, EventKind::ClientSubmit { pid, value });
+    }
+
+    /// Processes events until every started, live process has decided and
+    /// no boots or submissions remain pending.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Timeout`] if the horizon passes first.
+    pub fn run_to_completion(&mut self) -> Result<Report, SimError> {
+        loop {
+            if self.complete() {
+                return Ok(self.report());
+            }
+            match self.queue.peek_time() {
+                None => {
+                    // Quiescent but incomplete: protocols always keep a
+                    // timer armed, so this indicates a driver-level bug.
+                    return Err(SimError::Timeout { at: self.now });
+                }
+                Some(t) if t > self.cfg.max_time => {
+                    return Err(SimError::Timeout { at: t });
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Processes events with firing time ≤ `until`, then advances the clock
+    /// to `until`. Useful for fixed-horizon measurements.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Whether the completion condition holds.
+    pub fn complete(&self) -> bool {
+        let all_decided = self
+            .procs
+            .iter()
+            .all(|h| !(h.alive && h.started) || h.decided_at.is_some());
+        all_decided
+            && !self.queue.any(|k| {
+                matches!(
+                    k,
+                    EventKind::Boot { .. } | EventKind::ClientSubmit { .. }
+                )
+            })
+    }
+
+    /// Processes a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time must not run backwards");
+        self.now = ev.at;
+        self.events += 1;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(format!("{} {:?}", ev.at, ev.kind));
+        }
+        match ev.kind {
+            EventKind::Boot { pid } => self.on_boot(pid),
+            EventKind::Crash { pid } => self.on_crash(pid),
+            EventKind::Deliver { from, to, msg } => self.on_deliver(from, to, msg),
+            EventKind::TimerFire { pid, timer, epoch } => self.on_timer_fire(pid, timer, epoch),
+            EventKind::WabDeliver { to, msg } => self.on_wab_deliver(to, msg),
+            EventKind::LeaderAnnounce => self.on_leader_announce(),
+            EventKind::LeaderChange { to, leader } => self.on_leader_change(to, leader),
+            EventKind::ClientSubmit { pid, value } => self.on_client_submit(pid, value),
+        }
+        true
+    }
+
+    fn local_now(&self, pid: ProcessId) -> esync_core::time::LocalInstant {
+        self.procs[pid.as_usize()].clock.local_at(self.now)
+    }
+
+    fn on_boot(&mut self, pid: ProcessId) {
+        let h = &mut self.procs[pid.as_usize()];
+        if h.alive {
+            return; // duplicate boot (e.g. restart of a never-crashed pid)
+        }
+        if h.crash_times.last() == Some(&self.now) {
+            // A crash at the same instant wins (crashes are scheduled
+            // before boots): "dead forever" processes never run.
+            return;
+        }
+        h.alive = true;
+        let mut out = Outbox::new(self.local_now(pid));
+        if !self.procs[pid.as_usize()].started {
+            self.procs[pid.as_usize()].started = true;
+            self.procs[pid.as_usize()].proc.on_start(&mut out);
+        } else {
+            self.procs[pid.as_usize()].restart_times.push(self.now);
+            self.procs[pid.as_usize()].proc.on_restart(&mut out);
+        }
+        self.apply_actions(pid, &mut out);
+        // A process restarting after the oracle spoke learns the leader.
+        if self.cfg.leader_oracle {
+            if let Some(leader) = self.leader.current() {
+                self.queue
+                    .push(self.now, EventKind::LeaderChange { to: pid, leader });
+            }
+        }
+    }
+
+    fn on_crash(&mut self, pid: ProcessId) {
+        let h = &mut self.procs[pid.as_usize()];
+        h.crash_times.push(self.now);
+        if !h.alive && !h.started {
+            // Crash-before-start: mark started-never; nothing else to do.
+            return;
+        }
+        h.alive = false;
+        // All pending timers die with the incarnation.
+        for epoch in h.timer_epoch.values_mut() {
+            *epoch += 1;
+        }
+    }
+
+    fn on_deliver(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
+        let h = &self.procs[to.as_usize()];
+        if !h.alive || !h.started {
+            self.msgs_dropped += 1;
+            return;
+        }
+        let mut out = Outbox::new(self.local_now(to));
+        self.procs[to.as_usize()].proc.on_message(from, msg, &mut out);
+        self.apply_actions(to, &mut out);
+    }
+
+    fn on_timer_fire(&mut self, pid: ProcessId, timer: TimerId, epoch: u64) {
+        let h = &self.procs[pid.as_usize()];
+        if !h.alive || !h.started {
+            return;
+        }
+        if h.timer_epoch.get(&timer).copied().unwrap_or(0) != epoch {
+            return; // superseded or cancelled
+        }
+        let mut out = Outbox::new(self.local_now(pid));
+        self.procs[pid.as_usize()].proc.on_timer(timer, &mut out);
+        self.apply_actions(pid, &mut out);
+    }
+
+    fn on_wab_deliver(&mut self, to: ProcessId, msg: esync_core::wab::WabMessage) {
+        let h = &self.procs[to.as_usize()];
+        if !h.alive || !h.started {
+            return;
+        }
+        let mut out = Outbox::new(self.local_now(to));
+        self.procs[to.as_usize()].proc.on_wab_deliver(msg, &mut out);
+        self.apply_actions(to, &mut out);
+    }
+
+    fn on_leader_announce(&mut self) {
+        let alive = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.alive && h.started)
+            .map(|(i, _)| ProcessId::new(i as u32));
+        if let Some(leader) = self.leader.announce(alive) {
+            for pid in ProcessId::all(self.cfg.timing.n()) {
+                if self.procs[pid.as_usize()].alive {
+                    self.queue
+                        .push(self.now, EventKind::LeaderChange { to: pid, leader });
+                }
+            }
+        }
+    }
+
+    fn on_leader_change(&mut self, to: ProcessId, leader: ProcessId) {
+        let h = &self.procs[to.as_usize()];
+        if !h.alive || !h.started {
+            return;
+        }
+        let mut out = Outbox::new(self.local_now(to));
+        self.procs[to.as_usize()]
+            .proc
+            .on_leader_change(leader, &mut out);
+        self.apply_actions(to, &mut out);
+    }
+
+    fn on_client_submit(&mut self, pid: ProcessId, value: Value) {
+        let h = &self.procs[pid.as_usize()];
+        if !h.alive || !h.started {
+            return;
+        }
+        let mut out = Outbox::new(self.local_now(pid));
+        self.procs[pid.as_usize()].proc.on_client(value, &mut out);
+        self.apply_actions(pid, &mut out);
+    }
+
+    fn send_one(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
+        self.msgs_sent += 1;
+        if self.now >= self.cfg.ts {
+            self.msgs_sent_after_ts += 1;
+        }
+        *self.msgs_by_kind.entry(P::kind_of(&msg)).or_insert(0) += 1;
+        match self.network.classify(self.now, from, to, &mut self.rng) {
+            Delivery::Drop => self.msgs_dropped += 1,
+            Delivery::At(t) => {
+                self.queue.push(t, EventKind::Deliver { from, to, msg });
+            }
+        }
+    }
+
+    fn apply_actions(&mut self, pid: ProcessId, out: &mut Outbox<P::Msg>) {
+        let n = self.cfg.timing.n();
+        for action in out.drain() {
+            match action {
+                Action::Send { to, msg } => self.send_one(pid, to, msg),
+                Action::Broadcast { msg } => {
+                    for to in ProcessId::all(n) {
+                        self.send_one(pid, to, msg.clone());
+                    }
+                }
+                Action::SetTimer { id, after } => {
+                    let h = &mut self.procs[pid.as_usize()];
+                    let epoch = h.timer_epoch.entry(id).or_insert(0);
+                    *epoch += 1;
+                    let epoch = *epoch;
+                    let fire_at = h.clock.real_after(self.now, after);
+                    self.queue.push(
+                        fire_at,
+                        EventKind::TimerFire {
+                            pid,
+                            timer: id,
+                            epoch,
+                        },
+                    );
+                }
+                Action::CancelTimer { id } => {
+                    let h = &mut self.procs[pid.as_usize()];
+                    *h.timer_epoch.entry(id).or_insert(0) += 1;
+                }
+                Action::Decide { value } => {
+                    let h = &mut self.procs[pid.as_usize()];
+                    if h.decided_at.is_none() {
+                        h.decided_at = Some(self.now);
+                        h.decided_value = Some(value);
+                    }
+                }
+                Action::WabBroadcast { msg } => {
+                    let plan =
+                        plan_wab_delivery(self.now, n, &self.network, &self.cfg.pre, &mut self.rng);
+                    for (to, when) in plan {
+                        match when {
+                            Some(t) => {
+                                self.queue.push(t, EventKind::WabDeliver { to, msg });
+                            }
+                            None => self.msgs_dropped += 1,
+                        }
+                    }
+                    self.msgs_sent += n as u64;
+                    if self.now >= self.cfg.ts {
+                        self.msgs_sent_after_ts += n as u64;
+                    }
+                    *self.msgs_by_kind.entry("wab").or_insert(0) += n as u64;
+                }
+            }
+        }
+    }
+
+    /// Snapshot of everything measured so far.
+    pub fn report(&self) -> Report {
+        Report {
+            protocol: self.protocol.name().to_string(),
+            n: self.cfg.timing.n(),
+            seed: self.cfg.seed,
+            ts: self.cfg.ts,
+            delta: self.cfg.timing.delta(),
+            end_time: self.now,
+            decided_at: self.procs.iter().map(|h| h.decided_at).collect(),
+            decisions: self.procs.iter().map(|h| h.decided_value).collect(),
+            alive_at_end: self.procs.iter().map(|h| h.alive).collect(),
+            started: self.procs.iter().map(|h| h.started).collect(),
+            crashes: self.procs.iter().map(|h| h.crash_times.clone()).collect(),
+            restarts: self.procs.iter().map(|h| h.restart_times.clone()).collect(),
+            initial_values: self.initial_values.clone(),
+            msgs_sent: self.msgs_sent,
+            msgs_sent_after_ts: self.msgs_sent_after_ts,
+            msgs_by_kind: self
+                .msgs_by_kind
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            msgs_dropped: self.msgs_dropped,
+            events: self.events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esync_core::paxos::session::SessionPaxos;
+
+    fn quick_cfg(n: usize, seed: u64) -> SimConfig {
+        SimConfig::builder(n)
+            .seed(seed)
+            .stability_at_millis(200)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn session_paxos_completes_and_agrees() {
+        let mut w = World::new(quick_cfg(5, 1), SessionPaxos::new());
+        let r = w.run_to_completion().expect("completes");
+        assert!(r.agreement());
+        assert!(r.validity());
+        assert!(r.all_alive_decided());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let r1 = World::new(quick_cfg(5, 42), SessionPaxos::new())
+            .run_to_completion()
+            .unwrap();
+        let r2 = World::new(quick_cfg(5, 42), SessionPaxos::new())
+            .run_to_completion()
+            .unwrap();
+        assert_eq!(r1.decided_at, r2.decided_at);
+        assert_eq!(r1.msgs_sent, r2.msgs_sent);
+        assert_eq!(r1.events, r2.events);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let r1 = World::new(quick_cfg(5, 1), SessionPaxos::new())
+            .run_to_completion()
+            .unwrap();
+        let r2 = World::new(quick_cfg(5, 2), SessionPaxos::new())
+            .run_to_completion()
+            .unwrap();
+        // Overwhelmingly likely with chaotic pre-TS phases.
+        assert_ne!(
+            (r1.decided_at.clone(), r1.msgs_sent),
+            (r2.decided_at.clone(), r2.msgs_sent)
+        );
+    }
+
+    #[test]
+    fn decisions_respect_paper_bound() {
+        for seed in 0..10 {
+            let cfg = quick_cfg(5, seed);
+            let bound = cfg.timing.decision_bound() + cfg.timing.epsilon();
+            let mut w = World::new(cfg, SessionPaxos::new());
+            let r = w.run_to_completion().unwrap();
+            let worst = r.max_decision_after_ts().expect("someone decided");
+            assert!(
+                worst <= bound,
+                "seed {seed}: {:.2}δ exceeds the bound {:.2}δ",
+                r.max_decision_after_ts_in_delta().unwrap(),
+                bound.as_nanos() as f64 / r.delta.as_nanos() as f64
+            );
+        }
+    }
+
+    #[test]
+    fn crash_before_start_keeps_process_down() {
+        let cfg = SimConfig::builder(5)
+            .seed(3)
+            .stability_at_millis(200)
+            .scenario(Scenario::none().dead_forever(ProcessId::new(4)))
+            .build()
+            .unwrap();
+        let mut w = World::new(cfg, SessionPaxos::new());
+        let r = w.run_to_completion().unwrap();
+        assert!(!r.started[4], "p4 never ran");
+        assert!(r.decisions[4].is_none());
+        assert!(r.agreement());
+        assert!((0..4).all(|i| r.decisions[i].is_some()));
+    }
+
+    #[test]
+    fn crash_and_restart_cycle() {
+        let cfg = SimConfig::builder(3)
+            .seed(4)
+            .stability_at_millis(200)
+            .scenario(Scenario::none().down_between(
+                ProcessId::new(2),
+                SimTime::from_millis(50),
+                SimTime::from_millis(400),
+            ))
+            .build()
+            .unwrap();
+        let mut w = World::new(cfg, SessionPaxos::new());
+        let r = w.run_to_completion().unwrap();
+        assert_eq!(r.restarts[2].len(), 1);
+        assert!(r.decisions[2].is_some(), "restarted process decides");
+        assert!(r.agreement());
+    }
+
+    #[test]
+    fn scenario_validation_rejects_post_ts_crash() {
+        let err = SimConfig::builder(3)
+            .stability_at_millis(100)
+            .scenario(Scenario::none().crash(ProcessId::new(0), SimTime::from_millis(150)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::CrashAfterStability { .. }));
+    }
+
+    #[test]
+    fn scenario_validation_rejects_unknown_pid() {
+        let err = SimConfig::builder(3)
+            .scenario(Scenario::none().crash(ProcessId::new(7), SimTime::ZERO))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::NoSuchProcess { .. }));
+    }
+
+    #[test]
+    fn max_time_trips_timeout() {
+        // Isolate a majority before TS and set max_time below TS: cannot
+        // finish.
+        let cfg = SimConfig::builder(3)
+            .seed(5)
+            .stability_at_millis(500)
+            .pre_stability(PreStability::silent())
+            .max_time(SimTime::from_millis(100))
+            .build()
+            .unwrap();
+        let mut w = World::new(cfg, SessionPaxos::new());
+        assert!(matches!(
+            w.run_to_completion(),
+            Err(SimError::Timeout { .. })
+        ));
+    }
+
+    #[test]
+    fn run_until_advances_clock() {
+        let mut w = World::new(quick_cfg(3, 6), SessionPaxos::new());
+        w.run_until(SimTime::from_millis(50));
+        assert_eq!(w.now(), SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn report_counts_messages() {
+        let mut w = World::new(quick_cfg(3, 7), SessionPaxos::new());
+        let r = w.run_to_completion().unwrap();
+        assert!(r.msgs_sent > 0);
+        assert!(r.msgs_by_kind.contains_key("1a"));
+        assert!(r.msgs_by_kind.contains_key("2b"));
+        let sum: u64 = r.msgs_by_kind.values().sum();
+        assert_eq!(sum, r.msgs_sent);
+    }
+
+    #[test]
+    fn leader_oracle_skips_dead_lowest_process() {
+        use esync_core::paxos::traditional::TraditionalPaxos;
+        let cfg = SimConfig::builder(3)
+            .seed(9)
+            .stability_at_millis(100)
+            .pre_stability(PreStability::lossless())
+            .scenario(Scenario::none().dead_forever(ProcessId::new(0)))
+            .leader_oracle(true)
+            .build()
+            .unwrap();
+        let mut w = World::new(cfg, TraditionalPaxos::new());
+        let r = w.run_to_completion().unwrap();
+        assert!(r.agreement());
+        assert!(r.decisions[1].is_some() && r.decisions[2].is_some());
+        assert!(r.decisions[0].is_none(), "p0 never ran");
+    }
+
+    #[test]
+    fn wab_oracle_drives_original_bconsensus() {
+        use esync_core::bconsensus::BConsensus;
+        let cfg = SimConfig::builder(3)
+            .seed(10)
+            .stability_at_millis(150)
+            .build()
+            .unwrap();
+        let mut w = World::new(cfg, BConsensus::original());
+        let r = w.run_to_completion().unwrap();
+        assert!(r.agreement() && r.validity());
+        assert!(
+            r.msgs_by_kind.contains_key("wab"),
+            "w-broadcasts are counted: {:?}",
+            r.msgs_by_kind
+        );
+    }
+
+    #[test]
+    fn submit_to_down_process_is_ignored() {
+        use esync_core::paxos::multi::MultiPaxos;
+        let cfg = SimConfig::builder(3)
+            .seed(11)
+            .stability_at_millis(0)
+            .pre_stability(PreStability::lossless())
+            .scenario(
+                Scenario::none()
+                    .dead_forever(ProcessId::new(2))
+                    // Submitted to the dead process: silently lost (the
+                    // client's problem, as in any real system).
+                    .submit(ProcessId::new(2), SimTime::from_millis(500), Value::new(9))
+                    // Submitted to a live one: committed.
+                    .submit(ProcessId::new(0), SimTime::from_millis(500), Value::new(8)),
+            )
+            .build()
+            .unwrap();
+        let mut w = World::new(cfg, MultiPaxos::new());
+        w.run_until(SimTime::from_secs(2));
+        let log = w.process(ProcessId::new(0)).log();
+        assert!(log.values().any(|v| v.get() == 8));
+        assert!(!log.values().any(|v| v.get() == 9));
+    }
+
+    #[test]
+    fn silent_pre_ts_still_decides_after_ts() {
+        let cfg = SimConfig::builder(5)
+            .seed(8)
+            .stability_at_millis(400)
+            .pre_stability(PreStability::silent())
+            .build()
+            .unwrap();
+        let bound = cfg.timing.decision_bound() + cfg.timing.epsilon();
+        let mut w = World::new(cfg, SessionPaxos::new());
+        let r = w.run_to_completion().unwrap();
+        assert!(r.agreement());
+        let worst = r.max_decision_after_ts().unwrap();
+        assert!(worst <= bound, "worst {worst} > bound {bound}");
+    }
+}

@@ -1,0 +1,55 @@
+//! The paper's second algorithm (§5): B-Consensus with the weak-ordering
+//! oracle *implemented* from Lamport clocks plus a `2δ` delivery wait —
+//! leaderless, oracle-free, and still `O(δ)` after stability.
+//!
+//! Runs the modified B-Consensus and, for contrast, the original algorithm
+//! over the simulator's idealized oracle, under the same chaotic
+//! pre-stability phase.
+//!
+//! ```sh
+//! cargo run --example bconsensus_demo
+//! ```
+
+use esync::core::bconsensus::BConsensus;
+use esync::core::outbox::Protocol;
+use esync::sim::{PreStability, Report, SimConfig, World};
+
+fn run<P: Protocol>(protocol: P, seed: u64) -> Result<Report, Box<dyn std::error::Error>> {
+    let cfg = SimConfig::builder(5)
+        .seed(seed)
+        .stability_at_millis(300)
+        .pre_stability(PreStability::chaos())
+        .build()?;
+    Ok(World::new(cfg, protocol).run_to_completion()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("B-Consensus under chaos until TS=300ms (n=5, δ=10ms)\n");
+    println!(
+        "{:<26}{:>16}{:>12}{:>12}",
+        "variant", "worst decide", "messages", "agree"
+    );
+    for seed in [1u64, 2, 3] {
+        let modified = run(BConsensus::modified(), seed)?;
+        let original = run(BConsensus::original(), seed)?;
+        println!(
+            "{:<26}{:>13.2}δ{:>12}{:>12}   (seed {seed})",
+            "modified (ts-oracle)",
+            modified.max_decision_after_ts_in_delta().unwrap(),
+            modified.msgs_sent,
+            modified.agreement()
+        );
+        println!(
+            "{:<26}{:>13.2}δ{:>12}{:>12}",
+            "original (ideal oracle)",
+            original.max_decision_after_ts_in_delta().unwrap(),
+            original.msgs_sent,
+            original.agreement()
+        );
+    }
+    println!();
+    println!("the modified variant needs no oracle from the environment: its");
+    println!("2δ-wait timestamp delivery reconstructs the same order at every");
+    println!("process once the system is stable (§5).");
+    Ok(())
+}

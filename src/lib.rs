@@ -1,0 +1,26 @@
+//! # esync — consensus in `O(δ)` after eventual synchrony
+//!
+//! A reproduction of Dutta, Guerraoui & Lamport, *"How Fast Can Eventual
+//! Synchrony Lead to Consensus?"* (DSN 2005), as a facade over three crates:
+//!
+//! * [`core`] (`esync-core`) — the algorithms, written sans-IO: the paper's
+//!   modified **session Paxos** and modified **B-Consensus**, plus the
+//!   traditional-Paxos and rotating-coordinator baselines they are compared
+//!   against, and a multi-instance replicated-log layer.
+//! * [`sim`] (`esync-sim`) — a deterministic discrete-event simulator of the
+//!   eventual-synchrony model (lossy/adversarial before the stabilization
+//!   time `TS`, `δ`-bounded after), with fault scripts, adversaries and
+//!   metrics.
+//! * [`runtime`] (`esync-runtime`) — a threaded real-time runtime that runs
+//!   the same state machines over crossbeam channels.
+//! * [`check`] (`esync-check`) — a bounded model checker and adversarial
+//!   schedule fuzzer: safety under *every* message reordering, early timer,
+//!   drop, crash and lying leader oracle, not just timed schedules.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and `EXPERIMENTS.md`
+//! for the paper-claim reproduction tables.
+
+pub use esync_check as check;
+pub use esync_core as core;
+pub use esync_runtime as runtime;
+pub use esync_sim as sim;

@@ -1,0 +1,186 @@
+//! The protocol × scenario matrix: every implemented algorithm must satisfy
+//! Agreement, Validity and Termination-after-stability under every
+//! environment the paper's model admits.
+
+use esync_core::bconsensus::BConsensus;
+use esync_core::outbox::Protocol;
+use esync_core::paxos::session::SessionPaxos;
+use esync_core::paxos::traditional::TraditionalPaxos;
+use esync_core::round_based::RotatingCoordinator;
+use esync_core::types::ProcessId;
+use esync_sim::{PreStability, Scenario, SimConfig, SimTime, World};
+
+/// Runs one protocol to completion and asserts the three consensus
+/// properties.
+fn check<P: Protocol>(protocol: P, cfg: SimConfig) {
+    let name = protocol.name();
+    let seed = cfg.seed;
+    let mut world = World::new(cfg, protocol);
+    let report = world
+        .run_to_completion()
+        .unwrap_or_else(|e| panic!("{name} seed={seed}: did not complete: {e}"));
+    assert!(report.agreement(), "{name} seed={seed}: agreement violated");
+    assert!(report.validity(), "{name} seed={seed}: validity violated");
+    assert!(
+        report.all_alive_decided(),
+        "{name} seed={seed}: a live process never decided"
+    );
+}
+
+fn base(n: usize, seed: u64) -> esync_sim::SimConfigBuilder {
+    SimConfig::builder(n).seed(seed).stability_at_millis(300)
+}
+
+/// Scenario builders, each returning a ready configuration.
+fn scenarios(n: usize, seed: u64, oracle: bool) -> Vec<SimConfig> {
+    let mut v = Vec::new();
+    // 1. Synchronous from the start.
+    v.push(
+        base(n, seed)
+            .stability_at_millis(0)
+            .pre_stability(PreStability::lossless())
+            .leader_oracle(oracle)
+            .build()
+            .unwrap(),
+    );
+    // 2. Chaotic pre-TS phase.
+    v.push(
+        base(n, seed)
+            .pre_stability(PreStability::chaos())
+            .leader_oracle(oracle)
+            .build()
+            .unwrap(),
+    );
+    // 3. Total silence before TS.
+    v.push(
+        base(n, seed)
+            .pre_stability(PreStability::silent())
+            .leader_oracle(oracle)
+            .build()
+            .unwrap(),
+    );
+    // 4. A crash–restart cycle through TS.
+    if n >= 3 {
+        v.push(
+            base(n, seed)
+                .pre_stability(PreStability::chaos())
+                .scenario(Scenario::none().down_between(
+                    ProcessId::new(n as u32 - 1),
+                    SimTime::from_millis(50),
+                    SimTime::from_millis(500),
+                ))
+                .leader_oracle(oracle)
+                .build()
+                .unwrap(),
+        );
+    }
+    // 5. A minority dead forever.
+    if n >= 5 {
+        let mut s = Scenario::none();
+        for pid in ProcessId::all((n - 1) / 2) {
+            s = s.dead_forever(pid);
+        }
+        v.push(
+            base(n, seed)
+                .pre_stability(PreStability::chaos())
+                .scenario(s)
+                .leader_oracle(oracle)
+                .build()
+                .unwrap(),
+        );
+    }
+    // 6. One process isolated before TS.
+    v.push(
+        base(n, seed)
+            .pre_stability(PreStability::chaos().with_isolated([ProcessId::new(0)]))
+            .leader_oracle(oracle)
+            .build()
+            .unwrap(),
+    );
+    v
+}
+
+#[test]
+fn session_paxos_matrix() {
+    for n in [1, 2, 3, 4, 5, 7] {
+        for seed in 0..3 {
+            for cfg in scenarios(n, seed, false) {
+                check(SessionPaxos::new(), cfg);
+            }
+        }
+    }
+}
+
+#[test]
+fn traditional_paxos_oracle_matrix() {
+    for n in [1, 3, 5] {
+        for seed in 0..3 {
+            for cfg in scenarios(n, seed, true) {
+                check(TraditionalPaxos::new(), cfg);
+            }
+        }
+    }
+}
+
+#[test]
+fn traditional_paxos_heartbeat_matrix() {
+    for n in [3, 5] {
+        for seed in 0..3 {
+            for cfg in scenarios(n, seed, false) {
+                check(TraditionalPaxos::with_heartbeats(), cfg);
+            }
+        }
+    }
+}
+
+#[test]
+fn rotating_coordinator_matrix() {
+    for n in [1, 3, 5] {
+        for seed in 0..3 {
+            for cfg in scenarios(n, seed, false) {
+                check(RotatingCoordinator::new(), cfg);
+            }
+        }
+    }
+}
+
+#[test]
+fn bconsensus_original_matrix() {
+    for n in [1, 3, 5] {
+        for seed in 0..3 {
+            for cfg in scenarios(n, seed, false) {
+                check(BConsensus::original(), cfg);
+            }
+        }
+    }
+}
+
+#[test]
+fn bconsensus_modified_matrix() {
+    for n in [1, 3, 5] {
+        for seed in 0..3 {
+            for cfg in scenarios(n, seed, false) {
+                check(BConsensus::modified(), cfg);
+            }
+        }
+    }
+}
+
+#[test]
+fn all_protocols_agree_on_someones_initial_value_even_n() {
+    // Even n has the subtle quorum arithmetic; run everything once.
+    for seed in 10..13 {
+        for cfg in scenarios(4, seed, false) {
+            check(SessionPaxos::new(), cfg);
+        }
+        for cfg in scenarios(4, seed, true) {
+            check(TraditionalPaxos::new(), cfg);
+        }
+        for cfg in scenarios(4, seed, false) {
+            check(RotatingCoordinator::new(), cfg);
+        }
+        for cfg in scenarios(4, seed, false) {
+            check(BConsensus::modified(), cfg);
+        }
+    }
+}

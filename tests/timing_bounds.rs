@@ -1,0 +1,278 @@
+//! Quantitative checks of the paper's timing claims (the experiment
+//! harness in `esync-bench` produces the full tables; these tests pin the
+//! *shape* of the results so regressions fail CI).
+
+use esync_core::paxos::session::SessionPaxos;
+use esync_core::paxos::traditional::TraditionalPaxos;
+use esync_core::round_based::RotatingCoordinator;
+use esync_core::time::RealDuration;
+use esync_core::types::ProcessId;
+use esync_sim::adversary;
+use esync_sim::{PreStability, Scenario, SimConfig, SimTime, World};
+
+const TS_MS: u64 = 300;
+
+fn session_cfg(n: usize, seed: u64) -> SimConfig {
+    SimConfig::builder(n)
+        .seed(seed)
+        .stability_at_millis(TS_MS)
+        .pre_stability(PreStability::chaos())
+        .build()
+        .unwrap()
+}
+
+/// §4: every process nonfaulty at `TS` decides by `TS + ε + 3τ + 5δ`.
+/// Our ε-retransmission tick can lag one period, so we allow one extra ε.
+#[test]
+fn session_paxos_meets_the_paper_bound() {
+    for n in [3, 5, 9] {
+        for seed in 0..8 {
+            let cfg = session_cfg(n, seed);
+            let bound = cfg.timing.decision_bound() + cfg.timing.epsilon();
+            let mut w = World::new(cfg, SessionPaxos::new());
+            let r = w.run_to_completion().unwrap();
+            let worst = r.max_decision_after_ts().expect("decided");
+            assert!(
+                worst <= bound,
+                "n={n} seed={seed}: {:.2}δ > bound {:.2}δ",
+                r.max_decision_after_ts_in_delta().unwrap(),
+                bound.as_nanos() as f64 / r.delta.as_nanos() as f64,
+            );
+        }
+    }
+}
+
+/// The headline independence claim: the worst decision delay after `TS`
+/// does not grow with `N`.
+#[test]
+fn session_paxos_delay_is_independent_of_n() {
+    let worst_for = |n: usize| -> f64 {
+        (0..5)
+            .map(|seed| {
+                let mut w = World::new(session_cfg(n, seed), SessionPaxos::new());
+                let r = w.run_to_completion().unwrap();
+                r.max_decision_after_ts_in_delta().unwrap()
+            })
+            .fold(0.0, f64::max)
+    };
+    let small = worst_for(3);
+    let large = worst_for(31);
+    // Both must sit under the ~17.5δ analytic bound; in particular the
+    // large system must not be systematically slower.
+    assert!(small < 18.0, "n=3 worst {small}δ");
+    assert!(large < 18.0, "n=31 worst {large}δ");
+}
+
+/// §2: the obsolete-ballot adversary makes traditional Paxos pay ~1 extra
+/// ballot restart per obsolete ballot, while modified Paxos is immune.
+///
+/// The worst case needs adversarial *timing*: with message delays pinned
+/// to exactly `δ`, the leader (announced at `TS + 2δ`, starting its ballot
+/// immediately) has its phase 1 in flight during `[T0, T0+2δ)`; releasing
+/// one obsolete ballot every `1.5δ` starting at `T0 + δ` kills every
+/// attempt before its 2a can leave.
+#[test]
+fn obsolete_ballots_slow_traditional_but_not_session_paxos() {
+    let n = 9;
+    let gap = RealDuration::from_millis(15); // 1.5δ between releases
+    let first_at = SimTime::from_millis(TS_MS + 30); // T0 + δ
+    let delay_trad = |k: usize| -> f64 {
+        let cfg = SimConfig::builder(n)
+            .seed(1)
+            .stability_at_millis(TS_MS)
+            .pre_stability(PreStability::silent())
+            .post_delay_range((1.0, 1.0)) // adversary: every hop takes δ
+            .leader_oracle(true)
+            .build()
+            .unwrap();
+        let mut w = World::new(cfg, TraditionalPaxos::new());
+        // Victim = the post-TS leader (p0): each obsolete ballot bumps its
+        // mbal past its own in-flight ballot, killing the attempt.
+        for (at, from, to, msg) in
+            adversary::obsolete_ballots_traditional(n, k, first_at, gap, ProcessId::new(0))
+        {
+            w.inject_message(at, from, to, msg);
+        }
+        let r = w.run_to_completion().unwrap();
+        r.max_decision_after_ts_in_delta().unwrap()
+    };
+    let baseline = delay_trad(0);
+    let attacked = delay_trad(4);
+    assert!(
+        attacked > baseline + 4.0,
+        "4 obsolete ballots should cost several δ: {baseline}δ -> {attacked}δ"
+    );
+
+    // Same adversary power against the modified algorithm: bounded. The
+    // strongest ballots a failed process could have sent are session-1.
+    let cfg = SimConfig::builder(n)
+        .seed(1)
+        .stability_at_millis(TS_MS)
+        .pre_stability(PreStability::silent())
+        .post_delay_range((1.0, 1.0))
+        .build()
+        .unwrap();
+    let bound = cfg.timing.decision_bound() + cfg.timing.epsilon();
+    let mut w = World::new(cfg, SessionPaxos::new());
+    for (at, from, to, msg) in
+        adversary::obsolete_ballots_session(n, 4, first_at, gap, ProcessId::new(0))
+    {
+        w.inject_message(at, from, to, msg);
+    }
+    let r = w.run_to_completion().unwrap();
+    assert!(
+        r.max_decision_after_ts().unwrap() <= bound,
+        "session paxos under attack: {:.2}δ",
+        r.max_decision_after_ts_in_delta().unwrap()
+    );
+}
+
+/// §3: with the next `f` coordinators dead forever, the rotating
+/// coordinator needs `Ω(f)` round timeouts; modified Paxos does not care.
+#[test]
+fn dead_coordinators_cost_rounds_linearly() {
+    let n = 11;
+    let delay_rot = |f: usize| -> f64 {
+        let cfg = SimConfig::builder(n)
+            .seed(2)
+            .stability_at_millis(0)
+            .pre_stability(PreStability::lossless())
+            .scenario(adversary::dead_coordinators(f))
+            .build()
+            .unwrap();
+        let mut w = World::new(cfg, RotatingCoordinator::new());
+        let r = w.run_to_completion().unwrap();
+        r.max_decision_after_ts_in_delta().unwrap()
+    };
+    let f0 = delay_rot(0);
+    let f2 = delay_rot(2);
+    let f4 = delay_rot(4);
+    assert!(f2 > f0 + 4.0, "2 dead coordinators: {f0}δ -> {f2}δ");
+    assert!(f4 > f2 + 4.0, "4 dead coordinators: {f2}δ -> {f4}δ");
+
+    // Modified Paxos with the same dead minority: still O(δ).
+    let cfg = SimConfig::builder(n)
+        .seed(2)
+        .stability_at_millis(0)
+        .pre_stability(PreStability::lossless())
+        .scenario(adversary::dead_coordinators(4))
+        .build()
+        .unwrap();
+    let mut w = World::new(cfg, SessionPaxos::new());
+    let r = w.run_to_completion().unwrap();
+    assert!(
+        r.max_decision_after_ts_in_delta().unwrap() < 18.0,
+        "session paxos with dead minority: {:.2}δ",
+        r.max_decision_after_ts_in_delta().unwrap()
+    );
+}
+
+/// §4 Process Restarts: a process restarting after `TS` decides within
+/// `O(δ)` of its restart (the others have long decided and re-announce).
+#[test]
+fn restart_after_ts_recovers_fast() {
+    let n = 5;
+    for restart_ms in [TS_MS + 100, TS_MS + 300, TS_MS + 1000] {
+        let cfg = SimConfig::builder(n)
+            .seed(3)
+            .stability_at_millis(TS_MS)
+            .pre_stability(PreStability::chaos())
+            .scenario(Scenario::none().down_between(
+                ProcessId::new(4),
+                SimTime::from_millis(10),
+                SimTime::from_millis(restart_ms),
+            ))
+            .build()
+            .unwrap();
+        let mut w = World::new(cfg, SessionPaxos::new());
+        let r = w.run_to_completion().unwrap();
+        let recovery = r
+            .decision_after_restart(ProcessId::new(4))
+            .expect("p4 decided after restarting");
+        let recovery_delta = recovery.as_nanos() as f64 / r.delta.as_nanos() as f64;
+        // Generous O(δ) envelope: one ε-announcement period + a round trip.
+        assert!(
+            recovery_delta < 10.0,
+            "restart at {restart_ms}ms: recovery {recovery_delta:.2}δ"
+        );
+        assert!(r.agreement());
+    }
+}
+
+/// §1's simplifying observation: "if we assume that the bound on
+/// message-delivery time that holds after TS also applies to messages sent
+/// before that time — in other words, every message sent before time TS is
+/// either lost or delivered by time TS + δ", then even *traditional* Paxos
+/// (with a leader oracle) is fast: no obsolete ballots can exist, so one
+/// leader ballot suffices.
+#[test]
+fn bounded_carryover_rescues_traditional_paxos() {
+    for seed in 0..6 {
+        let cfg = SimConfig::builder(9)
+            .seed(seed)
+            .stability_at_millis(TS_MS)
+            .pre_stability(PreStability::bounded_carryover())
+            .leader_oracle(true)
+            .build()
+            .unwrap();
+        let mut w = World::new(cfg, TraditionalPaxos::new());
+        let r = w.run_to_completion().unwrap();
+        assert!(r.agreement() && r.validity());
+        let d = r.max_decision_after_ts_in_delta().unwrap();
+        // Oracle announces at TS+2δ; one ballot needs 4δ; slack for retries
+        // against residual carryover rejections.
+        assert!(d < 14.0, "seed {seed}: traditional took {d:.2}δ");
+    }
+}
+
+/// §4 "Reducing Message Complexity": ack suppression cuts the standing
+/// message rate without hurting correctness or the decision bound.
+#[test]
+fn ack_suppression_reduces_messages_keeps_liveness() {
+    let mk = |seed: u64| session_cfg(5, seed);
+    let mut plain_msgs = 0u64;
+    let mut suppressed_msgs = 0u64;
+    for seed in 0..6 {
+        let cfg = mk(seed);
+        let bound = cfg.timing.decision_bound() + cfg.timing.epsilon();
+        let mut w = World::new(mk(seed), SessionPaxos::new());
+        let r = w.run_to_completion().unwrap();
+        assert!(r.agreement() && r.validity());
+        plain_msgs += r.msgs_sent;
+
+        let mut w = World::new(mk(seed), SessionPaxos::new().with_ack_suppression());
+        let r = w.run_to_completion().unwrap();
+        assert!(r.agreement() && r.validity());
+        assert!(
+            r.max_decision_after_ts().unwrap() <= bound,
+            "suppressed variant respects the bound: {:.2}δ",
+            r.max_decision_after_ts_in_delta().unwrap()
+        );
+        suppressed_msgs += r.msgs_sent;
+    }
+    assert!(
+        suppressed_msgs < plain_msgs,
+        "suppression must cut traffic: {suppressed_msgs} vs {plain_msgs}"
+    );
+}
+
+/// Messages sent before TS and delivered long after (obsolete messages)
+/// never violate safety for any protocol.
+#[test]
+fn very_late_obsolete_messages_are_harmless() {
+    let cfg = SimConfig::builder(5)
+        .seed(4)
+        .stability_at_millis(TS_MS)
+        .pre_stability(PreStability {
+            loss_prob: 0.2,
+            delay_delta_range: (0.0, 120.0), // up to 1.2 seconds: way past TS
+            isolated: Default::default(),
+            carryover_bounded: false,
+        })
+        .build()
+        .unwrap();
+    let mut w = World::new(cfg, SessionPaxos::new());
+    let r = w.run_to_completion().unwrap();
+    assert!(r.agreement());
+    assert!(r.validity());
+}

@@ -2,14 +2,15 @@
 //! by `TS + O(δ)` **independent of N**, where all previously known
 //! algorithms needed `TS + O(Nδ)`.
 //!
-//! Sweep `N`, run the chaotic standard environment over several seeds, and
-//! report `max(decide − TS)` in δ units alongside the analytic bound
-//! `ε + 3τ + 5δ`. The shape to verify: the column is flat in `N` and under
-//! the bound.
+//! Sweep `N`, run the chaotic standard environment over several seeds (in
+//! parallel across all cores via [`SweepRunner`]), and report
+//! `max(decide − TS)` in δ units alongside the analytic bound `ε + 3τ + 5δ`.
+//! The shape to verify: the column is flat in `N` and under the bound.
+//! Every sweep is serialized to `BENCH_exp_e1_decision_vs_n.json`.
 
-use esync_bench::{chaos_cfg, fmt_stats, Table, TS_MS};
+use esync_bench::{chaos_cfg, fmt_stats, ExperimentArtifact, SweepRunner, Table, TS_MS};
 use esync_core::paxos::session::SessionPaxos;
-use esync_sim::harness::{decision_stats, run_seeds};
+use esync_sim::harness::decision_stats;
 use esync_sim::{PreStability, SimConfig};
 
 fn silent_cfg(n: usize, seed: u64) -> SimConfig {
@@ -22,6 +23,17 @@ fn silent_cfg(n: usize, seed: u64) -> SimConfig {
 }
 
 fn main() {
+    // `SEEDS_PER_CELL` scales the sweep (64 seeds per cell makes this the
+    // wall-clock scaling benchmark of the parallel engine).
+    let seeds_per_cell: u64 = std::env::var("SEEDS_PER_CELL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let runner = SweepRunner::new();
+    let mut artifact = ExperimentArtifact::new(
+        "exp_e1_decision_vs_n",
+        "modified Paxos decides by TS + O(δ), independent of N (vs O(Nδ) prior art)",
+    );
     let mut table = Table::new(
         "E1: modified Paxos decision delay after TS vs N",
         &[
@@ -33,16 +45,34 @@ fn main() {
         ],
     );
     for n in [3usize, 5, 9, 17, 33, 65] {
-        let seeds = if n >= 33 { 5 } else { 10 };
+        let seeds = if seeds_per_cell > 0 {
+            seeds_per_cell
+        } else if n >= 33 {
+            5
+        } else {
+            10
+        };
         // Silent: every pre-TS message lost, so the entire protocol runs
         // after TS — the cleanest view of the O(δ) claim.
-        let silent =
-            run_seeds(seeds, |s| silent_cfg(n, s), SessionPaxos::new).expect("runs complete");
+        let silent = runner
+            .sweep_seeds(
+                &format!("n={n} silent"),
+                seeds,
+                |s| silent_cfg(n, s),
+                SessionPaxos::new,
+            )
+            .expect("runs complete");
         // Chaos: loss + long delays; at large N enough messages survive
         // that consensus can even finish before TS (delay 0).
-        let chaos =
-            run_seeds(seeds, |s| chaos_cfg(n, s), SessionPaxos::new).expect("runs complete");
-        for r in silent.iter().chain(&chaos) {
+        let chaos = runner
+            .sweep_seeds(
+                &format!("n={n} chaos"),
+                seeds,
+                |s| chaos_cfg(n, s),
+                SessionPaxos::new,
+            )
+            .expect("runs complete");
+        for r in silent.reports.iter().chain(&chaos.reports) {
             assert!(r.agreement() && r.validity());
         }
         let bound = {
@@ -53,12 +83,24 @@ fn main() {
         table.row_owned(vec![
             n.to_string(),
             seeds.to_string(),
-            fmt_stats(decision_stats(&silent)),
-            fmt_stats(decision_stats(&chaos)),
+            fmt_stats(decision_stats(&silent.reports)),
+            fmt_stats(decision_stats(&chaos.reports)),
             format!("{bound:.1}δ"),
         ]);
+        artifact.push(silent.summary);
+        artifact.push(chaos.summary);
     }
     println!("{}", table.render());
+    let total_runs: u64 = artifact.sweeps.iter().map(|s| s.seeds).sum();
+    let total_wall: f64 = artifact.sweeps.iter().map(|s| s.wall_secs).sum();
+    println!(
+        "{} runs on {} thread(s) in {:.2}s ({:.1} runs/sec)",
+        total_runs,
+        runner.threads(),
+        total_wall,
+        total_runs as f64 / total_wall.max(1e-9),
+    );
     println!("paper: decision by TS + ε + 3τ + 5δ ≈ TS + 17δ, independent of N.");
     println!("the columns are flat in N (O(δ)); prior algorithms were O(Nδ).");
+    artifact.write();
 }

@@ -6,15 +6,21 @@
 //!
 //! The shape to verify: all three columns are `O(δ)` — flat in N and seed —
 //! with the modified B-Consensus paying a small constant factor for its
-//! `2δ` oracle wait and `8δ` round timeout.
+//! `2δ` oracle wait and `8δ` round timeout. Sweeps run in parallel;
+//! results land in `BENCH_exp_e5_bconsensus.json`.
 
-use esync_bench::{chaos_cfg, fmt_stats, Table};
+use esync_bench::{chaos_cfg, fmt_stats, ExperimentArtifact, SweepRunner, Table};
 use esync_core::bconsensus::BConsensus;
 use esync_core::paxos::session::SessionPaxos;
-use esync_sim::harness::{decision_stats, run_seeds};
+use esync_sim::harness::decision_stats;
 
 fn main() {
     let seeds = 10;
+    let runner = SweepRunner::new();
+    let mut artifact = ExperimentArtifact::new(
+        "exp_e5_bconsensus",
+        "modified B-Consensus is O(δ) after TS, like modified Paxos (constant factor apart)",
+    );
     let mut table = Table::new(
         "E5: decision delay after TS — B-Consensus family vs modified Paxos (chaos before TS)",
         &[
@@ -25,23 +31,51 @@ fn main() {
         ],
     );
     for n in [3usize, 5, 9] {
-        let modified =
-            run_seeds(seeds, |s| chaos_cfg(n, s), BConsensus::modified).expect("completes");
-        let original =
-            run_seeds(seeds, |s| chaos_cfg(n, s), BConsensus::original).expect("completes");
-        let paxos = run_seeds(seeds, |s| chaos_cfg(n, s), SessionPaxos::new).expect("completes");
-        for r in modified.iter().chain(&original).chain(&paxos) {
+        let modified = runner
+            .sweep_seeds(
+                &format!("n={n} bconsensus-modified"),
+                seeds,
+                |s| chaos_cfg(n, s),
+                BConsensus::modified,
+            )
+            .expect("completes");
+        let original = runner
+            .sweep_seeds(
+                &format!("n={n} bconsensus-original"),
+                seeds,
+                |s| chaos_cfg(n, s),
+                BConsensus::original,
+            )
+            .expect("completes");
+        let paxos = runner
+            .sweep_seeds(
+                &format!("n={n} session-paxos"),
+                seeds,
+                |s| chaos_cfg(n, s),
+                SessionPaxos::new,
+            )
+            .expect("completes");
+        for r in modified
+            .reports
+            .iter()
+            .chain(&original.reports)
+            .chain(&paxos.reports)
+        {
             assert!(r.agreement() && r.validity());
         }
         table.row_owned(vec![
             n.to_string(),
-            fmt_stats(decision_stats(&modified)),
-            fmt_stats(decision_stats(&original)),
-            fmt_stats(decision_stats(&paxos)),
+            fmt_stats(decision_stats(&modified.reports)),
+            fmt_stats(decision_stats(&original.reports)),
+            fmt_stats(decision_stats(&paxos.reports)),
         ]);
+        artifact.push(modified.summary);
+        artifact.push(original.summary);
+        artifact.push(paxos.summary);
     }
     println!("{}", table.render());
     println!("all columns are O(δ), independent of N. The modified B-Consensus pays");
     println!("a constant factor (~2-3 rounds of w-broadcast + 2δ wait + echo + vote");
     println!("under an 8δ round timeout) but needs no oracle from the environment.");
+    artifact.write();
 }

@@ -8,13 +8,16 @@
 //! slots), then we submit commands and step the simulator until every
 //! process has the command in its log, measuring commit latency in δ.
 //! The shape to verify: ≤ 2δ when submitted at the leader (2a + 2b), ≤ 3δ
-//! when submitted at a follower (forward + 2a + 2b).
+//! when submitted at a follower (forward + 2a + 2b). Inherently serial
+//! (one long-lived world); the artifact records the per-path worst cases
+//! in `BENCH_exp_e7_stable_case.json`.
 
-use esync_bench::Table;
+use esync_bench::{ExperimentArtifact, SweepSummary, Table};
 use esync_core::paxos::multi::MultiPaxos;
 use esync_core::time::RealDuration;
 use esync_core::types::{ProcessId, Value};
 use esync_sim::{PreStability, SimConfig, SimTime, World};
+use std::time::Instant;
 
 /// Steps until every process's log contains `value`; returns the commit
 /// time (when the LAST process learns it).
@@ -36,12 +39,14 @@ fn commit_time(world: &mut World<MultiPaxos>, n: usize, value: Value) -> SimTime
 fn main() {
     let n = 5;
     let delta = RealDuration::from_millis(10);
+    let started = Instant::now();
     let cfg = SimConfig::builder(n)
         .seed(4)
         .stability_at_millis(0)
         .pre_stability(PreStability::lossless())
         .build()
         .expect("valid config");
+    let artifact_cfg = cfg.clone();
     let mut world = World::new(cfg, MultiPaxos::new());
     // Let the system anchor a leader.
     world.run_until(SimTime::from_millis(500));
@@ -85,4 +90,22 @@ fn main() {
     println!("paper: 3 message delays in the stable case, like ordinary Paxos.");
     assert!(worst_leader <= 2.05, "leader path exceeds 2δ");
     assert!(worst_follower <= 3.05, "follower path exceeds 3δ");
+
+    let mut artifact = ExperimentArtifact::new(
+        "exp_e7_stable_case",
+        "anchored multi-instance commits in ≤3 message delays in the stable case",
+    );
+    let report = world.report();
+    artifact.push(
+        SweepSummary::from_reports(
+            "anchored stable-case run",
+            Some(artifact_cfg),
+            std::slice::from_ref(&report),
+            1,
+            started.elapsed(),
+        )
+        .with_extra("worst_commit_latency_leader_delta", worst_leader)
+        .with_extra("worst_commit_latency_follower_delta", worst_follower),
+    );
+    artifact.write();
 }

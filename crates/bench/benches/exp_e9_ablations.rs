@@ -15,14 +15,18 @@
 //!   injected session-2 ballot), the next session must wait out the
 //!   freshly reset session timer — the decision delay tracks σ, as
 //!   `τ = max(2δ+ε, σ)` says it should.
+//!
+//! Each variant's seed batch runs in parallel (DNF runs return their
+//! partial report instead of failing the sweep); results land in
+//! `BENCH_exp_e9_ablations.json`.
 
-use esync_bench::{delay_in_delta, fmt_delta, Table, TS_MS};
+use esync_bench::{delay_in_delta, fmt_delta, ExperimentArtifact, SweepRunner, Table, TS_MS};
 use esync_core::ballot::Ballot;
 use esync_core::paxos::messages::PaxosMsg;
 use esync_core::paxos::session::{Ablation, SessionPaxos};
 use esync_core::time::RealDuration;
 use esync_core::types::ProcessId;
-use esync_sim::{PreStability, SimConfig, SimTime, World};
+use esync_sim::{PreStability, Report, SimConfig, SimTime, World};
 
 const N: usize = 9;
 
@@ -56,17 +60,9 @@ fn inject(w: &mut World<SessionPaxos>, k: usize, gated: bool) {
     }
 }
 
-/// Runs a variant; None = did not finish by the horizon (deadlock/stall).
-fn run(
-    variant: SessionPaxos,
-    cfg: SimConfig,
-    injections: Option<(usize, bool)>,
-) -> Option<f64> {
-    let mut w = World::new(cfg, variant);
-    if let Some((k, gated)) = injections {
-        inject(&mut w, k, gated);
-    }
-    w.run_to_completion().ok().map(|r| delay_in_delta(&r))
+/// Decision delay if everyone decided, `None` for a DNF (deadlock/stall).
+fn outcome_delay(r: &Report) -> Option<f64> {
+    r.all_alive_decided().then(|| delay_in_delta(r))
 }
 
 fn fmt(d: Option<f64>) -> String {
@@ -77,6 +73,11 @@ fn fmt(d: Option<f64>) -> String {
 }
 
 fn main() {
+    let runner = SweepRunner::new();
+    let mut artifact = ExperimentArtifact::new(
+        "exp_e9_ablations",
+        "every §4 modification is load-bearing (ablate one, lose the bound or liveness)",
+    );
     let full = Ablation::full();
     let no_gating = Ablation {
         session_gating: false,
@@ -107,62 +108,101 @@ fn main() {
         ("no 1a on entry", no_entry_1a),
     ] {
         let gated = ab.session_gating;
-        let worst = |pre: PreStability, inj: Option<(usize, bool)>| -> Option<f64> {
-            let mut worst: Option<f64> = Some(0.0);
-            for seed in 0..4 {
-                let d = run(SessionPaxos::with_ablation(ab), cfg(seed, pre.clone(), None), inj);
-                worst = match (worst, d) {
-                    (Some(w), Some(d)) => Some(w.max(d)),
-                    _ => None,
-                };
-            }
-            worst
+        // Worst over 4 seeds; a DNF in any seed poisons the cell (None).
+        let mut worst = |col: &str, pre: PreStability, inj: Option<(usize, bool)>| {
+            let sweep = runner
+                .sweep_fn(
+                    &format!("{name} / {col}"),
+                    4,
+                    Some(cfg(0, pre.clone(), None)),
+                    |seed| {
+                        let mut w =
+                            World::new(cfg(seed, pre.clone(), None), SessionPaxos::with_ablation(ab));
+                        if let Some((k, gated)) = inj {
+                            inject(&mut w, k, gated);
+                        }
+                        // DNF is an expected outcome for ablated variants:
+                        // keep the partial report instead of failing.
+                        match w.run_to_completion() {
+                            Ok(r) => Ok(r),
+                            Err(_) => Ok(w.report()),
+                        }
+                    },
+                )
+                .expect("sweep runs");
+            let cell = sweep
+                .reports
+                .iter()
+                .map(outcome_delay)
+                .try_fold(0.0f64, |w, d| d.map(|d| w.max(d)));
+            artifact.push(sweep.summary);
+            cell
         };
         table.row_owned(vec![
             name.to_string(),
-            fmt(worst(PreStability::chaos(), None)),
-            fmt(worst(PreStability::silent(), None)),
-            fmt(worst(PreStability::silent(), Some((6, gated)))),
+            fmt(worst("chaos", PreStability::chaos(), None)),
+            fmt(worst("silent", PreStability::silent(), None)),
+            fmt(worst(
+                "silent+inject",
+                PreStability::silent(),
+                Some((6, gated)),
+            )),
         ]);
     }
     println!("{}", table.render());
 
-    let mut sweep = Table::new(
+    let mut sweep_table = Table::new(
         "E9b: σ sweep — a session entry at TS makes the next session wait out the timer (n=9)",
         &["σ", "worst decide−TS (4 seeds)", "analytic bound"],
     );
     for sigma_delta in [5u64, 8, 12, 16, 24] {
         let sigma = RealDuration::from_millis(sigma_delta * 10);
-        let mut worst: f64 = 0.0;
-        for seed in 0..4 {
-            let c = cfg(seed, PreStability::silent(), Some(sigma));
-            let mut w = World::new(c, SessionPaxos::new());
-            // One session-2 ballot lands just after TS: everyone adopts it,
-            // resetting session timers; its owner never completes it, so
-            // the decision waits for the timer before session 3 can win.
-            let owner = ProcessId::new(N as u32 - 1);
-            let mbal = Ballot::new(2 * N as u64 + owner.as_u32() as u64);
-            w.inject_message(
-                SimTime::from_millis(TS_MS + 5),
-                owner,
-                ProcessId::new(0),
-                PaxosMsg::P1a { mbal },
-            );
-            if let Ok(r) = w.run_to_completion() {
-                worst = worst.max(delay_in_delta(&r));
-            }
-        }
+        let outcome = runner
+            .sweep_fn(
+                &format!("sigma={sigma_delta}delta doomed-session"),
+                4,
+                Some(cfg(0, PreStability::silent(), Some(sigma))),
+                |seed| {
+                    let c = cfg(seed, PreStability::silent(), Some(sigma));
+                    let mut w = World::new(c, SessionPaxos::new());
+                    // One session-2 ballot lands just after TS: everyone
+                    // adopts it, resetting session timers; its owner never
+                    // completes it, so the decision waits for the timer
+                    // before session 3 can win.
+                    let owner = ProcessId::new(N as u32 - 1);
+                    let mbal = Ballot::new(2 * N as u64 + owner.as_u32() as u64);
+                    w.inject_message(
+                        SimTime::from_millis(TS_MS + 5),
+                        owner,
+                        ProcessId::new(0),
+                        PaxosMsg::P1a { mbal },
+                    );
+                    match w.run_to_completion() {
+                        Ok(r) => Ok(r),
+                        Err(_) => Ok(w.report()),
+                    }
+                },
+            )
+            .expect("sweep runs");
+        let worst = outcome
+            .reports
+            .iter()
+            .filter(|r| r.all_alive_decided())
+            .map(delay_in_delta)
+            .fold(0.0f64, f64::max);
         let c = cfg(0, PreStability::silent(), Some(sigma));
         let bound = (c.timing.decision_bound() + c.timing.epsilon()).as_nanos() as f64
             / c.timing.delta().as_nanos() as f64;
-        sweep.row_owned(vec![
+        sweep_table.row_owned(vec![
             format!("{sigma_delta}δ"),
             fmt_delta(worst),
             format!("{bound:.1}δ"),
         ]);
+        artifact.push(outcome.summary.with_extra("analytic_bound_delta", bound));
     }
-    println!("{}", sweep.render());
+    println!("{}", sweep_table.render());
     println!("gating bounds what obsolete ballots can exist; ε-retransmission is");
     println!("what guarantees anything is sent again after a silent pre-TS phase;");
     println!("σ is the recovery pace once a bad session must be waited out.");
+    artifact.write();
 }

@@ -1,7 +1,12 @@
-//! Criterion micro-benchmarks: simulator event throughput, protocol step
-//! cost, and end-to-end run cost vs N.
+//! Criterion micro-benchmarks: simulator event throughput, event-queue
+//! steady-state cost, protocol step cost, parallel sweep throughput, and
+//! end-to-end run cost vs N.
+//!
+//! Set `CRITERION_OUT=BENCH_micro.json` to capture the measurements as a
+//! machine-readable artifact (`scripts/bench.sh` does).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esync_bench::SweepRunner;
 use esync_core::ballot::Ballot;
 use esync_core::config::TimingConfig;
 use esync_core::outbox::{Outbox, Process, Protocol};
@@ -9,7 +14,8 @@ use esync_core::paxos::messages::PaxosMsg;
 use esync_core::paxos::session::SessionPaxos;
 use esync_core::time::LocalInstant;
 use esync_core::types::{ProcessId, Value};
-use esync_sim::{PreStability, SimConfig, World};
+use esync_sim::event::{EventKind, EventQueue, MsgPayload};
+use esync_sim::{PreStability, SimConfig, SimTime, World};
 use std::hint::black_box;
 
 fn full_run(n: usize, seed: u64) -> u64 {
@@ -26,7 +32,7 @@ fn full_run(n: usize, seed: u64) -> u64 {
 
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_stable_run");
-    for n in [3usize, 5, 9, 17] {
+    for n in [3usize, 5, 9, 17, 33] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let mut seed = 0u64;
             b.iter(|| {
@@ -68,7 +74,7 @@ fn bench_protocol_step(c: &mut Criterion) {
             ballot += 5; // fresh higher ballot every iteration
             p.on_message(
                 ProcessId::new(1),
-                PaxosMsg::P1a {
+                &PaxosMsg::P1a {
                     mbal: Ballot::new(ballot),
                 },
                 &mut out,
@@ -78,9 +84,89 @@ fn bench_protocol_step(c: &mut Criterion) {
     });
 }
 
+/// Steady-state calendar-queue churn at a simulator-realistic size
+/// (~6000 pending events, delays within a 10ms band).
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_steady_state_6k", |b| {
+        let mut q: EventQueue<PaxosMsg> = EventQueue::with_capacity(8 * 1024);
+        let mut now = 0u64;
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mk = |at: u64, r: u64| {
+            (
+                SimTime::from_nanos(at),
+                EventKind::Deliver {
+                    from: ProcessId::new(0),
+                    to: ProcessId::new((r % 17) as u32),
+                    msg: MsgPayload::Owned(PaxosMsg::P1a {
+                        mbal: Ballot::new(r),
+                    }),
+                },
+            )
+        };
+        for _ in 0..6000 {
+            let r = rand();
+            let (at, k) = mk(now + r % 10_000_000, r);
+            q.push(at, k);
+        }
+        b.iter(|| {
+            let e = q.pop().unwrap();
+            now = e.at.as_nanos();
+            let r = rand();
+            let (at, k) = mk(now + 1 + r % 10_000_000, r);
+            q.push(at, k);
+            black_box(e.seq)
+        });
+    });
+}
+
+/// Whole-sweep wall time through the parallel engine (single-thread vs
+/// all cores), so scaling regressions show up in `BENCH_micro.json`.
+fn bench_sweep(c: &mut Criterion) {
+    let mk_cfg = |seed: u64| {
+        SimConfig::builder(5)
+            .seed(seed)
+            .stability_at_millis(100)
+            .pre_stability(PreStability::lossless())
+            .build()
+            .unwrap()
+    };
+    c.bench_function("sweep_16_seeds_1_thread", |b| {
+        let runner = SweepRunner::with_threads(1);
+        b.iter(|| {
+            black_box(
+                runner
+                    .run_seeds(16, mk_cfg, SessionPaxos::new)
+                    .unwrap()
+                    .len(),
+            )
+        });
+    });
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    c.bench_function(&format!("sweep_16_seeds_{cores}_threads"), |b| {
+        let runner = SweepRunner::with_threads(cores);
+        b.iter(|| {
+            black_box(
+                runner
+                    .run_seeds(16, mk_cfg, SessionPaxos::new)
+                    .unwrap()
+                    .len(),
+            )
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_end_to_end, bench_chaos_run, bench_protocol_step
+    targets = bench_end_to_end, bench_chaos_run, bench_protocol_step,
+              bench_event_queue, bench_sweep
 }
 criterion_main!(benches);

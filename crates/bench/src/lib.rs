@@ -17,11 +17,23 @@
 //! | `exp_e10_bound_check` | measured worst ≤ `ε + 3τ + 5δ` (≈ 17δ) |
 //!
 //! All targets are `harness = false` binaries, so `cargo bench --workspace`
-//! regenerates every table; `micro_simulator` carries the Criterion
-//! micro-benchmarks.
+//! regenerates every table **and** its machine-readable
+//! `BENCH_<experiment>.json` artifact (see [`artifact`] and
+//! `crates/bench/README.md` for the schema); `micro_simulator` carries the
+//! Criterion micro-benchmarks.
+//!
+//! Sweeps run through the parallel [`sweep::SweepRunner`], which fans
+//! independent `(seed, SimConfig)` runs across every core with
+//! deterministic, seed-ordered results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod artifact;
+pub mod sweep;
+
+pub use artifact::{DelayQuantiles, ExperimentArtifact, SweepRecord, SweepSummary};
+pub use sweep::{SweepOutcome, SweepRunner};
 
 use esync_sim::{PreStability, Report, SimConfig};
 use std::fmt::Write as _;

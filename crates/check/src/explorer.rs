@@ -314,7 +314,7 @@ mod tests {
             self.decided = Some(self.v);
             out.decide(self.v);
         }
-        fn on_message(&mut self, _f: ProcessId, _m: (), _o: &mut Outbox<()>) {}
+        fn on_message(&mut self, _f: ProcessId, _m: &(), _o: &mut Outbox<()>) {}
         fn on_timer(&mut self, _t: TimerId, _o: &mut Outbox<()>) {}
         fn on_restart(&mut self, _o: &mut Outbox<()>) {}
         fn decision(&self) -> Option<Value> {

@@ -292,7 +292,7 @@ where
                 let mut out = st.outbox(pid);
                 match env {
                     Envelope::Msg { from, msg, .. } => {
-                        st.procs[pid.as_usize()].on_message(from, msg, &mut out)
+                        st.procs[pid.as_usize()].on_message(from, &msg, &mut out)
                     }
                     Envelope::Wab { msg, .. } => {
                         st.procs[pid.as_usize()].on_wab_deliver(msg, &mut out)

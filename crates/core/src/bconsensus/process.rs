@@ -401,10 +401,10 @@ impl Process for BConsensusProcess {
         self.enter_round(0, out);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: BcMsg, out: &mut Outbox<BcMsg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &BcMsg, out: &mut Outbox<BcMsg>) {
         if self.decided.is_some() {
             if let Some(v) = self.decided {
-                if !matches!(msg, BcMsg::Decided { .. }) {
+                if !matches!(*msg, BcMsg::Decided { .. }) {
                     out.send(from, BcMsg::Decided { value: v });
                 }
             }
@@ -417,7 +417,7 @@ impl Process for BConsensusProcess {
                 self.enter_round(r, out);
             }
         }
-        match msg {
+        match *msg {
             BcMsg::Stamped { stamp, inner } => {
                 if self.mode == WabMode::Timestamp {
                     let oracle = self.oracle.as_mut().expect("timestamp mode has an oracle");
@@ -581,9 +581,8 @@ mod tests {
         p.on_start(&mut o);
         o.drain();
         for from in [1u32, 2] {
-            p.on_message(
-                ProcessId::new(from),
-                BcMsg::Echo {
+            p.on_message(ProcessId::new(from),
+                &BcMsg::Echo {
                     round: 0,
                     value: Value::new(7),
                 },
@@ -604,17 +603,15 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        p.on_message(
-            ProcessId::new(1),
-            BcMsg::Echo {
+        p.on_message(ProcessId::new(1),
+            &BcMsg::Echo {
                 round: 0,
                 value: Value::new(7),
             },
             &mut o,
         );
-        p.on_message(
-            ProcessId::new(2),
-            BcMsg::Echo {
+        p.on_message(ProcessId::new(2),
+            &BcMsg::Echo {
                 round: 0,
                 value: Value::new(8),
             },
@@ -634,9 +631,8 @@ mod tests {
         p.on_start(&mut o);
         o.drain();
         for from in [1u32, 2, 3] {
-            p.on_message(
-                ProcessId::new(from),
-                BcMsg::Echo {
+            p.on_message(ProcessId::new(from),
+                &BcMsg::Echo {
                     round: 0,
                     value: Value::new(7),
                 },
@@ -650,9 +646,8 @@ mod tests {
             .count();
         assert_eq!(votes, 1);
         // A fourth echo does not re-vote.
-        p.on_message(
-            ProcessId::new(4),
-            BcMsg::Echo {
+        p.on_message(ProcessId::new(4),
+            &BcMsg::Echo {
                 round: 0,
                 value: Value::new(7),
             },
@@ -671,9 +666,8 @@ mod tests {
         p.on_start(&mut o);
         o.drain();
         for from in [1u32, 2] {
-            p.on_message(
-                ProcessId::new(from),
-                BcMsg::Vote {
+            p.on_message(ProcessId::new(from),
+                &BcMsg::Vote {
                     round: 0,
                     vote: BcVote::Locked(Value::new(7)),
                 },
@@ -693,17 +687,15 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        p.on_message(
-            ProcessId::new(1),
-            BcMsg::Vote {
+        p.on_message(ProcessId::new(1),
+            &BcMsg::Vote {
                 round: 0,
                 vote: BcVote::Locked(Value::new(7)),
             },
             &mut o,
         );
-        p.on_message(
-            ProcessId::new(2),
-            BcMsg::Vote {
+        p.on_message(ProcessId::new(2),
+            &BcMsg::Vote {
                 round: 0,
                 vote: BcVote::Bottom,
             },
@@ -723,9 +715,8 @@ mod tests {
         p.on_start(&mut o);
         o.drain();
         for from in [1u32, 2] {
-            p.on_message(
-                ProcessId::new(from),
-                BcMsg::Vote {
+            p.on_message(ProcessId::new(from),
+                &BcMsg::Vote {
                     round: 0,
                     vote: BcVote::Bottom,
                 },
@@ -742,9 +733,8 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        p.on_message(
-            ProcessId::new(2),
-            BcMsg::Echo {
+        p.on_message(ProcessId::new(2),
+            &BcMsg::Echo {
                 round: 5,
                 value: Value::new(1),
             },
@@ -765,9 +755,8 @@ mod tests {
         let mut p = spawn_original(5, 0);
         let mut o = out();
         p.on_start(&mut o);
-        p.on_message(
-            ProcessId::new(3),
-            BcMsg::Echo {
+        p.on_message(ProcessId::new(3),
+            &BcMsg::Echo {
                 round: 1,
                 value: Value::new(1),
             },
@@ -786,9 +775,8 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        p.on_message(
-            ProcessId::new(1),
-            BcMsg::Echo {
+        p.on_message(ProcessId::new(1),
+            &BcMsg::Echo {
                 round: 0,
                 value: Value::new(3),
             },
@@ -809,9 +797,8 @@ mod tests {
         // A stamped First from p2 arrives; it must NOT be handled before
         // the 2δ wait.
         let stamp = Timestamp::new(50, ProcessId::new(2));
-        p.on_message(
-            ProcessId::new(2),
-            BcMsg::Stamped {
+        p.on_message(ProcessId::new(2),
+            &BcMsg::Stamped {
                 stamp,
                 inner: wmsg(2, 0, 99),
             },
@@ -848,9 +835,8 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        p.on_message(
-            ProcessId::new(2),
-            BcMsg::Stamped {
+        p.on_message(ProcessId::new(2),
+            &BcMsg::Stamped {
                 stamp: Timestamp::new(50, ProcessId::new(2)),
                 inner: wmsg(2, 4, 99),
             },
@@ -864,18 +850,16 @@ mod tests {
         let mut p = spawn_original(3, 0);
         let mut o = out();
         p.on_start(&mut o);
-        p.on_message(
-            ProcessId::new(1),
-            BcMsg::Decided {
+        p.on_message(ProcessId::new(1),
+            &BcMsg::Decided {
                 value: Value::new(3),
             },
             &mut o,
         );
         assert_eq!(p.decision(), Some(Value::new(3)));
         o.drain();
-        p.on_message(
-            ProcessId::new(2),
-            BcMsg::Echo {
+        p.on_message(ProcessId::new(2),
+            &BcMsg::Echo {
                 round: 9,
                 value: Value::new(1),
             },
@@ -918,17 +902,15 @@ mod tests {
         p.on_start(&mut o);
         o.drain();
         assert_eq!(p.estimate(), Value::new(10));
-        p.on_message(
-            ProcessId::new(1),
-            BcMsg::Vote {
+        p.on_message(ProcessId::new(1),
+            &BcMsg::Vote {
                 round: 0,
                 vote: BcVote::Locked(Value::new(12)),
             },
             &mut o,
         );
-        p.on_message(
-            ProcessId::new(2),
-            BcMsg::Vote {
+        p.on_message(ProcessId::new(2),
+            &BcMsg::Vote {
                 round: 0,
                 vote: BcVote::Bottom,
             },

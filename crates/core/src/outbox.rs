@@ -70,6 +70,12 @@ pub struct Outbox<M> {
     actions: Vec<Action<M>>,
 }
 
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox::new(LocalInstant::ZERO)
+    }
+}
+
 impl<M> Outbox<M> {
     /// Creates an outbox for an event handled at local time `now`.
     pub fn new(now: LocalInstant) -> Self {
@@ -77,6 +83,14 @@ impl<M> Outbox<M> {
             now,
             actions: Vec::new(),
         }
+    }
+
+    /// Re-arms a (drained) outbox for the next event at local time `now`,
+    /// keeping the action buffer's capacity. Drivers that process millions
+    /// of events reuse one outbox instead of allocating per event.
+    pub fn reset(&mut self, now: LocalInstant) {
+        self.now = now;
+        self.actions.clear();
     }
 
     /// The local-clock reading at which the current event is being handled.
@@ -128,6 +142,13 @@ impl<M> Outbox<M> {
     pub fn drain(&mut self) -> Vec<Action<M>> {
         std::mem::take(&mut self.actions)
     }
+
+    /// Removes and returns all emitted actions as an iterator, keeping the
+    /// outbox's buffer capacity (unlike [`Outbox::drain`], which gives the
+    /// buffer away). The hot path for drivers with a reused outbox.
+    pub fn drain_iter(&mut self) -> std::vec::Drain<'_, Action<M>> {
+        self.actions.drain(..)
+    }
 }
 
 /// A consensus process: a deterministic, sans-IO state machine.
@@ -154,7 +175,13 @@ pub trait Process {
     fn on_start(&mut self, out: &mut Outbox<Self::Msg>);
 
     /// Called when a message from `from` arrives.
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, out: &mut Outbox<Self::Msg>);
+    ///
+    /// The message is passed **by reference**: drivers may share one
+    /// allocation of a broadcast payload among all recipients (the
+    /// simulator routes broadcasts as `Arc`-shared payloads), so handlers
+    /// copy out only what they keep. `Copy` message types can simply
+    /// `match *msg`.
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, out: &mut Outbox<Self::Msg>);
 
     /// Called when the pending timer `timer` fires.
     fn on_timer(&mut self, timer: TimerId, out: &mut Outbox<Self::Msg>);
@@ -267,7 +294,7 @@ mod tests {
         fn on_start(&mut self, out: &mut Outbox<Ping>) {
             out.broadcast(Ping);
         }
-        fn on_message(&mut self, from: ProcessId, _msg: Ping, out: &mut Outbox<Ping>) {
+        fn on_message(&mut self, from: ProcessId, _msg: &Ping, out: &mut Outbox<Ping>) {
             out.send(from, Ping);
             self.decided = Some(Value::new(1));
             out.decide(Value::new(1));
@@ -301,7 +328,7 @@ mod tests {
         let mut out = Outbox::new(LocalInstant::ZERO);
         e.on_start(&mut out);
         assert_eq!(out.drain().len(), 1);
-        e.on_message(ProcessId::new(2), Ping, &mut out);
+        e.on_message(ProcessId::new(2), &Ping, &mut out);
         assert_eq!(e.decision(), Some(Value::new(1)));
     }
 }

@@ -359,8 +359,8 @@ impl Process for MultiPaxosProcess {
         self.broadcast_m1a(out);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: MultiMsg, out: &mut Outbox<MultiMsg>) {
-        match &msg {
+    fn on_message(&mut self, from: ProcessId, msg: &MultiMsg, out: &mut Outbox<MultiMsg>) {
+        match msg {
             MultiMsg::M1a { mbal } => {
                 let mbal = *mbal;
                 if mbal > self.mbal {
@@ -539,9 +539,8 @@ mod tests {
         o.drain();
         let b = Ballot::new(4);
         for from in [0u32, 2] {
-            p.on_message(
-                ProcessId::new(from),
-                MultiMsg::M1b {
+            p.on_message(ProcessId::new(from),
+                &MultiMsg::M1b {
                     mbal: b,
                     votes: vec![],
                 },
@@ -587,9 +586,8 @@ mod tests {
         p.on_start(&mut o);
         o.drain();
         // p2's initial ballot is 2, owned by itself; adopt p1's ballot 4.
-        p.on_message(
-            ProcessId::new(1),
-            MultiMsg::M1a {
+        p.on_message(ProcessId::new(1),
+            &MultiMsg::M1a {
                 mbal: Ballot::new(4),
             },
             &mut o,
@@ -609,9 +607,8 @@ mod tests {
         let mut p = spawn(3, 1);
         let mut o = out();
         anchor_p1(&mut p, &mut o);
-        p.on_message(
-            ProcessId::new(2),
-            MultiMsg::Forward {
+        p.on_message(ProcessId::new(2),
+            &MultiMsg::Forward {
                 value: Value::new(9),
             },
             &mut o,
@@ -643,9 +640,8 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        p.on_message(
-            ProcessId::new(1),
-            MultiMsg::M2a {
+        p.on_message(ProcessId::new(1),
+            &MultiMsg::M2a {
                 mbal: Ballot::new(4),
                 slot: 3,
                 value: Value::new(7),
@@ -669,9 +665,8 @@ mod tests {
         o.drain();
         let b = Ballot::new(4);
         for from in [1u32, 2] {
-            p.on_message(
-                ProcessId::new(from),
-                MultiMsg::M2b {
+            p.on_message(ProcessId::new(from),
+                &MultiMsg::M2b {
                     mbal: b,
                     slot: 2,
                     value: Value::new(7),
@@ -693,9 +688,8 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        p.on_message(
-            ProcessId::new(2),
-            MultiMsg::LogDecided {
+        p.on_message(ProcessId::new(2),
+            &MultiMsg::LogDecided {
                 slot: 5,
                 value: Value::new(50),
             },
@@ -713,9 +707,8 @@ mod tests {
         o.drain();
         let b = Ballot::new(4);
         // p0 reports an old vote in slot 7.
-        p.on_message(
-            ProcessId::new(0),
-            MultiMsg::M1b {
+        p.on_message(ProcessId::new(0),
+            &MultiMsg::M1b {
                 mbal: b,
                 votes: vec![SlotVote {
                     slot: 7,
@@ -724,9 +717,8 @@ mod tests {
             },
             &mut o,
         );
-        p.on_message(
-            ProcessId::new(2),
-            MultiMsg::M1b {
+        p.on_message(ProcessId::new(2),
+            &MultiMsg::M1b {
                 mbal: b,
                 votes: vec![],
             },
@@ -752,9 +744,8 @@ mod tests {
         let mut o = out();
         anchor_p1(&mut p, &mut o);
         assert!(p.is_anchored());
-        p.on_message(
-            ProcessId::new(2),
-            MultiMsg::M1a {
+        p.on_message(ProcessId::new(2),
+            &MultiMsg::M1a {
                 mbal: Ballot::new(8), // session 2, owner p2
             },
             &mut o,
@@ -789,9 +780,8 @@ mod tests {
         o.drain();
         assert_eq!(p.decision(), None);
         for from in [1u32, 2] {
-            p.on_message(
-                ProcessId::new(from),
-                MultiMsg::M2b {
+            p.on_message(ProcessId::new(from),
+                &MultiMsg::M2b {
                     mbal: Ballot::new(4),
                     slot: 0,
                     value: Value::new(7),
@@ -808,9 +798,8 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         // Adopt leader p1's ballot 4 (session 1).
-        p.on_message(
-            ProcessId::new(1),
-            MultiMsg::M1a {
+        p.on_message(ProcessId::new(1),
+            &MultiMsg::M1a {
                 mbal: Ballot::new(4),
             },
             &mut o,
@@ -823,9 +812,8 @@ mod tests {
         o.drain();
         // Fresh leader traffic resets the timer (suppression): the timer
         // expiry flag is cleared again.
-        p.on_message(
-            ProcessId::new(1),
-            MultiMsg::M2a {
+        p.on_message(ProcessId::new(1),
+            &MultiMsg::M2a {
                 mbal: Ballot::new(4),
                 slot: 0,
                 value: Value::new(9),
@@ -840,9 +828,8 @@ mod tests {
         );
         // Even after hearing a majority in session 1, the cleared expiry
         // flag blocks an immediate takeover.
-        p.on_message(
-            ProcessId::new(0),
-            MultiMsg::M1a {
+        p.on_message(ProcessId::new(0),
+            &MultiMsg::M1a {
                 mbal: Ballot::new(4),
             },
             &mut o,

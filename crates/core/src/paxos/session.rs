@@ -287,17 +287,17 @@ impl Process for SessionPaxosProcess {
         self.broadcast_p1a(out);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: PaxosMsg, out: &mut Outbox<PaxosMsg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &PaxosMsg, out: &mut Outbox<PaxosMsg>) {
         if self.decided.is_some() {
             // A decided process answers everything with its decision.
             if let Some(v) = self.decided {
-                if !matches!(msg, PaxosMsg::Decided { .. }) {
+                if !matches!(*msg, PaxosMsg::Decided { .. }) {
                     out.send(from, PaxosMsg::Decided { value: v });
                 }
             }
             return;
         }
-        match msg {
+        match *msg {
             PaxosMsg::P1a { mbal } => {
                 if mbal > self.voting.mbal {
                     self.adopt(mbal, out);
@@ -513,17 +513,15 @@ mod tests {
         assert_eq!(p.session(), Session::new(1));
         assert!(sends_of(&o.drain()).is_empty());
         // Hear session-1 messages from itself and p2: majority of 3.
-        p.on_message(
-            ProcessId::new(1),
-            PaxosMsg::P1a {
+        p.on_message(ProcessId::new(1),
+            &PaxosMsg::P1a {
                 mbal: Ballot::new(4),
             },
             &mut o,
         );
         assert_eq!(p.session(), Session::new(1), "own echo alone insufficient");
-        p.on_message(
-            ProcessId::new(2),
-            PaxosMsg::P1a {
+        p.on_message(ProcessId::new(2),
+            &PaxosMsg::P1a {
                 mbal: Ballot::new(5),
             },
             &mut o,
@@ -540,9 +538,8 @@ mod tests {
         p.on_start(&mut o);
         o.drain();
         // 1a for ballot 12 (session 2, owner p2).
-        p.on_message(
-            ProcessId::new(2),
-            PaxosMsg::P1a {
+        p.on_message(ProcessId::new(2),
+            &PaxosMsg::P1a {
                 mbal: Ballot::new(12),
             },
             &mut o,
@@ -570,17 +567,15 @@ mod tests {
         let mut p = spawn(5, 0);
         let mut o = out();
         p.on_start(&mut o);
-        p.on_message(
-            ProcessId::new(2),
-            PaxosMsg::P1a {
+        p.on_message(ProcessId::new(2),
+            &PaxosMsg::P1a {
                 mbal: Ballot::new(12),
             },
             &mut o,
         );
         o.drain();
-        p.on_message(
-            ProcessId::new(2),
-            PaxosMsg::P1a {
+        p.on_message(ProcessId::new(2),
+            &PaxosMsg::P1a {
                 mbal: Ballot::new(12),
             },
             &mut o,
@@ -603,17 +598,15 @@ mod tests {
         let mut p = spawn(5, 0);
         let mut o = out();
         p.on_start(&mut o);
-        p.on_message(
-            ProcessId::new(2),
-            PaxosMsg::P1a {
+        p.on_message(ProcessId::new(2),
+            &PaxosMsg::P1a {
                 mbal: Ballot::new(12),
             },
             &mut o,
         );
         o.drain();
-        p.on_message(
-            ProcessId::new(1),
-            PaxosMsg::P1a {
+        p.on_message(ProcessId::new(1),
+            &PaxosMsg::P1a {
                 mbal: Ballot::new(6),
             },
             &mut o,
@@ -635,9 +628,8 @@ mod tests {
         o.drain();
         let b = Ballot::new(4);
         // p0 reports an old vote; p2 reports none.
-        p.on_message(
-            ProcessId::new(0),
-            PaxosMsg::P1b {
+        p.on_message(ProcessId::new(0),
+            &PaxosMsg::P1b {
                 mbal: b,
                 last_vote: Some(crate::paxos::messages::Vote::new(
                     Ballot::new(2),
@@ -647,9 +639,8 @@ mod tests {
             &mut o,
         );
         assert!(sends_of(&o.drain()).is_empty(), "one 1b is not a majority");
-        p.on_message(
-            ProcessId::new(2),
-            PaxosMsg::P1b {
+        p.on_message(ProcessId::new(2),
+            &PaxosMsg::P1b {
                 mbal: b,
                 last_vote: None,
             },
@@ -674,9 +665,8 @@ mod tests {
         o.drain();
         let b = Ballot::new(4);
         for from in [0u32, 2] {
-            p.on_message(
-                ProcessId::new(from),
-                PaxosMsg::P1b {
+            p.on_message(ProcessId::new(from),
+                &PaxosMsg::P1b {
                     mbal: b,
                     last_vote: None,
                 },
@@ -699,17 +689,15 @@ mod tests {
         p.on_timer(TIMER_SESSION, &mut o); // ballot 4
         o.drain();
         // 1b for a ballot we do not own / never started.
-        p.on_message(
-            ProcessId::new(0),
-            PaxosMsg::P1b {
+        p.on_message(ProcessId::new(0),
+            &PaxosMsg::P1b {
                 mbal: Ballot::new(3),
                 last_vote: None,
             },
             &mut o,
         );
-        p.on_message(
-            ProcessId::new(2),
-            PaxosMsg::P1b {
+        p.on_message(ProcessId::new(2),
+            &PaxosMsg::P1b {
                 mbal: Ballot::new(3),
                 last_vote: None,
             },
@@ -729,9 +717,8 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        p.on_message(
-            ProcessId::new(1),
-            PaxosMsg::P2a {
+        p.on_message(ProcessId::new(1),
+            &PaxosMsg::P2a {
                 mbal: Ballot::new(4),
                 value: Value::new(9),
             },
@@ -751,17 +738,15 @@ mod tests {
         let mut p = spawn(3, 0);
         let mut o = out();
         p.on_start(&mut o);
-        p.on_message(
-            ProcessId::new(1),
-            PaxosMsg::P1a {
+        p.on_message(ProcessId::new(1),
+            &PaxosMsg::P1a {
                 mbal: Ballot::new(7),
             },
             &mut o,
         );
         o.drain();
-        p.on_message(
-            ProcessId::new(1),
-            PaxosMsg::P2a {
+        p.on_message(ProcessId::new(1),
+            &PaxosMsg::P2a {
                 mbal: Ballot::new(4),
                 value: Value::new(9),
             },
@@ -783,9 +768,9 @@ mod tests {
         o.drain();
         let b = Ballot::new(4);
         let v = Value::new(9);
-        p.on_message(ProcessId::new(1), PaxosMsg::P2b { mbal: b, value: v }, &mut o);
+        p.on_message(ProcessId::new(1), &PaxosMsg::P2b { mbal: b, value: v }, &mut o);
         assert_eq!(p.decision(), None);
-        p.on_message(ProcessId::new(2), PaxosMsg::P2b { mbal: b, value: v }, &mut o);
+        p.on_message(ProcessId::new(2), &PaxosMsg::P2b { mbal: b, value: v }, &mut o);
         assert_eq!(p.decision(), Some(v));
         let acts = o.drain();
         assert!(acts.iter().any(|a| matches!(a, Action::Decide { value } if *value == v)));
@@ -801,17 +786,15 @@ mod tests {
         p.on_start(&mut o);
         o.drain();
         let v = Value::new(9);
-        p.on_message(
-            ProcessId::new(1),
-            PaxosMsg::P2b {
+        p.on_message(ProcessId::new(1),
+            &PaxosMsg::P2b {
                 mbal: Ballot::new(4),
                 value: v,
             },
             &mut o,
         );
-        p.on_message(
-            ProcessId::new(2),
-            PaxosMsg::P2b {
+        p.on_message(ProcessId::new(2),
+            &PaxosMsg::P2b {
                 mbal: Ballot::new(7),
                 value: v,
             },
@@ -827,12 +810,11 @@ mod tests {
         p.on_start(&mut o);
         let b = Ballot::new(4);
         let v = Value::new(9);
-        p.on_message(ProcessId::new(1), PaxosMsg::P2b { mbal: b, value: v }, &mut o);
-        p.on_message(ProcessId::new(2), PaxosMsg::P2b { mbal: b, value: v }, &mut o);
+        p.on_message(ProcessId::new(1), &PaxosMsg::P2b { mbal: b, value: v }, &mut o);
+        p.on_message(ProcessId::new(2), &PaxosMsg::P2b { mbal: b, value: v }, &mut o);
         o.drain();
-        p.on_message(
-            ProcessId::new(1),
-            PaxosMsg::P1a {
+        p.on_message(ProcessId::new(1),
+            &PaxosMsg::P1a {
                 mbal: Ballot::new(100),
             },
             &mut o,
@@ -853,10 +835,10 @@ mod tests {
         p.on_start(&mut o);
         let v = Value::new(9);
         let b = Ballot::new(4);
-        p.on_message(ProcessId::new(1), PaxosMsg::P2b { mbal: b, value: v }, &mut o);
-        p.on_message(ProcessId::new(2), PaxosMsg::P2b { mbal: b, value: v }, &mut o);
+        p.on_message(ProcessId::new(1), &PaxosMsg::P2b { mbal: b, value: v }, &mut o);
+        p.on_message(ProcessId::new(2), &PaxosMsg::P2b { mbal: b, value: v }, &mut o);
         o.drain();
-        p.on_message(ProcessId::new(1), PaxosMsg::Decided { value: v }, &mut o);
+        p.on_message(ProcessId::new(1), &PaxosMsg::Decided { value: v }, &mut o);
         assert!(o.drain().is_empty(), "Decided to a decided process: silence");
     }
 
@@ -866,9 +848,8 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        p.on_message(
-            ProcessId::new(2),
-            PaxosMsg::Decided {
+        p.on_message(ProcessId::new(2),
+            &PaxosMsg::Decided {
                 value: Value::new(5),
             },
             &mut o,
@@ -920,8 +901,8 @@ mod tests {
         p.on_start(&mut o);
         let b = Ballot::new(4);
         let v = Value::new(9);
-        p.on_message(ProcessId::new(1), PaxosMsg::P2b { mbal: b, value: v }, &mut o);
-        p.on_message(ProcessId::new(2), PaxosMsg::P2b { mbal: b, value: v }, &mut o);
+        p.on_message(ProcessId::new(1), &PaxosMsg::P2b { mbal: b, value: v }, &mut o);
+        p.on_message(ProcessId::new(2), &PaxosMsg::P2b { mbal: b, value: v }, &mut o);
         o.drain();
         p.on_timer(TIMER_EPSILON, &mut o);
         assert!(o
@@ -958,8 +939,8 @@ mod tests {
         p.on_start(&mut o);
         let b = Ballot::new(4);
         let v = Value::new(9);
-        p.on_message(ProcessId::new(1), PaxosMsg::P2b { mbal: b, value: v }, &mut o);
-        p.on_message(ProcessId::new(2), PaxosMsg::P2b { mbal: b, value: v }, &mut o);
+        p.on_message(ProcessId::new(1), &PaxosMsg::P2b { mbal: b, value: v }, &mut o);
+        p.on_message(ProcessId::new(2), &PaxosMsg::P2b { mbal: b, value: v }, &mut o);
         o.drain();
         p.on_restart(&mut o);
         let acts = o.drain();
@@ -994,9 +975,8 @@ mod tests {
         let mut p = spawn(5, 0);
         let mut o = out();
         p.on_start(&mut o);
-        p.on_message(
-            ProcessId::new(1),
-            PaxosMsg::P1a {
+        p.on_message(ProcessId::new(1),
+            &PaxosMsg::P1a {
                 mbal: Ballot::new(6), // session 1
             },
             &mut o,
@@ -1005,9 +985,8 @@ mod tests {
         assert_eq!(p.session(), Session::new(1));
         assert_eq!(p.session_heard_count(), 1);
         // A stale session-0 message does not count.
-        p.on_message(
-            ProcessId::new(2),
-            PaxosMsg::P1a {
+        p.on_message(ProcessId::new(2),
+            &PaxosMsg::P1a {
                 mbal: Ballot::new(2),
             },
             &mut o,
@@ -1042,9 +1021,8 @@ mod tests {
         o.drain();
         // Hear session-0 messages from p1 and p2: they have acknowledged.
         for from in [1u32, 2] {
-            p.on_message(
-                ProcessId::new(from),
-                PaxosMsg::P1a {
+            p.on_message(ProcessId::new(from),
+                &PaxosMsg::P1a {
                     mbal: Ballot::new(from as u64),
                 },
                 &mut o,
@@ -1081,9 +1059,8 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         for from in 0..n as u32 {
-            p.on_message(
-                ProcessId::new(from),
-                PaxosMsg::P1a {
+            p.on_message(ProcessId::new(from),
+                &PaxosMsg::P1a {
                     mbal: Ballot::new(from as u64),
                 },
                 &mut o,
@@ -1134,7 +1111,7 @@ mod tests {
             steps += 1;
             assert!(steps < 100_000, "no quiescence");
             let p = &mut procs[to.as_usize()];
-            p.on_message(from, msg, &mut o);
+            p.on_message(from, &msg, &mut o);
             for a in o.drain() {
                 enqueue(a, to, n, &mut queue);
             }

@@ -350,16 +350,16 @@ impl Process for TraditionalPaxosProcess {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: TradMsg, out: &mut Outbox<TradMsg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &TradMsg, out: &mut Outbox<TradMsg>) {
         if self.decided.is_some() {
             if let Some(v) = self.decided {
-                if !matches!(msg, TradMsg::Paxos(PaxosMsg::Decided { .. })) {
+                if !matches!(*msg, TradMsg::Paxos(PaxosMsg::Decided { .. })) {
                     out.send(from, TradMsg::Paxos(PaxosMsg::Decided { value: v }));
                 }
             }
             return;
         }
-        match msg {
+        match *msg {
             TradMsg::Paxos(m) => self.on_paxos(from, m, out),
             TradMsg::Omega(m) => {
                 if let Some(omega) = self.omega.as_mut() {
@@ -505,9 +505,8 @@ mod tests {
         p.on_start(&mut o);
         o.drain();
         // Leader p0's ballot 3 < 92: reject to owner p0.
-        p.on_message(
-            ProcessId::new(0),
-            TradMsg::Paxos(PaxosMsg::P1a {
+        p.on_message(ProcessId::new(0),
+            &TradMsg::Paxos(PaxosMsg::P1a {
                 mbal: Ballot::new(3),
             }),
             &mut o,
@@ -526,9 +525,8 @@ mod tests {
             .with_preloaded_ballots(vec![(ProcessId::new(2), Ballot::new(92))]);
         let mut p = proto.spawn(ProcessId::new(2), &cfg(3), Value::new(1));
         let mut o = out();
-        p.on_message(
-            ProcessId::new(0),
-            TradMsg::Paxos(PaxosMsg::P2a {
+        p.on_message(ProcessId::new(0),
+            &TradMsg::Paxos(PaxosMsg::P2a {
                 mbal: Ballot::new(3),
                 value: Value::new(7),
             }),
@@ -554,9 +552,8 @@ mod tests {
         p.on_leader_change(ProcessId::new(1), &mut o);
         o.drain();
         let before = p.mbal();
-        p.on_message(
-            ProcessId::new(2),
-            TradMsg::Paxos(PaxosMsg::Rejected {
+        p.on_message(ProcessId::new(2),
+            &TradMsg::Paxos(PaxosMsg::Rejected {
                 mbal: Ballot::new(92),
             }),
             &mut o,
@@ -575,9 +572,8 @@ mod tests {
         p.on_leader_change(ProcessId::new(1), &mut o);
         o.drain();
         let before = p.mbal();
-        p.on_message(
-            ProcessId::new(2),
-            TradMsg::Paxos(PaxosMsg::Rejected {
+        p.on_message(ProcessId::new(2),
+            &TradMsg::Paxos(PaxosMsg::Rejected {
                 mbal: Ballot::new(0),
             }),
             &mut o,
@@ -622,9 +618,8 @@ mod tests {
         let bal = p1a(&o.drain()).unwrap();
         // Two 1b's (majority) -> 2a with own value (no prior votes).
         for from in [1u32, 2] {
-            p.on_message(
-                ProcessId::new(from),
-                TradMsg::Paxos(PaxosMsg::P1b {
+            p.on_message(ProcessId::new(from),
+                &TradMsg::Paxos(PaxosMsg::P1b {
                     mbal: bal,
                     last_vote: None,
                 }),
@@ -639,9 +634,8 @@ mod tests {
         )));
         // Two 2b's decide.
         for from in [1u32, 2] {
-            p.on_message(
-                ProcessId::new(from),
-                TradMsg::Paxos(PaxosMsg::P2b {
+            p.on_message(ProcessId::new(from),
+                &TradMsg::Paxos(PaxosMsg::P2b {
                     mbal: bal,
                     value: Value::new(50),
                 }),
@@ -686,18 +680,16 @@ mod tests {
         let n = 3;
         let mut p = TraditionalPaxos::new().spawn(ProcessId::new(0), &cfg(n), Value::new(50));
         let mut o = out();
-        p.on_message(
-            ProcessId::new(1),
-            TradMsg::Paxos(PaxosMsg::Decided {
+        p.on_message(ProcessId::new(1),
+            &TradMsg::Paxos(PaxosMsg::Decided {
                 value: Value::new(5),
             }),
             &mut o,
         );
         assert_eq!(p.decision(), Some(Value::new(5)));
         o.drain();
-        p.on_message(
-            ProcessId::new(2),
-            TradMsg::Paxos(PaxosMsg::P1a {
+        p.on_message(ProcessId::new(2),
+            &TradMsg::Paxos(PaxosMsg::P1a {
                 mbal: Ballot::new(30),
             }),
             &mut o,

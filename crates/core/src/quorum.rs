@@ -7,7 +7,6 @@
 
 use crate::types::ProcessId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 
 /// Size of a strict majority of `n` processes: `⌊n/2⌋ + 1`.
 ///
@@ -41,8 +40,16 @@ pub const fn majority(n: usize) -> usize {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QuorumTracker {
     n: usize,
-    seen: BTreeSet<ProcessId>,
+    count: usize,
+    /// Bitset of counted process ids `< 128`. Consensus quorums are counted
+    /// per ballot on the simulator's hot path, so the common case (every
+    /// experiment in this repo has `n ≤ 128`) must not allocate.
+    inline: [u64; 2],
+    /// Bit words for process ids `≥ 128`; empty unless `n > 128`.
+    spill: Vec<u64>,
 }
+
+const INLINE_BITS: usize = 128;
 
 impl QuorumTracker {
     /// Creates an empty tracker for an `n`-process system.
@@ -54,38 +61,70 @@ impl QuorumTracker {
         assert!(n > 0, "process count must be positive");
         QuorumTracker {
             n,
-            seen: BTreeSet::new(),
+            count: 0,
+            inline: [0; 2],
+            spill: Vec::new(),
         }
     }
 
     /// Records `p`; returns `true` if `p` was not already counted.
     pub fn insert(&mut self, p: ProcessId) -> bool {
-        self.seen.insert(p)
+        let idx = p.as_usize();
+        let word = if idx < INLINE_BITS {
+            &mut self.inline[idx / 64]
+        } else {
+            let w = (idx - INLINE_BITS) / 64;
+            if w >= self.spill.len() {
+                self.spill.resize(w + 1, 0);
+            }
+            &mut self.spill[w]
+        };
+        let bit = 1u64 << (idx % 64);
+        let newly = *word & bit == 0;
+        *word |= bit;
+        self.count += usize::from(newly);
+        newly
     }
 
     /// Whether `p` has been counted.
     pub fn contains(&self, p: ProcessId) -> bool {
-        self.seen.contains(&p)
+        let idx = p.as_usize();
+        let word = if idx < INLINE_BITS {
+            self.inline[idx / 64]
+        } else {
+            self.spill.get((idx - INLINE_BITS) / 64).copied().unwrap_or(0)
+        };
+        word & (1u64 << (idx % 64)) != 0
     }
 
     /// Number of distinct processes counted so far.
     pub fn count(&self) -> usize {
-        self.seen.len()
+        self.count
     }
 
     /// Whether a strict majority has been counted.
     pub fn reached(&self) -> bool {
-        self.count() >= majority(self.n)
+        self.count >= majority(self.n)
     }
 
     /// Iterates over the counted processes in id order.
     pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.seen.iter().copied()
+        self.inline
+            .iter()
+            .chain(self.spill.iter())
+            .enumerate()
+            .flat_map(|(w, &word)| {
+                (0..64)
+                    .filter(move |b| word & (1u64 << b) != 0)
+                    .map(move |b| ProcessId::new((w * 64 + b) as u32))
+            })
     }
 
     /// Removes all counted processes.
     pub fn clear(&mut self) {
-        self.seen.clear();
+        self.count = 0;
+        self.inline = [0; 2];
+        self.spill.clear();
     }
 }
 

@@ -262,10 +262,10 @@ impl Process for RotatingCoordinatorProcess {
         self.enter_round(0, out);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: RoundMsg, out: &mut Outbox<RoundMsg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &RoundMsg, out: &mut Outbox<RoundMsg>) {
         if self.decided.is_some() {
             if let Some(v) = self.decided {
-                if !matches!(msg, RoundMsg::Decided { .. }) {
+                if !matches!(*msg, RoundMsg::Decided { .. }) {
                     out.send(from, RoundMsg::Decided { value: v });
                 }
             }
@@ -285,7 +285,7 @@ impl Process for RotatingCoordinatorProcess {
                 return;
             }
         }
-        match msg {
+        match *msg {
             RoundMsg::Estimate { round, est, ts } => {
                 debug_assert_eq!(round, self.round);
                 if self.coordinator_of(self.round) == self.id {
@@ -425,9 +425,8 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        p.on_message(
-            ProcessId::new(0),
-            RoundMsg::Estimate {
+        p.on_message(ProcessId::new(0),
+            &RoundMsg::Estimate {
                 round: 0,
                 est: Value::new(10),
                 ts: 0,
@@ -435,9 +434,8 @@ mod tests {
             &mut o,
         );
         assert!(o.drain().iter().all(|a| !matches!(a, Action::Broadcast { msg: RoundMsg::Propose { .. } })));
-        p.on_message(
-            ProcessId::new(1),
-            RoundMsg::Estimate {
+        p.on_message(ProcessId::new(1),
+            &RoundMsg::Estimate {
                 round: 0,
                 est: Value::new(77),
                 ts: 5,
@@ -459,9 +457,8 @@ mod tests {
         p.on_start(&mut o);
         o.drain();
         for from in 0..3u32 {
-            p.on_message(
-                ProcessId::new(from),
-                RoundMsg::Estimate {
+            p.on_message(ProcessId::new(from),
+                &RoundMsg::Estimate {
                     round: 0,
                     est: Value::new(5),
                     ts: 0,
@@ -481,9 +478,8 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        p.on_message(
-            ProcessId::new(0),
-            RoundMsg::Propose {
+        p.on_message(ProcessId::new(0),
+            &RoundMsg::Propose {
                 round: 0,
                 value: Value::new(99),
             },
@@ -507,9 +503,9 @@ mod tests {
         p.on_start(&mut o);
         o.drain();
         let v = Value::new(99);
-        p.on_message(ProcessId::new(0), RoundMsg::Ack { round: 0, value: v }, &mut o);
+        p.on_message(ProcessId::new(0), &RoundMsg::Ack { round: 0, value: v }, &mut o);
         assert_eq!(p.decision(), None);
-        p.on_message(ProcessId::new(1), RoundMsg::Ack { round: 0, value: v }, &mut o);
+        p.on_message(ProcessId::new(1), &RoundMsg::Ack { round: 0, value: v }, &mut o);
         assert_eq!(p.decision(), Some(v));
         assert!(o
             .drain()
@@ -523,9 +519,8 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        p.on_message(
-            ProcessId::new(2),
-            RoundMsg::Estimate {
+        p.on_message(ProcessId::new(2),
+            &RoundMsg::Estimate {
                 round: 7,
                 est: Value::new(1),
                 ts: 0,
@@ -545,9 +540,8 @@ mod tests {
         let mut p = spawn(3, 0);
         let mut o = out();
         p.on_start(&mut o);
-        p.on_message(
-            ProcessId::new(2),
-            RoundMsg::Estimate {
+        p.on_message(ProcessId::new(2),
+            &RoundMsg::Estimate {
                 round: 7,
                 est: Value::new(1),
                 ts: 0,
@@ -555,9 +549,8 @@ mod tests {
             &mut o,
         );
         o.drain();
-        p.on_message(
-            ProcessId::new(1),
-            RoundMsg::Propose {
+        p.on_message(ProcessId::new(1),
+            &RoundMsg::Propose {
                 round: 3,
                 value: Value::new(5),
             },
@@ -578,9 +571,8 @@ mod tests {
         let mut p = spawn(5, 0);
         let mut o = out();
         p.on_start(&mut o);
-        p.on_message(
-            ProcessId::new(3),
-            RoundMsg::Estimate {
+        p.on_message(ProcessId::new(3),
+            &RoundMsg::Estimate {
                 round: 1,
                 est: Value::new(1),
                 ts: 0,
@@ -601,9 +593,8 @@ mod tests {
         p.on_start(&mut o);
         o.drain();
         // p1's estimate shows round 0 has majority occupancy {p0, p1}.
-        p.on_message(
-            ProcessId::new(1),
-            RoundMsg::Estimate {
+        p.on_message(ProcessId::new(1),
+            &RoundMsg::Estimate {
                 round: 0,
                 est: Value::new(11),
                 ts: 0,
@@ -625,9 +616,8 @@ mod tests {
         let mut p = spawn(5, 1);
         let mut o = out();
         p.on_start(&mut o);
-        p.on_message(
-            ProcessId::new(0),
-            RoundMsg::Propose {
+        p.on_message(ProcessId::new(0),
+            &RoundMsg::Propose {
                 round: 0,
                 value: Value::new(4),
             },
@@ -651,18 +641,16 @@ mod tests {
         let mut p = spawn(3, 0);
         let mut o = out();
         p.on_start(&mut o);
-        p.on_message(
-            ProcessId::new(1),
-            RoundMsg::Decided {
+        p.on_message(ProcessId::new(1),
+            &RoundMsg::Decided {
                 value: Value::new(3),
             },
             &mut o,
         );
         assert_eq!(p.decision(), Some(Value::new(3)));
         o.drain();
-        p.on_message(
-            ProcessId::new(2),
-            RoundMsg::Estimate {
+        p.on_message(ProcessId::new(2),
+            &RoundMsg::Estimate {
                 round: 9,
                 est: Value::new(1),
                 ts: 0,
@@ -682,9 +670,8 @@ mod tests {
         let mut p = spawn(3, 1);
         let mut o = out();
         p.on_start(&mut o);
-        p.on_message(
-            ProcessId::new(0),
-            RoundMsg::Propose {
+        p.on_message(ProcessId::new(0),
+            &RoundMsg::Propose {
                 round: 0,
                 value: Value::new(4),
             },
@@ -719,9 +706,8 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         assert_eq!(p.occupancy(0), 5, "everyone begins in round 0");
-        p.on_message(
-            ProcessId::new(3),
-            RoundMsg::Estimate {
+        p.on_message(ProcessId::new(3),
+            &RoundMsg::Estimate {
                 round: 2,
                 est: Value::new(0),
                 ts: 0,

@@ -103,7 +103,12 @@ macro_rules! duration_impl {
                     factor.is_finite() && factor >= 0.0,
                     "duration scale factor must be finite and non-negative, got {factor}"
                 );
-                $ty((self.0 as f64 * factor).round() as u64)
+                // `trunc(x + 0.5)` instead of `x.round()`: no libm call —
+                // this sits under every simulated message's delay
+                // sampling. For products whose fractional part is within
+                // 1 ulp below 0.5 the f64 addition can round up where
+                // `round()` would not, a deterministic ≤1ns divergence.
+                $ty((self.0 as f64 * factor + 0.5) as u64)
             }
 
             /// Saturating subtraction.

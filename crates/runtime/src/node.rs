@@ -114,7 +114,7 @@ pub fn run_node<Proc>(
             Wire::Stop => break,
             Wire::Msg { from, msg } => {
                 let mut out = Outbox::new(clock.now());
-                proc.on_message(from, msg, &mut out);
+                proc.on_message(from, &msg, &mut out);
                 apply(
                     pid,
                     &mut out,

@@ -3,7 +3,7 @@
 
 use crate::clock::DriftClock;
 use crate::error::SimError;
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, EventQueue, MsgPayload};
 use crate::metrics::Report;
 use crate::network::{Delivery, Network, PreStability};
 use crate::oracle::{plan_wab_delivery, LeaderOracle};
@@ -15,10 +15,14 @@ use esync_core::time::RealDuration;
 use esync_core::types::{ProcessId, TimerId, Value};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::{BTreeMap, HashMap};
+use serde::Serialize;
+use std::sync::Arc;
 
 /// Full configuration of one simulated run.
-#[derive(Debug, Clone)]
+///
+/// Serializes (to JSON) so that benchmark artifacts can embed the exact
+/// configuration every number was produced from.
+#[derive(Debug, Clone, Serialize)]
 pub struct SimConfig {
     /// The protocol-visible timing parameters (`N`, `δ`, `σ`, `ε`, `ρ`).
     pub timing: TimingConfig,
@@ -216,18 +220,54 @@ impl SimConfigBuilder {
     }
 }
 
+/// Per-timer bookkeeping enabling *lazy re-arming*.
+///
+/// Protocols re-arm timers constantly (the session timer resets on every
+/// message). Pushing a heap event per re-arm floods the queue with stale
+/// `TimerFire`s. Instead, each slot remembers its armed deadline; a re-arm
+/// only pushes a heap event when no pending event fires early enough, and
+/// a stale pop re-pushes for the currently armed deadline. The timer still
+/// fires at exactly its armed instant.
+#[derive(Debug, Clone, Copy, Default)]
+struct TimerSlot {
+    /// Bumped on every (re-)arm, cancel, and crash; a popped `TimerFire`
+    /// only fires if its epoch is current.
+    epoch: u64,
+    /// The deadline the protocol most recently armed, if any.
+    armed_at: Option<SimTime>,
+    /// Firing time of the earliest pending heap event for this timer
+    /// (an event is guaranteed to pop at or before `armed_at` while armed).
+    next_pending: Option<SimTime>,
+}
+
 /// Per-process runtime envelope.
+///
+/// All hot per-process state is index-addressed: timer slots live in a
+/// small `Vec` indexed by the protocol's (tiny, constant) timer ids rather
+/// than a hash map.
 #[derive(Debug)]
 struct ProcHarness<Proc> {
     proc: Proc,
     clock: DriftClock,
     alive: bool,
     started: bool,
-    timer_epoch: HashMap<TimerId, u64>,
+    /// Timer slots, indexed by `TimerId::get()`. Protocols use single-digit
+    /// constant ids, so this stays tiny and cache-resident.
+    timers: Vec<TimerSlot>,
     decided_at: Option<SimTime>,
     decided_value: Option<Value>,
     crash_times: Vec<SimTime>,
     restart_times: Vec<SimTime>,
+}
+
+impl<Proc> ProcHarness<Proc> {
+    fn timer_slot(&mut self, timer: TimerId) -> &mut TimerSlot {
+        let idx = timer.get() as usize;
+        if idx >= self.timers.len() {
+            self.timers.resize(idx + 1, TimerSlot::default());
+        }
+        &mut self.timers[idx]
+    }
 }
 
 /// A deterministic run of one protocol under one configuration.
@@ -242,11 +282,19 @@ pub struct World<P: Protocol> {
     now: SimTime,
     leader: LeaderOracle,
     initial_values: Vec<Value>,
+    /// Count of processes that are alive, started and undecided — the O(1)
+    /// half of the completion check.
+    live_undecided: usize,
     msgs_sent: u64,
     msgs_sent_after_ts: u64,
-    msgs_by_kind: BTreeMap<&'static str, u64>,
+    /// Per-kind message counts. Protocols have a handful of kinds, so a
+    /// linear scan over this Vec beats a map lookup per sent message.
+    msgs_by_kind: Vec<(&'static str, u64)>,
     msgs_dropped: u64,
     events: u64,
+    /// Reused outbox: one action buffer for the whole run instead of one
+    /// allocation per event.
+    scratch: Outbox<P::Msg>,
     trace: Option<Vec<String>>,
 }
 
@@ -270,7 +318,7 @@ impl<P: Protocol> World<P> {
                 clock: DriftClock::sample(cfg.timing.rho(), &mut rng),
                 alive: false,
                 started: false,
-                timer_epoch: HashMap::new(),
+                timers: Vec::with_capacity(8),
                 decided_at: None,
                 decided_value: None,
                 crash_times: Vec::new(),
@@ -278,7 +326,13 @@ impl<P: Protocol> World<P> {
             })
             .collect();
         let network = Network::new(cfg.ts, cfg.timing.delta(), cfg.post_delay_range, cfg.pre.clone());
-        let mut queue = EventQueue::new();
+        // Pre-size for the steady state: every process broadcasting to every
+        // process plus timers and control events, so the slab does not
+        // regrow during the first busy instants. Bucket width ~δ/16 spreads
+        // in-flight messages across the calendar ring.
+        let width_shift = (cfg.timing.delta().as_nanos() / 16).max(1024).ilog2();
+        let mut queue =
+            EventQueue::with_bucket_width_shift(width_shift, 24 * n * n + 8 * n + 64);
         // Crashes are scheduled before boots at the same instant so that a
         // crash at t=0 prevents the process from ever starting.
         for &(pid, at) in &cfg.scenario.crashes {
@@ -307,11 +361,13 @@ impl<P: Protocol> World<P> {
             now: SimTime::ZERO,
             leader,
             initial_values,
+            live_undecided: 0,
             msgs_sent: 0,
             msgs_sent_after_ts: 0,
-            msgs_by_kind: BTreeMap::new(),
+            msgs_by_kind: Vec::with_capacity(8),
             msgs_dropped: 0,
             events: 0,
+            scratch: Outbox::default(),
             trace: None,
         }
     }
@@ -338,6 +394,12 @@ impl<P: Protocol> World<P> {
         self.cfg.ts
     }
 
+    /// The full configuration of this run (e.g. for embedding in
+    /// benchmark artifacts).
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
     /// Read access to a process's state machine (for typed assertions in
     /// experiments and tests).
     pub fn process(&self, pid: ProcessId) -> &P::Process {
@@ -350,7 +412,14 @@ impl<P: Protocol> World<P> {
     /// time of its choosing. The caller is responsible for injecting only
     /// states the claimed sender could legitimately have reached.
     pub fn inject_message(&mut self, at: SimTime, from: ProcessId, to: ProcessId, msg: P::Msg) {
-        self.queue.push(at, EventKind::Deliver { from, to, msg });
+        self.queue.push(
+            at,
+            EventKind::Deliver {
+                from,
+                to,
+                msg: MsgPayload::Owned(msg),
+            },
+        );
     }
 
     /// Schedules a client submission (multi-instance protocols).
@@ -397,19 +466,19 @@ impl<P: Protocol> World<P> {
         self.now = self.now.max(until);
     }
 
-    /// Whether the completion condition holds.
+    /// Whether the completion condition holds. O(1): both halves are
+    /// maintained incrementally (`live_undecided` by the boot/crash/decide
+    /// handlers, pending control events by the queue).
     pub fn complete(&self) -> bool {
-        let all_decided = self
-            .procs
-            .iter()
-            .all(|h| !(h.alive && h.started) || h.decided_at.is_some());
-        all_decided
-            && !self.queue.any(|k| {
-                matches!(
-                    k,
-                    EventKind::Boot { .. } | EventKind::ClientSubmit { .. }
-                )
-            })
+        debug_assert_eq!(
+            self.live_undecided,
+            self.procs
+                .iter()
+                .filter(|h| h.alive && h.started && h.decided_at.is_none())
+                .count(),
+            "live_undecided counter drifted"
+        );
+        self.live_undecided == 0 && self.queue.control_pending() == 0
     }
 
     /// Processes a single event. Returns `false` if the queue was empty.
@@ -440,6 +509,18 @@ impl<P: Protocol> World<P> {
         self.procs[pid.as_usize()].clock.local_at(self.now)
     }
 
+    /// Takes the reusable outbox, re-armed for an event at `pid`'s local
+    /// clock. Pair with [`World::put_outbox`].
+    fn take_outbox(&mut self, pid: ProcessId) -> Outbox<P::Msg> {
+        let mut out = std::mem::take(&mut self.scratch);
+        out.reset(self.local_now(pid));
+        out
+    }
+
+    fn put_outbox(&mut self, out: Outbox<P::Msg>) {
+        self.scratch = out;
+    }
+
     fn on_boot(&mut self, pid: ProcessId) {
         let h = &mut self.procs[pid.as_usize()];
         if h.alive {
@@ -451,7 +532,10 @@ impl<P: Protocol> World<P> {
             return;
         }
         h.alive = true;
-        let mut out = Outbox::new(self.local_now(pid));
+        if h.decided_at.is_none() {
+            self.live_undecided += 1;
+        }
+        let mut out = self.take_outbox(pid);
         if !self.procs[pid.as_usize()].started {
             self.procs[pid.as_usize()].started = true;
             self.procs[pid.as_usize()].proc.on_start(&mut out);
@@ -460,6 +544,7 @@ impl<P: Protocol> World<P> {
             self.procs[pid.as_usize()].proc.on_restart(&mut out);
         }
         self.apply_actions(pid, &mut out);
+        self.put_outbox(out);
         // A process restarting after the oracle spoke learns the leader.
         if self.cfg.leader_oracle {
             if let Some(leader) = self.leader.current() {
@@ -476,35 +561,71 @@ impl<P: Protocol> World<P> {
             // Crash-before-start: mark started-never; nothing else to do.
             return;
         }
+        if h.alive && h.decided_at.is_none() {
+            self.live_undecided -= 1;
+        }
+        let h = &mut self.procs[pid.as_usize()];
         h.alive = false;
         // All pending timers die with the incarnation.
-        for epoch in h.timer_epoch.values_mut() {
-            *epoch += 1;
+        for slot in &mut h.timers {
+            slot.epoch += 1;
+            slot.armed_at = None;
         }
     }
 
-    fn on_deliver(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
+    fn on_deliver(&mut self, from: ProcessId, to: ProcessId, msg: MsgPayload<P::Msg>) {
         let h = &self.procs[to.as_usize()];
         if !h.alive || !h.started {
             self.msgs_dropped += 1;
             return;
         }
-        let mut out = Outbox::new(self.local_now(to));
-        self.procs[to.as_usize()].proc.on_message(from, msg, &mut out);
+        let mut out = self.take_outbox(to);
+        self.procs[to.as_usize()]
+            .proc
+            .on_message(from, msg.get(), &mut out);
+        drop(msg);
         self.apply_actions(to, &mut out);
+        self.put_outbox(out);
     }
 
     fn on_timer_fire(&mut self, pid: ProcessId, timer: TimerId, epoch: u64) {
+        let now = self.now;
+        let h = &mut self.procs[pid.as_usize()];
+        let slot = h.timer_slot(timer);
+        slot.next_pending = None;
+        if slot.epoch != epoch {
+            // Superseded or cancelled. If the timer was re-armed to a later
+            // deadline, this (earlier) pop is where the deferred heap event
+            // gets scheduled — see `TimerSlot`.
+            if let Some(armed) = slot.armed_at {
+                debug_assert!(armed >= now, "armed deadlines are never in the past");
+                let current_epoch = slot.epoch;
+                slot.next_pending = Some(armed);
+                self.queue.push(
+                    armed,
+                    EventKind::TimerFire {
+                        pid,
+                        timer,
+                        epoch: current_epoch,
+                    },
+                );
+            }
+            return;
+        }
+        // Current epoch: this is the armed deadline firing. Consume the
+        // arm by bumping the epoch — duplicate heap events for the same
+        // epoch can exist (a stale pop re-pushing for a deadline that a
+        // `SetTimer` also pushed for), and exactly one of them may fire.
+        slot.epoch += 1;
+        slot.armed_at = None;
         let h = &self.procs[pid.as_usize()];
         if !h.alive || !h.started {
             return;
         }
-        if h.timer_epoch.get(&timer).copied().unwrap_or(0) != epoch {
-            return; // superseded or cancelled
-        }
-        let mut out = Outbox::new(self.local_now(pid));
+        let mut out = self.take_outbox(pid);
         self.procs[pid.as_usize()].proc.on_timer(timer, &mut out);
         self.apply_actions(pid, &mut out);
+        self.put_outbox(out);
     }
 
     fn on_wab_deliver(&mut self, to: ProcessId, msg: esync_core::wab::WabMessage) {
@@ -512,9 +633,10 @@ impl<P: Protocol> World<P> {
         if !h.alive || !h.started {
             return;
         }
-        let mut out = Outbox::new(self.local_now(to));
+        let mut out = self.take_outbox(to);
         self.procs[to.as_usize()].proc.on_wab_deliver(msg, &mut out);
         self.apply_actions(to, &mut out);
+        self.put_outbox(out);
     }
 
     fn on_leader_announce(&mut self) {
@@ -539,11 +661,12 @@ impl<P: Protocol> World<P> {
         if !h.alive || !h.started {
             return;
         }
-        let mut out = Outbox::new(self.local_now(to));
+        let mut out = self.take_outbox(to);
         self.procs[to.as_usize()]
             .proc
             .on_leader_change(leader, &mut out);
         self.apply_actions(to, &mut out);
+        self.put_outbox(out);
     }
 
     fn on_client_submit(&mut self, pid: ProcessId, value: Value) {
@@ -551,59 +674,144 @@ impl<P: Protocol> World<P> {
         if !h.alive || !h.started {
             return;
         }
-        let mut out = Outbox::new(self.local_now(pid));
+        let mut out = self.take_outbox(pid);
         self.procs[pid.as_usize()].proc.on_client(value, &mut out);
         self.apply_actions(pid, &mut out);
+        self.put_outbox(out);
     }
 
-    fn send_one(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
+    /// Counts one message of `kind`. Linear scan: protocols declare only a
+    /// handful of kinds, so this beats a map lookup per message.
+    fn count_kind(&mut self, kind: &'static str, by: u64) {
+        for (k, v) in &mut self.msgs_by_kind {
+            if *k == kind {
+                *v += by;
+                return;
+            }
+        }
+        self.msgs_by_kind.push((kind, by));
+    }
+
+    fn account_send(&mut self, kind: &'static str) {
         self.msgs_sent += 1;
         if self.now >= self.cfg.ts {
             self.msgs_sent_after_ts += 1;
         }
-        *self.msgs_by_kind.entry(P::kind_of(&msg)).or_insert(0) += 1;
+        self.count_kind(kind, 1);
+    }
+
+    fn send_one(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
+        self.account_send(P::kind_of(&msg));
         match self.network.classify(self.now, from, to, &mut self.rng) {
             Delivery::Drop => self.msgs_dropped += 1,
             Delivery::At(t) => {
-                self.queue.push(t, EventKind::Deliver { from, to, msg });
+                self.queue.push(
+                    t,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        msg: MsgPayload::Owned(msg),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Fans one broadcast payload out to every process.
+    ///
+    /// Messages that own heap data (detected at compile time via
+    /// [`std::mem::needs_drop`], e.g. a phase-1b carrying a `Vec` of votes)
+    /// are allocated **once** behind an `Arc` and shared by every
+    /// recipient's delivery event — zero deep clones. Flat `Copy`-style
+    /// messages are cheaper to memcpy inline than to route through a shared
+    /// allocation, so they stay owned. The branch is a monomorphization-time
+    /// constant.
+    fn broadcast(&mut self, from: ProcessId, msg: P::Msg) {
+        let n = self.cfg.timing.n();
+        // One accounting update for the whole fan-out instead of n.
+        self.msgs_sent += n as u64;
+        if self.now >= self.cfg.ts {
+            self.msgs_sent_after_ts += n as u64;
+        }
+        self.count_kind(P::kind_of(&msg), n as u64);
+        if std::mem::needs_drop::<P::Msg>() {
+            let shared = Arc::new(msg);
+            for to in ProcessId::all(n) {
+                match self.network.classify(self.now, from, to, &mut self.rng) {
+                    Delivery::Drop => self.msgs_dropped += 1,
+                    Delivery::At(t) => {
+                        self.queue.push(
+                            t,
+                            EventKind::Deliver {
+                                from,
+                                to,
+                                msg: MsgPayload::Shared(Arc::clone(&shared)),
+                            },
+                        );
+                    }
+                }
+            }
+        } else {
+            for to in ProcessId::all(n) {
+                match self.network.classify(self.now, from, to, &mut self.rng) {
+                    Delivery::Drop => self.msgs_dropped += 1,
+                    Delivery::At(t) => {
+                        self.queue.push(
+                            t,
+                            EventKind::Deliver {
+                                from,
+                                to,
+                                msg: MsgPayload::Owned(msg.clone()),
+                            },
+                        );
+                    }
+                }
             }
         }
     }
 
     fn apply_actions(&mut self, pid: ProcessId, out: &mut Outbox<P::Msg>) {
         let n = self.cfg.timing.n();
-        for action in out.drain() {
+        for action in out.drain_iter() {
             match action {
                 Action::Send { to, msg } => self.send_one(pid, to, msg),
-                Action::Broadcast { msg } => {
-                    for to in ProcessId::all(n) {
-                        self.send_one(pid, to, msg.clone());
-                    }
-                }
+                Action::Broadcast { msg } => self.broadcast(pid, msg),
                 Action::SetTimer { id, after } => {
                     let h = &mut self.procs[pid.as_usize()];
-                    let epoch = h.timer_epoch.entry(id).or_insert(0);
-                    *epoch += 1;
-                    let epoch = *epoch;
                     let fire_at = h.clock.real_after(self.now, after);
-                    self.queue.push(
-                        fire_at,
-                        EventKind::TimerFire {
-                            pid,
-                            timer: id,
-                            epoch,
-                        },
-                    );
+                    let slot = h.timer_slot(id);
+                    slot.epoch += 1;
+                    slot.armed_at = Some(fire_at);
+                    // Lazy re-arm: if a pending heap event already fires at
+                    // or before the new deadline, reuse it (its stale pop
+                    // re-pushes for the armed deadline) instead of flooding
+                    // the queue with one event per re-arm.
+                    if slot.next_pending.is_none_or(|p| p > fire_at) {
+                        slot.next_pending = Some(fire_at);
+                        let epoch = slot.epoch;
+                        self.queue.push(
+                            fire_at,
+                            EventKind::TimerFire {
+                                pid,
+                                timer: id,
+                                epoch,
+                            },
+                        );
+                    }
                 }
                 Action::CancelTimer { id } => {
-                    let h = &mut self.procs[pid.as_usize()];
-                    *h.timer_epoch.entry(id).or_insert(0) += 1;
+                    let slot = self.procs[pid.as_usize()].timer_slot(id);
+                    slot.epoch += 1;
+                    slot.armed_at = None;
                 }
                 Action::Decide { value } => {
                     let h = &mut self.procs[pid.as_usize()];
                     if h.decided_at.is_none() {
                         h.decided_at = Some(self.now);
                         h.decided_value = Some(value);
+                        if h.alive && h.started {
+                            self.live_undecided -= 1;
+                        }
                     }
                 }
                 Action::WabBroadcast { msg } => {
@@ -621,7 +829,7 @@ impl<P: Protocol> World<P> {
                     if self.now >= self.cfg.ts {
                         self.msgs_sent_after_ts += n as u64;
                     }
-                    *self.msgs_by_kind.entry("wab").or_insert(0) += n as u64;
+                    self.count_kind("wab", n as u64);
                 }
             }
         }
@@ -888,5 +1096,75 @@ mod tests {
         assert!(r.agreement());
         let worst = r.max_decision_after_ts().unwrap();
         assert!(worst <= bound, "worst {worst} > bound {bound}");
+    }
+
+    /// Regression: the lazy-rearm machinery must fire each timer arm at
+    /// most once. The trap: arm at +10ms, re-arm *earlier* at +5ms (two
+    /// heap events now pending), then re-arm at +20ms from inside the
+    /// first fire — the stale +10ms pop re-pushes for the +20ms deadline
+    /// that the re-arm also pushed for, creating duplicate same-epoch
+    /// events. Exactly one of them may fire.
+    #[test]
+    fn rearmed_timer_fires_once_per_arm() {
+        use esync_core::outbox::{Outbox, Process, Protocol};
+        use esync_core::time::LocalDuration;
+
+        #[derive(Debug)]
+        struct TimerScript {
+            id: ProcessId,
+            fires: u32,
+            decided: Option<Value>,
+        }
+        impl Process for TimerScript {
+            type Msg = ();
+            fn id(&self) -> ProcessId {
+                self.id
+            }
+            fn on_start(&mut self, out: &mut Outbox<()>) {
+                let t = esync_core::types::TimerId::new(0);
+                out.set_timer(t, LocalDuration::from_millis(10));
+                out.set_timer(t, LocalDuration::from_millis(5)); // earlier re-arm
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: &(), _o: &mut Outbox<()>) {}
+            fn on_timer(&mut self, timer: esync_core::types::TimerId, out: &mut Outbox<()>) {
+                self.fires += 1;
+                if self.fires == 1 {
+                    out.set_timer(timer, LocalDuration::from_millis(20));
+                }
+                // No re-arm after the second fire: any further fire is a
+                // duplicate of an already-consumed arm.
+            }
+            fn on_restart(&mut self, _o: &mut Outbox<()>) {}
+            fn decision(&self) -> Option<Value> {
+                self.decided
+            }
+        }
+        #[derive(Debug)]
+        struct TimerScriptProto;
+        impl Protocol for TimerScriptProto {
+            type Msg = ();
+            type Process = TimerScript;
+            fn name(&self) -> &'static str {
+                "timer-script"
+            }
+            fn spawn(&self, id: ProcessId, _cfg: &TimingConfig, _v: Value) -> TimerScript {
+                TimerScript {
+                    id,
+                    fires: 0,
+                    decided: None,
+                }
+            }
+        }
+
+        let cfg = SimConfig::builder(1)
+            .seed(0)
+            .stability_at_millis(0)
+            .pre_stability(PreStability::lossless())
+            .build()
+            .unwrap();
+        let mut w = World::new(cfg, TimerScriptProto);
+        // Drive past every pending (including duplicate) timer event.
+        w.run_until(SimTime::from_millis(200));
+        assert_eq!(w.process(ProcessId::new(0)).fires, 2, "one fire per arm");
     }
 }

@@ -1,0 +1,22 @@
+# Common workflows. Run `just -l` for the list.
+
+# Build everything (release) and run the full test suite.
+check:
+    cargo build --release --workspace
+    cargo test -q --workspace
+
+# Lint like CI does.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Run the full experiment suite and refresh every BENCH_*.json artifact.
+bench:
+    scripts/bench.sh
+
+# One experiment by short name (e.g. `just exp e1`, `just exp micro`).
+exp name:
+    scripts/bench.sh {{name}}
+
+# The Criterion micro-benchmarks only, capturing BENCH_micro.json.
+micro:
+    scripts/bench.sh micro

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Runs the full experiment suite and refreshes every BENCH_*.json artifact
+# at the workspace root (tables print to stdout as they complete).
+#
+# Usage:
+#   scripts/bench.sh            # all experiments + micro benchmarks
+#   scripts/bench.sh e1 micro   # a subset, by short name
+#   SWEEP_THREADS=4 scripts/bench.sh e1   # pin the sweep thread count
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+targets=(
+    exp_e1_decision_vs_n
+    exp_e2_obsolete_ballots
+    exp_e3_dead_coordinators
+    exp_e4_restart_recovery
+    exp_e5_bconsensus
+    exp_e6_epsilon_tradeoff
+    exp_e7_stable_case
+    exp_e8_clock_drift
+    exp_e9_ablations
+    exp_e10_bound_check
+    micro_simulator
+)
+
+# Subset selection: map "e1" → exp_e1_*, "micro" → micro_simulator.
+if [ "$#" -gt 0 ]; then
+    selected=()
+    for want in "$@"; do
+        for t in "${targets[@]}"; do
+            case "$t" in
+                "exp_${want}_"*|"$want"|"${want}_simulator") selected+=("$t") ;;
+            esac
+        done
+    done
+    [ "${#selected[@]}" -gt 0 ] || { echo "no target matches: $*" >&2; exit 1; }
+    targets=("${selected[@]}")
+fi
+
+for t in "${targets[@]}"; do
+    echo "=== $t ==="
+    if [ "$t" = micro_simulator ]; then
+        CRITERION_OUT="$PWD/BENCH_micro.json" cargo bench -q -p esync-bench --bench "$t"
+    else
+        cargo bench -q -p esync-bench --bench "$t"
+    fi
+done
+
+echo
+echo "artifacts:"
+ls -1 BENCH_*.json

@@ -1,0 +1,135 @@
+//! The repo's core invariant, extended to the parallel experiment engine:
+//! identical `(seed, SimConfig)` must produce **bit-identical** `Report`s
+//! whether the sweep runs serially or across any number of threads, in
+//! any interleaving. Artifacts built from those reports must be
+//! byte-identical too (modulo wall-clock fields, which are excluded here
+//! by serializing the reports themselves).
+
+use esync::core::bconsensus::BConsensus;
+use esync::core::outbox::Protocol;
+use esync::core::paxos::session::SessionPaxos;
+use esync::core::paxos::traditional::TraditionalPaxos;
+use esync::core::round_based::RotatingCoordinator;
+use esync::core::types::ProcessId;
+use esync::sim::{PreStability, Report, Scenario, SimConfig, SimTime};
+use esync_bench::SweepRunner;
+
+fn chaos_cfg(n: usize, seed: u64) -> SimConfig {
+    SimConfig::builder(n)
+        .seed(seed)
+        .stability_at_millis(250)
+        .pre_stability(PreStability::chaos())
+        .build()
+        .expect("valid config")
+}
+
+/// Bit-identical comparison via the serialized form (covers every field,
+/// including per-process vectors and message-kind counts).
+fn fingerprint(reports: &[Report]) -> Vec<String> {
+    reports
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("report serializes"))
+        .collect()
+}
+
+#[test]
+fn serial_and_parallel_sweeps_are_bit_identical() {
+    let seeds = 12;
+    let serial = SweepRunner::with_threads(1)
+        .run_seeds(seeds, |s| chaos_cfg(5, s), SessionPaxos::new)
+        .expect("serial completes");
+    for threads in [2, 3, 8] {
+        let parallel = SweepRunner::with_threads(threads)
+            .run_seeds(seeds, |s| chaos_cfg(5, s), SessionPaxos::new)
+            .expect("parallel completes");
+        assert_eq!(
+            fingerprint(&serial),
+            fingerprint(&parallel),
+            "{threads}-thread sweep diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_sweeps_are_bit_identical() {
+    let run = || {
+        SweepRunner::with_threads(4)
+            .run_seeds(10, |s| chaos_cfg(3, s), SessionPaxos::new)
+            .expect("completes")
+    };
+    assert_eq!(fingerprint(&run()), fingerprint(&run()));
+}
+
+#[test]
+fn determinism_holds_across_protocols() {
+    fn check<P: Protocol>(mk: impl Fn() -> P + Sync + Copy) {
+        let serial = SweepRunner::with_threads(1)
+            .run_seeds(6, |s| chaos_cfg(3, s), mk)
+            .expect("serial completes");
+        let parallel = SweepRunner::with_threads(3)
+            .run_seeds(6, |s| chaos_cfg(3, s), mk)
+            .expect("parallel completes");
+        assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+    }
+    check(SessionPaxos::new);
+    check(RotatingCoordinator::new);
+    check(BConsensus::modified);
+    check(BConsensus::original);
+}
+
+#[test]
+fn determinism_holds_for_traditional_paxos_with_oracle() {
+    // Traditional Paxos depends on the leader-election oracle for liveness.
+    let mk_cfg = |seed: u64| {
+        SimConfig::builder(3)
+            .seed(seed)
+            .stability_at_millis(250)
+            .pre_stability(PreStability::chaos())
+            .leader_oracle(true)
+            .build()
+            .expect("valid config")
+    };
+    let serial = SweepRunner::with_threads(1)
+        .run_seeds(6, mk_cfg, TraditionalPaxos::new)
+        .expect("serial completes");
+    let parallel = SweepRunner::with_threads(3)
+        .run_seeds(6, mk_cfg, TraditionalPaxos::new)
+        .expect("parallel completes");
+    assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+}
+
+#[test]
+fn determinism_holds_with_fault_scripts() {
+    let mk_cfg = |seed: u64| {
+        SimConfig::builder(5)
+            .seed(seed)
+            .stability_at_millis(250)
+            .pre_stability(PreStability::chaos())
+            .scenario(Scenario::none().down_between(
+                ProcessId::new(4),
+                SimTime::from_millis(20),
+                SimTime::from_millis(400),
+            ))
+            .build()
+            .expect("valid config")
+    };
+    let serial = SweepRunner::with_threads(1)
+        .run_seeds(8, mk_cfg, SessionPaxos::new)
+        .expect("serial completes");
+    let parallel = SweepRunner::with_threads(4)
+        .run_seeds(8, mk_cfg, SessionPaxos::new)
+        .expect("parallel completes");
+    assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+    for r in &serial {
+        assert!(r.agreement() && r.validity());
+    }
+}
+
+#[test]
+fn results_arrive_in_seed_order_regardless_of_threads() {
+    let reports = SweepRunner::with_threads(8)
+        .run_seeds(16, |s| chaos_cfg(3, s), SessionPaxos::new)
+        .expect("completes");
+    let seeds: Vec<u64> = reports.iter().map(|r| r.seed).collect();
+    assert_eq!(seeds, (0..16).collect::<Vec<_>>());
+}

@@ -1,0 +1,243 @@
+//! Vendored minimal `criterion`: a wall-clock micro-benchmark harness with
+//! the upstream API shape (`criterion_group!` / `criterion_main!`,
+//! `bench_function`, `benchmark_group` + `bench_with_input`). Each
+//! benchmark is warmed up, then timed over `sample_size` samples; the
+//! median/mean/min/max per-iteration nanoseconds are printed and, when the
+//! `CRITERION_OUT` environment variable is set, appended as a JSON array
+//! to that path so scripts can capture a machine-readable trajectory.
+
+use serde::Serialize;
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One benchmark's timing summary, in nanoseconds per iteration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Benchmark id (`group/param` or the bare function name).
+    pub id: String,
+    /// Samples collected.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Median ns/iter across samples.
+    pub median_ns: f64,
+    /// Mean ns/iter across samples.
+    pub mean_ns: f64,
+    /// Fastest sample's ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample's ns/iter.
+    pub max_ns: f64,
+}
+
+static RESULTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (min 5).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` against one input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let n = self.criterion.sample_size;
+        run_one(&full, n, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (upstream-API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a parameter value (e.g. an input size).
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<P: Display>(name: &str, p: P) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] exactly once.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_batch<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    // Calibrate: grow the per-sample iteration count until one sample
+    // takes ≥ ~20ms (or we hit a generous cap for very slow benches).
+    let mut iters: u64 = 1;
+    loop {
+        let d = time_batch(&mut f, iters);
+        if d >= Duration::from_millis(20) || iters >= 1 << 20 {
+            break;
+        }
+        // Grow toward the target with a safety factor of 2.
+        let target = Duration::from_millis(25).as_nanos() as u64;
+        let got = d.as_nanos().max(1) as u64;
+        iters = (iters * (target / got).clamp(2, 64)).min(1 << 20);
+    }
+    // Warmup once more at the chosen count, then sample.
+    time_batch(&mut f, iters);
+    let mut per_iter: Vec<f64> = (0..sample_size)
+        .map(|_| time_batch(&mut f, iters).as_nanos() as f64 / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = if per_iter.len() % 2 == 1 {
+        per_iter[per_iter.len() / 2]
+    } else {
+        (per_iter[per_iter.len() / 2 - 1] + per_iter[per_iter.len() / 2]) / 2.0
+    };
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let m = Measurement {
+        id: id.to_string(),
+        samples: per_iter.len(),
+        iters_per_sample: iters,
+        median_ns: median,
+        mean_ns: mean,
+        min_ns: per_iter[0],
+        max_ns: *per_iter.last().unwrap(),
+    };
+    println!(
+        "{:<44} time: [{} .. {} .. {}]  ({} samples × {} iters)",
+        m.id,
+        fmt_ns(m.min_ns),
+        fmt_ns(m.median_ns),
+        fmt_ns(m.max_ns),
+        m.samples,
+        m.iters_per_sample,
+    );
+    RESULTS.lock().unwrap().push(m);
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Writes all recorded measurements as a JSON array to `$CRITERION_OUT`
+/// (if set). Called by the `criterion_main!` expansion after every group
+/// has run.
+pub fn write_results() {
+    let results = RESULTS.lock().unwrap();
+    if let Ok(path) = std::env::var("CRITERION_OUT") {
+        let json = serde_json::to_string_pretty(&*results).expect("measurements serialize");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("criterion (vendored): cannot write {path}: {e}");
+        } else {
+            println!("criterion (vendored): wrote {} results to {path}", results.len());
+        }
+    }
+}
+
+/// Declares a benchmark group function (upstream-compatible forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every group then
+/// flushing JSON results.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::write_results();
+        }
+    };
+}

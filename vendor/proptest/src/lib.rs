@@ -1,0 +1,448 @@
+//! Vendored minimal `proptest`: deterministic random property testing with
+//! the upstream macro surface (`proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assume!`, range/tuple strategies, `any`,
+//! `collection::vec`, `option::of`, `prop_map`). No shrinking: a failing
+//! case reports its inputs (every strategy value is `Debug`) so it can be
+//! reproduced by eye; the RNG seed per test is a stable hash of the test's
+//! module path and name, so failures reproduce across runs.
+
+/// Strategy combinators and the [`Strategy`](strategy::Strategy) trait.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.sample_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.sample_range_inclusive(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategies!(u16, u32, u64, usize, i32, i64, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+
+    /// Values with a canonical full-range strategy (see [`super::arbitrary::any`]).
+    pub trait Arbitrary: Debug + Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64_raw()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.next_u64_raw() as u32
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64_raw() & 1 == 1
+        }
+    }
+
+    /// The [`super::arbitrary::any`] strategy.
+    #[derive(Debug)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// `any::<T>()` — the canonical full-range strategy for `T`.
+pub mod arbitrary {
+    use super::strategy::{Any, Arbitrary};
+    use std::marker::PhantomData;
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length lies in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.sample_range(self.size.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`.
+    #[derive(Debug)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Generates `None` half the time, `Some` of the inner strategy
+    /// otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64_raw() & 1 == 1 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The runner: config, RNG and case outcome types.
+pub mod test_runner {
+    use rand::{Rng, RngCore, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case's preconditions were not met (`prop_assume!`); it is
+        /// skipped, not failed.
+        Reject,
+        /// An assertion failed with this message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failed case with the given reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejected (skipped) case.
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Runner configuration (the subset the workspace sets).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to generate per test.
+        pub cases: u32,
+        /// Unused (no shrinking); kept for upstream source compatibility.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig {
+                cases,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// The per-test deterministic RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(ChaCha8Rng);
+
+    impl TestRng {
+        /// Seeds from a stable FNV-1a hash of `name` (so each test has its
+        /// own reproducible stream).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(ChaCha8Rng::seed_from_u64(h))
+        }
+
+        /// The next raw 64 bits.
+        pub fn next_u64_raw(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform sample from a half-open range.
+        pub fn sample_range<T>(&mut self, r: Range<T>) -> T
+        where
+            Range<T>: rand::SampleRange<Output = T>,
+        {
+            self.0.gen_range(r)
+        }
+
+        /// Uniform sample from an inclusive range.
+        pub fn sample_range_inclusive<T>(&mut self, r: RangeInclusive<T>) -> T
+        where
+            RangeInclusive<T>: rand::SampleRange<Output = T>,
+        {
+            self.0.gen_range(r)
+        }
+    }
+}
+
+/// The upstream-style prelude.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            __a
+        );
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+/// Declares property tests (upstream-compatible surface syntax).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    { ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )* } => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                #[allow(clippy::redundant_closure_call)]
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __result {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {} failed: {}\n  inputs: {}",
+                            __case, msg, __inputs
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[allow(unused_imports)]
+use strategy::Strategy as _;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 3u64..10, f in 0.0f64..=1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0u32..5, 0u32..5).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair <= 8);
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u32..3, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn option_of(o in crate::option::of(1u64..4)) {
+            if let Some(x) = o {
+                prop_assert!((1..4).contains(&x));
+            }
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, .. ProptestConfig::default() })]
+
+        #[test]
+        fn config_applies(x in any::<u64>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable() {
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        assert_eq!(a.next_u64_raw(), b.next_u64_raw());
+    }
+}

@@ -1,0 +1,198 @@
+//! Vendored minimal `rand`: the trait surface this workspace uses
+//! (`RngCore`, `Rng::{gen_bool, gen_range}`, `SeedableRng`), implemented
+//! offline. Numeric streams are deterministic given an RNG but do **not**
+//! match upstream `rand` bit-for-bit — every consumer in this workspace
+//! only relies on internal determinism.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The raw 32/64-bit generator interface.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (e.g. `[u8; 32]`).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64, then constructs.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample. Panics on an empty range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+#[inline]
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    // Lemire's multiply-shift; span == 0 means the full 2^64 range.
+    if span == 0 {
+        return rng.next_u64();
+    }
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 uniform bits in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    // Full 64-bit range: span + 1 would overflow.
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_u64(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+int_ranges!(u16, u32, u64, usize);
+
+macro_rules! signed_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + uniform_u64(rng, span.wrapping_add(1)) as i128) as $t
+            }
+        }
+    )*};
+}
+signed_ranges!(i32, i64);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + unit_f64(rng) * (hi - lo)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        if p >= 1.0 {
+            return true;
+        }
+        unit_f64(self) < p
+    }
+
+    /// Draws a uniform sample from `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Lcg(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(3u64..10);
+            assert!((3..10).contains(&v));
+            let v = r.gen_range(0usize..5);
+            assert!(v < 5);
+            let f = r.gen_range(-0.5f64..=0.5);
+            assert!((-0.5..=0.5).contains(&f));
+            let i = r.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Lcg(2);
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+        let hits = (0..2000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((400..800).contains(&hits), "got {hits}");
+    }
+}

@@ -1,0 +1,369 @@
+//! Vendored minimal `serde`: just enough of the upstream surface for this
+//! workspace to build and serialize its artifacts **offline** (the build
+//! environment has no crates.io access).
+//!
+//! The data model is JSON-only: [`Serialize`] writes straight into a
+//! [`Serializer`] that renders JSON text (compact or pretty). The derive
+//! macros live in the sibling `serde_derive` crate and emit the upstream
+//! default representations (objects for named structs, newtype
+//! transparency, externally-tagged enums). [`Deserialize`] is a marker
+//! trait — nothing in the workspace parses JSON back.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can render themselves as JSON through a [`Serializer`].
+pub trait Serialize {
+    /// Writes `self` into the serializer.
+    fn serialize(&self, s: &mut Serializer);
+}
+
+/// Marker for types whose derive requested `Deserialize`.
+///
+/// Deserialization is not implemented in the vendored shim; the derive
+/// emits an empty impl so `#[derive(Deserialize)]` stays source-compatible.
+pub trait Deserialize {}
+
+/// A JSON text writer with optional pretty-printing.
+#[derive(Debug)]
+pub struct Serializer {
+    out: String,
+    /// Per-open-container "is the next element the first one?" flags.
+    firsts: Vec<bool>,
+    pretty: bool,
+}
+
+impl Serializer {
+    /// A compact (single-line) serializer.
+    pub fn new() -> Self {
+        Serializer {
+            out: String::new(),
+            firsts: Vec::new(),
+            pretty: false,
+        }
+    }
+
+    /// A pretty-printing (2-space indented) serializer.
+    pub fn pretty() -> Self {
+        Serializer {
+            pretty: true,
+            ..Serializer::new()
+        }
+    }
+
+    /// Consumes the serializer, returning the rendered JSON.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.firsts.len() {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn elem_separator(&mut self) {
+        match self.firsts.last_mut() {
+            Some(first) if *first => *first = false,
+            Some(_) => self.out.push(','),
+            None => {}
+        }
+        if self.pretty && !self.firsts.is_empty() {
+            self.newline_indent();
+        }
+    }
+
+    /// Opens a JSON object.
+    pub fn begin_map(&mut self) {
+        self.out.push('{');
+        self.firsts.push(true);
+    }
+
+    /// Writes an object key (with its separating comma if needed).
+    pub fn key(&mut self, k: &str) {
+        self.elem_separator();
+        write_json_string(&mut self.out, k);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    /// Closes the innermost JSON object.
+    pub fn end_map(&mut self) {
+        let was_empty = self.firsts.pop().unwrap_or(true);
+        if self.pretty && !was_empty {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Opens a JSON array.
+    pub fn begin_seq(&mut self) {
+        self.out.push('[');
+        self.firsts.push(true);
+    }
+
+    /// Starts the next array element (with its separating comma if needed).
+    pub fn seq_elem(&mut self) {
+        self.elem_separator();
+    }
+
+    /// Closes the innermost JSON array.
+    pub fn end_seq(&mut self) {
+        let was_empty = self.firsts.pop().unwrap_or(true);
+        if self.pretty && !was_empty {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    /// Writes `null`.
+    pub fn value_null(&mut self) {
+        self.out.push_str("null");
+    }
+
+    /// Writes a boolean literal.
+    pub fn value_bool(&mut self, b: bool) {
+        self.out.push_str(if b { "true" } else { "false" });
+    }
+
+    /// Writes an unsigned integer.
+    pub fn value_u64(&mut self, v: u64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a signed integer.
+    pub fn value_i64(&mut self, v: i64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a float; non-finite values become `null` (as in serde_json).
+    pub fn value_f64(&mut self, v: f64) {
+        if v.is_finite() {
+            // Make sure the output re-parses as a float, not an int.
+            let s = v.to_string();
+            self.out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                self.out.push_str(".0");
+            }
+        } else {
+            self.value_null();
+        }
+    }
+
+    /// Writes an escaped JSON string.
+    pub fn value_str(&mut self, v: &str) {
+        write_json_string(&mut self.out, v);
+    }
+}
+
+impl Default for Serializer {
+    fn default() -> Self {
+        Serializer::new()
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.value_u64(*self as u64);
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.value_i64(*self as i64);
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self, s: &mut Serializer) {
+        s.value_f64(*self);
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, s: &mut Serializer) {
+        s.value_f64(f64::from(*self));
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut Serializer) {
+        s.value_bool(*self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut Serializer) {
+        s.value_str(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut Serializer) {
+        s.value_str(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.value_null(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_seq();
+        for v in self {
+            s.seq_elem();
+            v.serialize(s);
+        }
+        s.end_seq();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_seq();
+        for v in self {
+            s.seq_elem();
+            v.serialize(s);
+        }
+        s.end_seq();
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_map();
+        for (k, v) in self {
+            // JSON keys must be strings: render the key and quote it if it
+            // did not already render as a string (serde_json does the same
+            // for integer keys).
+            let mut ks = Serializer::new();
+            k.serialize(&mut ks);
+            let rendered = ks.finish();
+            if rendered.starts_with('"') {
+                // Already a JSON string: splice it in verbatim.
+                s.elem_separator();
+                s.out.push_str(&rendered);
+                s.out.push(':');
+                if s.pretty {
+                    s.out.push(' ');
+                }
+            } else {
+                s.key(&rendered);
+            }
+            v.serialize(s);
+        }
+        s.end_map();
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, s: &mut Serializer) {
+                s.begin_seq();
+                $( s.seq_elem(); self.$idx.serialize(s); )+
+                s.end_seq();
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render<T: Serialize>(v: &T) -> String {
+        let mut s = Serializer::new();
+        v.serialize(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(render(&5u32), "5");
+        assert_eq!(render(&-3i64), "-3");
+        assert_eq!(render(&true), "true");
+        assert_eq!(render(&1.5f64), "1.5");
+        assert_eq!(render(&2.0f64), "2.0");
+        assert_eq!(render(&f64::NAN), "null");
+        assert_eq!(render(&"a\"b".to_string()), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(render(&vec![1u64, 2]), "[1,2]");
+        assert_eq!(render(&Option::<u64>::None), "null");
+        assert_eq!(render(&Some(7u64)), "7");
+        assert_eq!(render(&(1u64, 2.5f64)), "[1,2.5]");
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 1u64);
+        assert_eq!(render(&m), "{\"k\":1}");
+        let mut m2 = BTreeMap::new();
+        m2.insert(3u64, "x".to_string());
+        assert_eq!(render(&m2), "{\"3\":\"x\"}");
+    }
+}

@@ -1,0 +1,317 @@
+//! Vendored minimal `serde_derive`: hand-parsed `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` for the offline build of this repository.
+//!
+//! Supports the subset of shapes this workspace actually uses:
+//!
+//! * named-field structs            → JSON objects
+//! * tuple structs (1 field)        → the inner value (newtype transparency)
+//! * tuple structs (n > 1 fields)   → JSON arrays
+//! * unit structs                   → `null`
+//! * enums with unit / tuple / named-field variants → externally tagged,
+//!   matching upstream serde's default representation
+//!
+//! Generics are intentionally unsupported (no workspace type needs them);
+//! deriving on a generic type is a compile error with a clear message.
+//! `Deserialize` is a marker impl only — nothing in the workspace parses
+//! JSON back into Rust values.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skips attributes (`#[...]` / `#![...]`) and visibility (`pub`,
+/// `pub(crate)`, ...) at the current position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                // Optional `!` for inner attributes.
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                // The `[...]` group.
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // Optional `(crate)` / `(super)` restriction.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Counts non-empty top-level comma-separated segments of a group stream.
+/// Angle brackets are not token groups, so commas inside generic arguments
+/// (`BTreeMap<K, V>`) must be skipped by tracking `<`/`>` depth.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut last_was_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                last_was_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                last_was_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                last_was_comma = true;
+            }
+            _ => last_was_comma = false,
+        }
+    }
+    if last_was_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+/// Extracts field names from a named-field brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        names.push(name.to_string());
+        i += 1;
+        // Expect `:` then skip the type up to the next comma at angle
+        // depth 0 (commas inside `BTreeMap<K, V>` are part of the type).
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    i += 1;
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    i += 1;
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    names
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive (vendored): expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive (vendored): expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!(
+                "serde_derive (vendored): generic type `{name}` is not supported; \
+                 write a manual impl instead"
+            );
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde_derive (vendored): malformed enum body: {other:?}"),
+            };
+            Input::Enum { name, variants }
+        }
+        other => panic!("serde_derive (vendored): cannot derive for `{other}`"),
+    }
+}
+
+fn gen_named_body(fields: &[String], accessor: impl Fn(&str) -> String) -> String {
+    let mut body = String::from("__s.begin_map();");
+    for f in fields {
+        body.push_str(&format!(
+            "__s.key(\"{f}\"); serde::Serialize::serialize({}, __s);",
+            accessor(f)
+        ));
+    }
+    body.push_str("__s.end_map();");
+    body
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let (name, body) = match &parsed {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "__s.value_null();".to_string(),
+                Fields::Tuple(1) => "serde::Serialize::serialize(&self.0, __s);".to_string(),
+                Fields::Tuple(k) => {
+                    let mut b = String::from("__s.begin_seq();");
+                    for idx in 0..*k {
+                        b.push_str(&format!(
+                            "__s.seq_elem(); serde::Serialize::serialize(&self.{idx}, __s);"
+                        ));
+                    }
+                    b.push_str("__s.end_seq();");
+                    b
+                }
+                Fields::Named(fs) => gen_named_body(fs, |f| format!("&self.{f}")),
+            };
+            (name.clone(), body)
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => {{ __s.value_str(\"{vn}\"); }}\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(__f0) => {{ __s.begin_map(); __s.key(\"{vn}\"); \
+                             serde::Serialize::serialize(__f0, __s); __s.end_map(); }}\n"
+                        ));
+                    }
+                    Fields::Tuple(k) => {
+                        let binders: Vec<String> = (0..*k).map(|i| format!("__f{i}")).collect();
+                        let mut inner = String::from("__s.begin_seq();");
+                        for b in &binders {
+                            inner.push_str(&format!(
+                                "__s.seq_elem(); serde::Serialize::serialize({b}, __s);"
+                            ));
+                        }
+                        inner.push_str("__s.end_seq();");
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ __s.begin_map(); __s.key(\"{vn}\"); \
+                             {inner} __s.end_map(); }}\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let inner = gen_named_body(fs, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ __s.begin_map(); __s.key(\"{vn}\"); \
+                             {inner} __s.end_map(); }}\n",
+                            fs.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name.clone(), format!("match self {{ {arms} }}"))
+        }
+    };
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize(&self, __s: &mut serde::Serializer) {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = match &parsed {
+        Input::Struct { name, .. } | Input::Enum { name, .. } => name.clone(),
+    };
+    format!("impl serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,51 @@
+//! Vendored minimal `serde_json`: serialization to JSON text over the
+//! vendored `serde` shim. No deserialization (nothing in the workspace
+//! parses JSON back into Rust values).
+
+use std::fmt;
+
+/// Serialization error. The vendored writer is infallible, so this is
+/// never actually constructed; it exists for upstream API compatibility.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json (vendored) error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails (the `Result` mirrors the upstream signature).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut s = serde::Serializer::new();
+    value.serialize(&mut s);
+    Ok(s.finish())
+}
+
+/// Renders `value` as pretty-printed (2-space indented) JSON.
+///
+/// # Errors
+///
+/// Never fails (the `Result` mirrors the upstream signature).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut s = serde::Serializer::pretty();
+    value.serialize(&mut s);
+    Ok(s.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compact_and_pretty() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(super::to_string(&v).unwrap(), "[1,2,3]");
+        let p = super::to_string_pretty(&v).unwrap();
+        assert!(p.contains("\n  1,"));
+    }
+}

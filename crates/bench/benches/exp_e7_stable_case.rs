@@ -24,7 +24,7 @@ use std::time::Instant;
 fn commit_time(world: &mut World<MultiPaxos>, n: usize, value: Value) -> SimTime {
     loop {
         let all = ProcessId::all(n)
-            .all(|p| world.process(p).log().values().any(|v| *v == value));
+            .all(|p| world.process(p).log_values().any(|v| v == value));
         if all {
             return world.now();
         }

@@ -12,6 +12,7 @@ use esync_core::config::TimingConfig;
 use esync_core::outbox::{Outbox, Process, Protocol};
 use esync_core::paxos::messages::PaxosMsg;
 use esync_core::paxos::session::SessionPaxos;
+use esync_core::paxos::state::DecisionTracker;
 use esync_core::time::LocalInstant;
 use esync_core::types::{ProcessId, Value};
 use esync_sim::event::{EventKind, EventQueue, MsgPayload};
@@ -80,6 +81,40 @@ fn bench_protocol_step(c: &mut Criterion) {
                 &mut out,
             );
             black_box(out.drain().len())
+        });
+    });
+}
+
+/// The phase-2b tally: the current-ballot cache vs the `BTreeMap` fallback
+/// — the delta between these two is the fast path's win (a stable run is
+/// ~100% current-ballot hits).
+fn bench_decision_tracker(c: &mut Criterion) {
+    c.bench_function("decision_tracker_2b_current_ballot", |b| {
+        let mut d = DecisionTracker::new();
+        let bal = Ballot::new(1_000_000);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(d.record(64, ProcessId::new(i % 64), bal, Value::new(7)))
+        });
+    });
+    c.bench_function("decision_tracker_2b_old_ballot", |b| {
+        let mut d = DecisionTracker::new();
+        for k in 0..64u64 {
+            d.record(64, ProcessId::new(0), Ballot::new(k), Value::new(7));
+        }
+        // The cache sits on a far newer ballot; every record below goes
+        // through the map.
+        d.record(64, ProcessId::new(0), Ballot::new(1_000_000), Value::new(7));
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(d.record(
+                64,
+                ProcessId::new(i % 64),
+                Ballot::new(u64::from(i % 64)),
+                Value::new(7),
+            ))
         });
     });
 }
@@ -167,6 +202,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_end_to_end, bench_chaos_run, bench_protocol_step,
-              bench_event_queue, bench_sweep
+              bench_decision_tracker, bench_event_queue, bench_sweep
 }
 criterion_main!(benches);

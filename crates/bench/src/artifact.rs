@@ -6,6 +6,7 @@
 //! reproducible from the artifact alone. The JSON schema is documented in
 //! `crates/bench/README.md`.
 
+use esync_sim::metrics::WorkloadSummary;
 use esync_sim::{Report, SimConfig};
 use serde::Serialize;
 use std::path::PathBuf;
@@ -125,6 +126,10 @@ pub struct SweepSummary {
     /// Experiment-specific named scalars (slopes, worst-case latencies,
     /// analytic bounds, …).
     pub extra: Vec<(String, f64)>,
+    /// Steady-state workload measurements (throughput experiments only:
+    /// commits/sec, latency histogram, pre/post-stability split). `null`
+    /// for single-shot sweeps.
+    pub workload: Option<WorkloadSummary>,
 }
 
 impl SweepSummary {
@@ -157,6 +162,7 @@ impl SweepSummary {
             events_total: records.iter().map(|r| r.events).sum(),
             records,
             extra: Vec::new(),
+            workload: None,
         }
     }
 
@@ -166,7 +172,18 @@ impl SweepSummary {
         self.extra.push((name.to_string(), value));
         self
     }
+
+    /// Attaches a workload summary (throughput experiments).
+    #[must_use]
+    pub fn with_workload(mut self, workload: WorkloadSummary) -> SweepSummary {
+        self.workload = Some(workload);
+        self
+    }
 }
+
+/// The artifact schema version this crate writes (see
+/// `crates/bench/README.md`); v2 added the per-sweep `workload` field.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A whole experiment's artifact: every sweep it ran, plus context.
 #[derive(Debug, Clone, Serialize)]
@@ -187,7 +204,7 @@ impl ExperimentArtifact {
         ExperimentArtifact {
             experiment: experiment.to_string(),
             description: description.to_string(),
-            schema_version: 1,
+            schema_version: SCHEMA_VERSION,
             sweeps: Vec::new(),
         }
     }
@@ -257,7 +274,8 @@ mod tests {
         ));
         let json = serde_json::to_string(&a).unwrap();
         assert!(json.contains("\"experiment\":\"exp_test\""));
-        assert!(json.contains("\"schema_version\":1"));
+        assert!(json.contains("\"schema_version\":2"));
         assert!(json.contains("\"runs_per_sec\""));
+        assert!(json.contains("\"workload\":null"));
     }
 }

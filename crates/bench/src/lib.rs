@@ -15,6 +15,8 @@
 //! | `exp_e8_clock_drift` | `ρ` only scales the bound |
 //! | `exp_e9_ablations` | every §4 modification is load-bearing |
 //! | `exp_e10_bound_check` | measured worst ≤ `ε + 3τ + 5δ` (≈ 17δ) |
+//! | `exp_w1_throughput_vs_n` | closed-loop saturation: batching lifts replicated-log commits/sec ≈ `B`× at fixed pipeline window |
+//! | `exp_w2_load_vs_stability` | open-loop load across `TS`: pre-`TS` submissions pay the instability, post-`TS` ones commit in a few `δ` |
 //!
 //! All targets are `harness = false` binaries, so `cargo bench --workspace`
 //! regenerates every table **and** its machine-readable

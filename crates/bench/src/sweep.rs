@@ -102,9 +102,15 @@ impl SweepRunner {
             .collect()
     }
 
-    /// Runs `seeds` independent simulations, building the configuration
-    /// and protocol afresh per seed (the parallel equivalent of
+    /// Runs `seeds` independent simulations (the parallel equivalent of
     /// [`esync_sim::harness::run_seeds`]).
+    ///
+    /// Each worker builds **one** [`World`] for its first seed and
+    /// [`World::reset`]s it for every subsequent one, so a sweep's
+    /// thousands of runs reuse the event queue's slab/ring and the
+    /// per-process harness allocations instead of rebuilding them per
+    /// seed. `World::reset` is bit-identical to fresh construction, so
+    /// results are unchanged.
     ///
     /// # Errors
     ///
@@ -120,9 +126,54 @@ impl SweepRunner {
         C: Fn(u64) -> SimConfig + Sync,
         F: Fn() -> P + Sync,
     {
-        self.run_fn(seeds, |seed| {
-            World::new(mk_cfg(seed), mk_protocol()).run_to_completion()
-        })
+        // One reusable world per worker; `None` until its first seed.
+        fn run_reusing<P: Protocol>(
+            world: &mut Option<World<P>>,
+            cfg: SimConfig,
+            mk_protocol: impl Fn() -> P,
+        ) -> Result<Report, SimError> {
+            let world = match world {
+                Some(w) => {
+                    w.reset(cfg);
+                    w
+                }
+                None => world.insert(World::new(cfg, mk_protocol())),
+            };
+            world.run_to_completion()
+        }
+        if self.threads == 1 || seeds <= 1 {
+            let mut world: Option<World<P>> = None;
+            return (0..seeds)
+                .map(|seed| run_reusing(&mut world, mk_cfg(seed), &mk_protocol))
+                .collect();
+        }
+        let next = AtomicU64::new(0);
+        let slots: Vec<Mutex<Option<Result<Report, SimError>>>> =
+            (0..seeds).map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(seeds as usize);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut world: Option<World<P>> = None;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= seeds {
+                            break;
+                        }
+                        let result = run_reusing(&mut world, mk_cfg(i), &mk_protocol);
+                        *slots[i as usize].lock().expect("slot lock") = Some(result);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every index was claimed exactly once")
+            })
+            .collect()
     }
 
     /// Runs a seed sweep and packages it as a timed, serializable

@@ -5,5 +5,6 @@
 pub mod messages;
 pub mod multi;
 pub mod session;
+pub mod slotlog;
 pub mod state;
 pub mod traditional;

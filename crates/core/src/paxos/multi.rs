@@ -12,33 +12,71 @@
 //! of submission (forward → 2a → 2b) in the stable period, as experiment
 //! E7 measures.
 //!
+//! Two throughput mechanisms sit on top of the paper's construction:
+//!
+//! * **Sharded, index-addressed log state**: the per-slot tables that
+//!   grow with the log (acceptor votes, chosen entries, 2b counters) live
+//!   in [`SlotMap`](crate::paxos::slotlog::SlotMap)s — O(1) slot
+//!   addressing with a cache-resident hot tail, instead of a `BTreeMap`
+//!   descent and rebalance per commit. (Bounded working sets — the live
+//!   proposal pipeline, a phase-1b quorum's reported votes — stay in
+//!   `BTreeMap`s.)
+//! * **Proposer-side batching** ("group commit"): an anchored leader packs
+//!   up to [`MultiPaxos::with_batching`]`(max_batch, ..)` client commands
+//!   into one slot, and pipelines at most `max_outstanding` unchosen slots.
+//!   While the pipeline window is full, arriving commands accumulate and
+//!   leave in batches as slots commit — so sustained throughput scales
+//!   with `max_batch · max_outstanding` per round trip instead of being
+//!   capped at one command per consensus instance. The defaults
+//!   (`max_batch = 1`, unbounded window) reproduce the unbatched behavior
+//!   exactly.
+//!
 //! Commands are applied **at-least-once**: a command submitted during a
 //! leadership change may be proposed in two different slots. Deduplication
-//! is an application concern (the replicated-log example tags commands with
-//! unique ids).
+//! is an application concern (the replicated-log example and the
+//! `esync-workload` generators tag commands with unique ids).
 
 use crate::ballot::{Ballot, Session};
 use crate::config::TimingConfig;
 use crate::outbox::{Outbox, Process, Protocol};
-use crate::paxos::messages::Vote;
+use crate::paxos::slotlog::SlotMap;
 use crate::quorum::QuorumTracker;
 use crate::time::LocalInstant;
 use crate::types::{ProcessId, TimerId, Value};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Timer id of the session timer (shared-phase-1 machinery).
 pub const TIMER_SESSION: TimerId = TimerId::new(0);
 /// Timer id of the ε-retransmission tick.
 pub const TIMER_EPSILON: TimerId = TimerId::new(1);
 
+/// One slot's payload: one or more client commands chosen together
+/// ("group commit"). Reference-counted so that the fan-out paths — an
+/// acceptor echoing a 2a as a 2b, a leader re-proposing on the ε tick —
+/// bump a refcount instead of deep-copying the command list.
+pub type Batch = Arc<[Value]>;
+
+/// Builds a batch from its commands.
+pub fn batch_of(values: impl IntoIterator<Item = Value>) -> Batch {
+    values.into_iter().collect()
+}
+
+/// A per-slot acceptor vote: the last ballot voted in, and its batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchVote {
+    /// The ballot of the vote.
+    pub bal: Ballot,
+    /// The batch voted for.
+    pub batch: Batch,
+}
+
 /// A per-slot vote reported in phase 1b.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlotVote {
     /// The log slot.
     pub slot: u64,
     /// The last vote cast in that slot.
-    pub vote: Vote,
+    pub vote: BatchVote,
 }
 
 /// Wire messages of the replicated-log layer.
@@ -62,8 +100,8 @@ pub enum MultiMsg {
         mbal: Ballot,
         /// The log slot.
         slot: u64,
-        /// The proposed value.
-        value: Value,
+        /// The proposed batch.
+        batch: Batch,
     },
     /// Phase 2b for one slot, broadcast to everyone.
     M2b {
@@ -71,8 +109,8 @@ pub enum MultiMsg {
         mbal: Ballot,
         /// The log slot.
         slot: u64,
-        /// The voted value.
-        value: Value,
+        /// The voted batch.
+        batch: Batch,
     },
     /// A client command forwarded to the presumed leader.
     Forward {
@@ -83,8 +121,8 @@ pub enum MultiMsg {
     LogDecided {
         /// The log slot.
         slot: u64,
-        /// The chosen value.
-        value: Value,
+        /// The chosen batch.
+        batch: Batch,
     },
 }
 
@@ -114,12 +152,17 @@ impl MultiMsg {
 }
 
 /// Leader-side phase-1b aggregation across all slots.
+///
+/// `best` stays a `BTreeMap`: this is a short-lived per-election
+/// structure sized by the *reported* votes, rebuilt on every ballot
+/// attempt — the sharded `SlotMap`'s per-shard allocation would cost more
+/// than it saves on exactly the unstable-period election-churn path.
 #[derive(Debug, Clone)]
 struct Multi1bQuorum {
     bal: Ballot,
     tracker: QuorumTracker,
     /// Best (highest-ballot) reported vote per slot.
-    best: BTreeMap<u64, Vote>,
+    best: std::collections::BTreeMap<u64, BatchVote>,
 }
 
 impl Multi1bQuorum {
@@ -127,7 +170,7 @@ impl Multi1bQuorum {
         Multi1bQuorum {
             bal,
             tracker: QuorumTracker::new(n),
-            best: BTreeMap::new(),
+            best: std::collections::BTreeMap::new(),
         }
     }
 
@@ -143,21 +186,84 @@ impl Multi1bQuorum {
                 Some(b) => sv.vote.bal > b.bal,
             };
             if better {
-                self.best.insert(sv.slot, sv.vote);
+                self.best.insert(sv.slot, sv.vote.clone());
             }
         }
         !before && self.tracker.reached()
     }
 }
 
-/// Protocol factory for the replicated-log layer.
+/// 2b counts for one slot, per ballot. Nearly always a single entry (one
+/// live ballot), so a linear scan beats any keyed structure.
 #[derive(Debug, Clone, Default)]
-pub struct MultiPaxos;
+struct Slot2b(Vec<(Ballot, QuorumTracker, Batch)>);
+
+impl Slot2b {
+    /// Records a 2b; returns the chosen batch if this crosses the
+    /// majority threshold for `bal`.
+    fn record(&mut self, n: usize, from: ProcessId, bal: Ballot, batch: &Batch) -> Option<Batch> {
+        let entry = match self.0.iter_mut().find(|(b, ..)| *b == bal) {
+            Some(e) => e,
+            None => {
+                self.0.push((bal, QuorumTracker::new(n), batch.clone()));
+                self.0.last_mut().expect("just pushed")
+            }
+        };
+        debug_assert_eq!(&entry.2, batch, "one batch per (slot, ballot)");
+        let before = entry.1.reached();
+        entry.1.insert(from);
+        (!before && entry.1.reached()).then(|| entry.2.clone())
+    }
+}
+
+/// Protocol factory for the replicated-log layer.
+#[derive(Debug, Clone)]
+pub struct MultiPaxos {
+    max_batch: usize,
+    max_outstanding: usize,
+}
+
+impl Default for MultiPaxos {
+    fn default() -> Self {
+        MultiPaxos::new()
+    }
+}
 
 impl MultiPaxos {
-    /// Creates the factory.
+    /// Creates the factory with batching disabled (`max_batch = 1`) and an
+    /// unbounded pipeline window — the classic one-command-per-slot layer.
     pub fn new() -> Self {
-        MultiPaxos
+        MultiPaxos {
+            max_batch: 1,
+            max_outstanding: usize::MAX,
+        }
+    }
+
+    /// Enables proposer-side batching: up to `max_batch` commands share a
+    /// slot, and at most `max_outstanding` proposed-but-unchosen slots are
+    /// in flight. Commands arriving while the window is full accumulate
+    /// and leave in batches as slots commit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    #[must_use]
+    pub fn with_batching(mut self, max_batch: usize, max_outstanding: usize) -> Self {
+        assert!(max_batch >= 1, "a batch holds at least one command");
+        assert!(max_outstanding >= 1, "the pipeline needs at least one slot");
+        self.max_batch = max_batch;
+        self.max_outstanding = max_outstanding;
+        self
+    }
+
+    /// The configured batch-size cap.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// The configured pipeline-window cap.
+    pub fn max_outstanding(&self) -> usize {
+        self.max_outstanding
     }
 }
 
@@ -178,14 +284,17 @@ impl Protocol for MultiPaxos {
             id,
             cfg: *cfg,
             mbal: Ballot::initial(id),
-            accepted: BTreeMap::new(),
-            log: BTreeMap::new(),
-            decisions: BTreeMap::new(),
+            accepted: SlotMap::new(),
+            log: SlotMap::new(),
+            decisions: SlotMap::new(),
             p1b: None,
             anchored: None,
-            proposals: BTreeMap::new(),
+            proposals: std::collections::BTreeMap::new(),
+            max_batch: self.max_batch,
+            max_outstanding: self.max_outstanding,
             next_slot: 0,
             pending: Vec::new(),
+            admitted: std::collections::BTreeMap::new(),
             session_heard: QuorumTracker::new(cfg.n()),
             timer_expired: false,
             last_p1a2a: None,
@@ -202,19 +311,38 @@ pub struct MultiPaxosProcess {
     cfg: TimingConfig,
     mbal: Ballot,
     /// Per-slot acceptor votes.
-    accepted: BTreeMap<u64, Vote>,
+    accepted: SlotMap<BatchVote>,
     /// Chosen entries.
-    log: BTreeMap<u64, Value>,
-    /// 2b counts per (slot, ballot).
-    decisions: BTreeMap<(u64, Ballot), (QuorumTracker, Value)>,
+    log: SlotMap<Batch>,
+    /// 2b counts per slot (per ballot within the slot).
+    decisions: SlotMap<Slot2b>,
     p1b: Option<Multi1bQuorum>,
     /// The ballot we are anchored at (phase 1 complete for all slots).
     anchored: Option<Ballot>,
-    /// Values we proposed per slot under our anchored ballot.
-    proposals: BTreeMap<u64, Value>,
+    /// Batches we proposed and that are **not yet chosen** — the live
+    /// pipeline, bounded by `max_outstanding` (plus anchoring
+    /// re-completions). Entries leave on commit, so the ε re-propose scan
+    /// and the unanchor requeue touch only in-flight work, never the
+    /// ever-growing committed history (that lives in `log`). A bounded
+    /// working set, so a plain `BTreeMap` beats the sharded store here.
+    proposals: std::collections::BTreeMap<u64, Batch>,
+    max_batch: usize,
+    max_outstanding: usize,
     next_slot: u64,
-    /// Commands awaiting an anchored leader.
+    /// Commands awaiting an anchored leader or pipeline-window space.
     pending: Vec<Value>,
+    /// Every command value this process has seen, mapped to its chosen
+    /// slot once committed (`None` while still queued/proposed).
+    /// Admission is idempotent: the ε re-forward path retries commands
+    /// every tick, and without this map a leader whose pipeline is full
+    /// would re-queue each retry into a fresh slot — duplicating every
+    /// queued command. The slot lets a duplicate Forward of an
+    /// already-chosen command be answered with its `LogDecided`, so a
+    /// submitter whose decision broadcasts were all lost still converges
+    /// and stops retrying. Grows with the log (same asymptotics as `log`
+    /// itself); duplicates remain possible only across leadership changes
+    /// (the documented at-least-once path).
+    admitted: std::collections::BTreeMap<Value, Option<u64>>,
     session_heard: QuorumTracker,
     timer_expired: bool,
     last_p1a2a: Option<LocalInstant>,
@@ -236,14 +364,25 @@ impl MultiPaxosProcess {
         self.anchored == Some(self.mbal) && self.mbal.owner(self.cfg.n()) == self.id
     }
 
-    /// The chosen log so far.
-    pub fn log(&self) -> &BTreeMap<u64, Value> {
+    /// The chosen log so far: one batch per chosen slot.
+    pub fn log(&self) -> &SlotMap<Batch> {
         &self.log
     }
 
-    /// The chosen entry in `slot`, if any.
-    pub fn log_entry(&self, slot: u64) -> Option<Value> {
-        self.log.get(&slot).copied()
+    /// The chosen batch in `slot`, if any.
+    pub fn log_entry(&self, slot: u64) -> Option<&Batch> {
+        self.log.get(slot)
+    }
+
+    /// All chosen commands, flattened in slot order (the order an
+    /// application applies them in).
+    pub fn log_values(&self) -> impl Iterator<Item = Value> + '_ {
+        self.log.values().flat_map(|b| b.iter().copied())
+    }
+
+    /// Commands waiting for an anchored leader or window space.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
     }
 
     fn broadcast_m1a(&mut self, out: &mut Outbox<MultiMsg>) {
@@ -260,6 +399,28 @@ impl MultiPaxosProcess {
         }
     }
 
+    /// Drops leadership state, moving every proposed-but-uncommitted
+    /// command back to `pending` so it is retried (re-forwarded, or
+    /// re-assigned on a later anchoring) rather than silently dropped —
+    /// without this, a command the *leader itself* admitted could vanish
+    /// if no acceptor's vote survives into the next ballot's phase 1b.
+    /// The filter is **value-level** (`admitted[v]` still `None`), not
+    /// slot-level: a command whose slot was taken by a competing leader's
+    /// batch needs the requeue, while one already committed in *any* slot
+    /// must not re-enter `pending` (it would re-forward forever — commits
+    /// never prune it again).
+    fn unanchor(&mut self) {
+        let requeue: Vec<Value> = self
+            .proposals
+            .values()
+            .flat_map(|b| b.iter().copied())
+            .filter(|v| self.admitted.get(v) == Some(&None))
+            .collect();
+        self.pending.extend(requeue);
+        self.anchored = None;
+        self.proposals.clear();
+    }
+
     fn adopt(&mut self, b: Ballot, out: &mut Outbox<MultiMsg>) {
         debug_assert!(b > self.mbal);
         let old_session = self.session();
@@ -268,8 +429,7 @@ impl MultiPaxosProcess {
             self.p1b = None;
         }
         if self.anchored.is_some_and(|ab| ab < b) {
-            self.anchored = None;
-            self.proposals.clear();
+            self.unanchor();
         }
         if b.session(self.cfg.n()) > old_session {
             self.enter_session(true, out);
@@ -280,8 +440,7 @@ impl MultiPaxosProcess {
         let next = self.mbal.next_session(self.id, self.cfg.n());
         self.mbal = next;
         self.p1b = Some(Multi1bQuorum::new(next, self.cfg.n()));
-        self.anchored = None;
-        self.proposals.clear();
+        self.unanchor();
         self.enter_session(false, out);
         self.broadcast_m1a(out);
     }
@@ -301,48 +460,132 @@ impl MultiPaxosProcess {
         }
     }
 
-    fn propose(&mut self, slot: u64, value: Value, out: &mut Outbox<MultiMsg>) {
+    fn propose(&mut self, slot: u64, batch: Batch, out: &mut Outbox<MultiMsg>) {
         debug_assert!(self.is_anchored());
+        debug_assert!(!self.log.contains(slot), "never propose into a chosen slot");
         let bal = self.mbal;
-        // Never propose two values for the same (ballot, slot).
-        let value = *self.proposals.entry(slot).or_insert(value);
-        out.broadcast(MultiMsg::M2a { mbal: bal, slot, value });
+        // Never propose two batches for the same (ballot, slot); a fresh
+        // proposal occupies the pipeline until its slot commits.
+        let batch = self.proposals.entry(slot).or_insert(batch).clone();
+        out.broadcast(MultiMsg::M2a { mbal: bal, slot, batch });
         self.last_p1a2a = Some(out.now());
     }
 
     /// Becomes anchored: re-complete every slot reported in the 1b quorum,
-    /// then assign fresh slots to pending commands.
+    /// then batch-assign fresh slots to pending commands.
     fn anchor(&mut self, out: &mut Outbox<MultiMsg>) {
         let q = self.p1b.take().expect("anchor follows a 1b quorum");
         debug_assert_eq!(q.bal, self.mbal);
         self.anchored = Some(q.bal);
-        self.next_slot = q.best.keys().next_back().map_or(0, |m| m + 1);
-        let to_recomplete: Vec<(u64, Vote)> = q.best.iter().map(|(s, v)| (*s, *v)).collect();
-        for (slot, vote) in to_recomplete {
-            if !self.log.contains_key(&slot) {
-                self.propose(slot, vote.value, out);
+        // Fresh slots start past both the reported votes and our own
+        // log's high-water mark (entries can be learned via `LogDecided`
+        // without any 1b report covering them).
+        self.next_slot = q
+            .best
+            .keys()
+            .next_back()
+            .map_or(0, |m| m + 1)
+            .max(self.log.max_slot().map_or(0, |m| m + 1));
+        // Re-completions bypass the pipeline window: safety requires every
+        // reported slot to finish under the new ballot regardless of load.
+        let to_recomplete: Vec<(u64, Batch)> = q
+            .best
+            .iter()
+            .map(|(s, v)| (*s, v.batch.clone()))
+            .collect();
+        for (slot, batch) in to_recomplete {
+            if !self.log.contains(slot) {
+                self.propose(slot, batch, out);
             }
         }
-        let pending = std::mem::take(&mut self.pending);
-        for value in pending {
-            self.assign(value, out);
+        // A requeued command that a surviving vote already covers (its
+        // old 2a reached an acceptor in this quorum) was just re-proposed
+        // above — assigning it a fresh slot too would commit it twice.
+        if !self.pending.is_empty() {
+            let covered: std::collections::BTreeSet<Value> = self
+                .proposals
+                .values()
+                .flat_map(|b| b.iter().copied())
+                .collect();
+            self.pending.retain(|v| !covered.contains(v));
+        }
+        self.drain_pending(out);
+    }
+
+    /// Admits a command to the held set, idempotently: a value this
+    /// process has already seen (an ε-retry duplicate, or a client
+    /// resubmission of a committed command) is dropped. Returns whether
+    /// the command was newly admitted.
+    fn admit(&mut self, value: Value) -> bool {
+        use std::collections::btree_map::Entry;
+        match self.admitted.entry(value) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(e) => {
+                e.insert(None);
+                self.pending.push(value);
+                true
+            }
         }
     }
 
-    fn assign(&mut self, value: Value, out: &mut Outbox<MultiMsg>) {
+    /// Moves pending commands into fresh slots, `max_batch` per slot, while
+    /// the pipeline window has space.
+    fn drain_pending(&mut self, out: &mut Outbox<MultiMsg>) {
         debug_assert!(self.is_anchored());
-        let slot = self.next_slot;
-        self.next_slot += 1;
-        self.propose(slot, value, out);
+        while !self.pending.is_empty() && self.proposals.len() < self.max_outstanding {
+            let take = self.pending.len().min(self.max_batch);
+            let batch: Batch = self.pending.drain(..take).collect();
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            self.propose(slot, batch, out);
+        }
     }
 
-    fn choose(&mut self, slot: u64, value: Value, out: &mut Outbox<MultiMsg>) {
-        if self.log.contains_key(&slot) {
+    fn choose(&mut self, slot: u64, batch: Batch, out: &mut Outbox<MultiMsg>) {
+        if self.log.contains(slot) {
             return;
         }
-        self.log.insert(slot, value);
-        out.decide(value);
-        out.broadcast(MultiMsg::LogDecided { slot, value });
+        for v in batch.iter() {
+            out.decide(*v);
+            // Record where each command landed: admission of a later copy
+            // short-circuits, and a duplicate Forward gets answered with
+            // this slot's `LogDecided`.
+            self.admitted.insert(*v, Some(slot));
+        }
+        // Committed commands need no further client-side retry: drop them
+        // from the held set so the ε re-forward loop terminates.
+        if !self.pending.is_empty() {
+            self.pending.retain(|v| !batch.contains(v));
+        }
+        self.log.insert(slot, batch.clone());
+        // Never assign a fresh proposal to a slot that is already chosen
+        // (a higher-ballot leader we have not heard from may be filling
+        // slots ahead of us — proposing there would strand the batch).
+        self.next_slot = self.next_slot.max(slot + 1);
+        out.broadcast(MultiMsg::LogDecided {
+            slot,
+            batch: batch.clone(),
+        });
+        if let Some(ours) = self.proposals.remove(&slot) {
+            if ours != batch {
+                // Our proposal lost this slot to a competing leader's
+                // batch: requeue its still-uncommitted commands for a
+                // fresh slot (the entry is gone, so neither the ε
+                // re-propose path nor a later unanchor resurrects the
+                // losing batch).
+                let requeue: Vec<Value> = ours
+                    .iter()
+                    .copied()
+                    .filter(|v| self.admitted.get(v) == Some(&None))
+                    .collect();
+                self.pending.extend(requeue);
+            }
+        }
+        // A committed slot frees pipeline space (and may have requeued a
+        // losing batch): flush what piled up.
+        if self.is_anchored() {
+            self.drain_pending(out);
+        }
     }
 }
 
@@ -371,8 +614,8 @@ impl Process for MultiPaxosProcess {
                         .accepted
                         .iter()
                         .map(|(slot, vote)| SlotVote {
-                            slot: *slot,
-                            vote: *vote,
+                            slot,
+                            vote: vote.clone(),
                         })
                         .collect();
                     out.send(mbal.owner(self.cfg.n()), MultiMsg::M1b { mbal, votes });
@@ -387,46 +630,58 @@ impl Process for MultiPaxosProcess {
                     }
                 }
             }
-            MultiMsg::M2a { mbal, slot, value } => {
+            MultiMsg::M2a { mbal, slot, batch } => {
                 if *mbal >= self.mbal {
                     if *mbal > self.mbal {
                         self.adopt(*mbal, out);
                     }
-                    if let Some(prev) = self.accepted.get(slot) {
+                    if let Some(prev) = self.accepted.get(*slot) {
                         debug_assert!(*mbal >= prev.bal, "slot votes are ballot-monotone");
                     }
-                    self.accepted.insert(*slot, Vote::new(*mbal, *value));
+                    self.accepted.insert(
+                        *slot,
+                        BatchVote {
+                            bal: *mbal,
+                            batch: batch.clone(),
+                        },
+                    );
                     out.broadcast(MultiMsg::M2b {
                         mbal: *mbal,
                         slot: *slot,
-                        value: *value,
+                        batch: batch.clone(),
                     });
                 }
             }
-            MultiMsg::M2b { mbal, slot, value } => {
-                let entry = self
+            MultiMsg::M2b { mbal, slot, batch } => {
+                let chosen = self
                     .decisions
-                    .entry((*slot, *mbal))
-                    .or_insert_with(|| (QuorumTracker::new(self.cfg.n()), *value));
-                debug_assert_eq!(entry.1, *value, "one value per (slot, ballot)");
-                let before = entry.0.reached();
-                entry.0.insert(from);
-                if !before && entry.0.reached() {
-                    let v = entry.1;
-                    self.choose(*slot, v, out);
+                    .get_or_insert_with(*slot, Slot2b::default)
+                    .record(self.cfg.n(), from, *mbal, batch);
+                if let Some(b) = chosen {
+                    self.choose(*slot, b, out);
                 }
             }
             MultiMsg::Forward { value } => {
-                if self.is_anchored() {
-                    self.assign(*value, out);
-                } else {
-                    // Hold it; we will assign it if we ever anchor. (The
-                    // submitter keeps its own copy too — at-least-once.)
-                    self.pending.push(*value);
+                // A retry of an already-chosen command means the sender
+                // missed the decision broadcasts (lost pre-TS): answer
+                // with the chosen entry so its retry loop terminates.
+                if let Some(Some(slot)) = self.admitted.get(value) {
+                    let slot = *slot;
+                    let batch = self
+                        .log
+                        .get(slot)
+                        .expect("chosen commands are logged")
+                        .clone();
+                    out.send(from, MultiMsg::LogDecided { slot, batch });
+                } else if self.admit(*value) && self.is_anchored() {
+                    // Admission dedups ε-retry copies of queued commands;
+                    // a newly admitted one is assigned (or held until we
+                    // anchor — the submitter keeps its own retried copy).
+                    self.drain_pending(out);
                 }
             }
-            MultiMsg::LogDecided { slot, value } => {
-                self.choose(*slot, *value, out);
+            MultiMsg::LogDecided { slot, batch } => {
+                self.choose(*slot, batch.clone(), out);
             }
         }
         if let Some(b) = msg.ballot() {
@@ -464,22 +719,36 @@ impl Process for MultiPaxosProcess {
                 if idle {
                     if self.is_anchored() {
                         // Re-propose undecided slots (recovery), or just
-                        // re-announce the ballot.
-                        let undecided: Vec<(u64, Value)> = self
+                        // re-announce the ballot. `proposals` holds only
+                        // unchosen slots, so this scan is bounded by the
+                        // pipeline window, not the log's history.
+                        let undecided: Vec<(u64, Batch)> = self
                             .proposals
                             .iter()
-                            .filter(|(s, _)| !self.log.contains_key(s))
-                            .map(|(s, v)| (*s, *v))
+                            .map(|(s, b)| (*s, b.clone()))
                             .collect();
                         if undecided.is_empty() {
                             self.broadcast_m1a(out);
                         } else {
-                            for (slot, value) in undecided {
-                                self.propose(slot, value, out);
+                            for (slot, batch) in undecided {
+                                self.propose(slot, batch, out);
                             }
                         }
                     } else {
                         self.broadcast_m1a(out);
+                        // Re-forward held commands toward the current
+                        // presumed leader: a Forward lost before `TS` (or
+                        // stranded by a leadership change) retries every ε,
+                        // so every submission to a live process commits
+                        // within O(ε + δ) of stabilization — at-least-once
+                        // across instability. Commits prune `pending`
+                        // (see `choose`), terminating the retry.
+                        let owner = self.mbal.owner(self.cfg.n());
+                        if owner != self.id {
+                            for v in &self.pending {
+                                out.send(owner, MultiMsg::Forward { value: *v });
+                            }
+                        }
                     }
                 }
             }
@@ -495,12 +764,14 @@ impl Process for MultiPaxosProcess {
     }
 
     fn on_client(&mut self, value: Value, out: &mut Outbox<MultiMsg>) {
+        if !self.admit(value) {
+            return;
+        }
         if self.is_anchored() {
-            self.assign(value, out);
+            self.drain_pending(out);
         } else {
-            // Remember it and forward to the presumed leader (the owner of
-            // our current ballot).
-            self.pending.push(value);
+            // Hold it and forward to the presumed leader (the owner of
+            // our current ballot); the ε tick retries the forward.
             let owner = self.mbal.owner(self.cfg.n());
             if owner != self.id {
                 out.send(owner, MultiMsg::Forward { value });
@@ -509,9 +780,9 @@ impl Process for MultiPaxosProcess {
     }
 
     /// The replicated log never "terminates"; for the single-shot driver
-    /// interface, the decision is the first log entry.
+    /// interface, the decision is the first command of the first log entry.
     fn decision(&self) -> Option<Value> {
-        self.log_entry(0)
+        self.log.get(0).and_then(|b| b.first().copied())
     }
 }
 
@@ -530,6 +801,10 @@ mod tests {
 
     fn out() -> Outbox<MultiMsg> {
         Outbox::new(LocalInstant::ZERO)
+    }
+
+    fn one(v: u64) -> Batch {
+        batch_of([Value::new(v)])
     }
 
     /// Drives p (id 1 of 3) to anchored state on ballot 4.
@@ -568,14 +843,14 @@ mod tests {
         let acts = o.drain();
         assert!(acts.iter().any(|a| matches!(
             a,
-            Action::Broadcast { msg: MultiMsg::M2a { mbal, slot: 0, value } }
-                if *mbal == b && *value == Value::new(77)
+            Action::Broadcast { msg: MultiMsg::M2a { mbal, slot: 0, batch } }
+                if *mbal == b && **batch == [Value::new(77)]
         )));
         p.on_client(Value::new(78), &mut o);
         assert!(o.drain().iter().any(|a| matches!(
             a,
-            Action::Broadcast { msg: MultiMsg::M2a { slot: 1, value, .. } }
-                if *value == Value::new(78)
+            Action::Broadcast { msg: MultiMsg::M2a { slot: 1, batch, .. } }
+                if **batch == [Value::new(78)]
         )));
     }
 
@@ -615,8 +890,8 @@ mod tests {
         );
         assert!(o.drain().iter().any(|a| matches!(
             a,
-            Action::Broadcast { msg: MultiMsg::M2a { slot: 0, value, .. } }
-                if *value == Value::new(9)
+            Action::Broadcast { msg: MultiMsg::M2a { slot: 0, batch, .. } }
+                if **batch == [Value::new(9)]
         )));
     }
 
@@ -631,7 +906,7 @@ mod tests {
         let _ = anchor_p1(&mut p, &mut o); // drains start/timer again is fine
         // anchor_p1 drained the outbox; the assignment happened inside it.
         // Re-check state: slot 0 proposed with the pending command.
-        assert_eq!(p.proposals.get(&0), Some(&Value::new(5)));
+        assert_eq!(p.proposals.get(&0), Some(&one(5)));
     }
 
     #[test]
@@ -644,15 +919,15 @@ mod tests {
             &MultiMsg::M2a {
                 mbal: Ballot::new(4),
                 slot: 3,
-                value: Value::new(7),
+                batch: one(7),
             },
             &mut o,
         );
         let acts = o.drain();
         assert!(acts.iter().any(|a| matches!(
             a,
-            Action::Broadcast { msg: MultiMsg::M2b { slot: 3, value, .. } }
-                if *value == Value::new(7)
+            Action::Broadcast { msg: MultiMsg::M2b { slot: 3, batch, .. } }
+                if **batch == [Value::new(7)]
         )));
         assert_eq!(p.mbal(), Ballot::new(4), "adopted the 2a ballot");
     }
@@ -669,12 +944,12 @@ mod tests {
                 &MultiMsg::M2b {
                     mbal: b,
                     slot: 2,
-                    value: Value::new(7),
+                    batch: one(7),
                 },
                 &mut o,
             );
         }
-        assert_eq!(p.log_entry(2), Some(Value::new(7)));
+        assert_eq!(p.log_entry(2), Some(&one(7)));
         assert_eq!(p.log_entry(0), None);
         assert!(o
             .drain()
@@ -691,11 +966,11 @@ mod tests {
         p.on_message(ProcessId::new(2),
             &MultiMsg::LogDecided {
                 slot: 5,
-                value: Value::new(50),
+                batch: one(50),
             },
             &mut o,
         );
-        assert_eq!(p.log_entry(5), Some(Value::new(50)));
+        assert_eq!(p.log_entry(5), Some(&one(50)));
     }
 
     #[test]
@@ -712,7 +987,10 @@ mod tests {
                 mbal: b,
                 votes: vec![SlotVote {
                     slot: 7,
-                    vote: Vote::new(Ballot::new(1), Value::new(70)),
+                    vote: BatchVote {
+                        bal: Ballot::new(1),
+                        batch: one(70),
+                    },
                 }],
             },
             &mut o,
@@ -727,8 +1005,8 @@ mod tests {
         let acts = o.drain();
         assert!(acts.iter().any(|a| matches!(
             a,
-            Action::Broadcast { msg: MultiMsg::M2a { slot: 7, value, .. } }
-                if *value == Value::new(70)
+            Action::Broadcast { msg: MultiMsg::M2a { slot: 7, batch, .. } }
+                if **batch == [Value::new(70)]
         )));
         // Fresh slots start after the highest re-completed one.
         p.on_client(Value::new(1), &mut o);
@@ -767,8 +1045,8 @@ mod tests {
         p.on_timer(TIMER_EPSILON, &mut o2);
         assert!(o2.drain().iter().any(|a| matches!(
             a,
-            Action::Broadcast { msg: MultiMsg::M2a { slot: 0, value, .. } }
-                if *value == Value::new(77)
+            Action::Broadcast { msg: MultiMsg::M2a { slot: 0, batch, .. } }
+                if **batch == [Value::new(77)]
         )));
     }
 
@@ -784,7 +1062,7 @@ mod tests {
                 &MultiMsg::M2b {
                     mbal: Ballot::new(4),
                     slot: 0,
-                    value: Value::new(7),
+                    batch: one(7),
                 },
                 &mut o,
             );
@@ -816,7 +1094,7 @@ mod tests {
             &MultiMsg::M2a {
                 mbal: Ballot::new(4),
                 slot: 0,
-                value: Value::new(9),
+                batch: one(9),
             },
             &mut o,
         );
@@ -859,5 +1137,250 @@ mod tests {
         assert_eq!(p.session(), Session::new(1));
         p.on_timer(TIMER_SESSION, &mut o);
         assert_eq!(p.session(), Session::new(1), "gated without majority");
+    }
+
+    #[test]
+    fn full_window_accumulates_then_batches() {
+        // W = 1, B = 3: the first command occupies the only pipeline slot;
+        // the next three accumulate and leave as ONE batch when it commits.
+        let mut p = MultiPaxos::new()
+            .with_batching(3, 1)
+            .spawn(ProcessId::new(1), &cfg(3), Value::new(0));
+        let mut o = out();
+        let b = anchor_p1(&mut p, &mut o);
+        p.on_client(Value::new(10), &mut o);
+        let acts = o.drain();
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: MultiMsg::M2a { slot: 0, batch, .. } }
+                if **batch == [Value::new(10)]
+        )));
+        for v in [11, 12, 13] {
+            p.on_client(Value::new(v), &mut o);
+        }
+        assert!(
+            !o.drain().iter().any(|a| matches!(a, Action::Broadcast { msg: MultiMsg::M2a { .. } })),
+            "window full: no new proposal"
+        );
+        assert_eq!(p.pending_len(), 3);
+        // Slot 0 commits: the backlog flushes as one 3-command batch.
+        for from in [0u32, 2] {
+            p.on_message(ProcessId::new(from),
+                &MultiMsg::M2b {
+                    mbal: b,
+                    slot: 0,
+                    batch: one(10),
+                },
+                &mut o,
+            );
+        }
+        let acts = o.drain();
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: MultiMsg::M2a { slot: 1, batch, .. } }
+                if **batch == [Value::new(11), Value::new(12), Value::new(13)]
+        )));
+        assert_eq!(p.pending_len(), 0);
+    }
+
+    #[test]
+    fn batch_commit_decides_every_command() {
+        let mut p = spawn(3, 0);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        let batch = batch_of([Value::new(1), Value::new(2), Value::new(3)]);
+        for from in [1u32, 2] {
+            p.on_message(ProcessId::new(from),
+                &MultiMsg::M2b {
+                    mbal: Ballot::new(4),
+                    slot: 0,
+                    batch: batch.clone(),
+                },
+                &mut o,
+            );
+        }
+        let decides: Vec<Value> = o
+            .drain()
+            .iter()
+            .filter_map(|a| match a {
+                Action::Decide { value } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decides, vec![Value::new(1), Value::new(2), Value::new(3)]);
+        assert_eq!(p.log_values().count(), 3);
+    }
+
+    #[test]
+    fn epsilon_reforwards_pending_at_followers() {
+        let mut p = spawn(3, 2);
+        let mut o = out();
+        p.on_start(&mut o);
+        // Adopt leader p1's ballot 4, then submit: pending + one Forward.
+        p.on_message(ProcessId::new(1), &MultiMsg::M1a { mbal: Ballot::new(4) }, &mut o);
+        p.on_client(Value::new(9), &mut o);
+        o.drain();
+        // An idle ε tick retries the forward toward the presumed leader.
+        let later = LocalInstant::ZERO + cfg(3).epsilon_timer_local() * 4;
+        let mut o2 = Outbox::new(later);
+        p.on_timer(TIMER_EPSILON, &mut o2);
+        assert!(o2.drain().iter().any(|a| matches!(
+            a,
+            Action::Send { to, msg: MultiMsg::Forward { value } }
+                if *to == ProcessId::new(1) && *value == Value::new(9)
+        )));
+        // Once the command commits, the retry stops.
+        for from in [0u32, 1] {
+            p.on_message(ProcessId::new(from),
+                &MultiMsg::M2b { mbal: Ballot::new(4), slot: 0, batch: one(9) },
+                &mut o,
+            );
+        }
+        assert_eq!(p.pending_len(), 0, "commit prunes the held command");
+        let mut o3 = Outbox::new(later + cfg(3).epsilon_timer_local() * 4);
+        p.on_timer(TIMER_EPSILON, &mut o3);
+        assert!(
+            !o3.drain().iter().any(|a| matches!(a, Action::Send { msg: MultiMsg::Forward { .. }, .. })),
+            "no retry after commit"
+        );
+    }
+
+    #[test]
+    fn duplicate_forwards_are_admitted_once() {
+        // W = 1 keeps the pipeline full, so retried forwards would pile up
+        // in `pending` without admission dedup.
+        let mut p = MultiPaxos::new()
+            .with_batching(1, 1)
+            .spawn(ProcessId::new(1), &cfg(3), Value::new(0));
+        let mut o = out();
+        anchor_p1(&mut p, &mut o);
+        p.on_client(Value::new(5), &mut o); // occupies the window
+        for _ in 0..4 {
+            p.on_message(ProcessId::new(2), &MultiMsg::Forward { value: Value::new(6) }, &mut o);
+        }
+        o.drain();
+        assert_eq!(p.pending_len(), 1, "retries of value 6 admitted once");
+    }
+
+    #[test]
+    fn forward_of_chosen_command_is_answered_with_log_decided() {
+        // A submitter whose decision broadcasts were all lost keeps
+        // retrying its Forward; the leader must answer with the chosen
+        // entry (not silently dedup) so the retry loop terminates.
+        let mut p = spawn(3, 1);
+        let mut o = out();
+        let b = anchor_p1(&mut p, &mut o);
+        p.on_message(ProcessId::new(2), &MultiMsg::Forward { value: Value::new(9) }, &mut o);
+        o.drain();
+        // Slot 0 commits at the leader.
+        for from in [0u32, 2] {
+            p.on_message(ProcessId::new(from),
+                &MultiMsg::M2b { mbal: b, slot: 0, batch: one(9) },
+                &mut o,
+            );
+        }
+        o.drain();
+        // The submitter retries: it gets the decided entry back.
+        p.on_message(ProcessId::new(2), &MultiMsg::Forward { value: Value::new(9) }, &mut o);
+        assert!(o.drain().iter().any(|a| matches!(
+            a,
+            Action::Send { to, msg: MultiMsg::LogDecided { slot: 0, batch } }
+                if *to == ProcessId::new(2) && **batch == [Value::new(9)]
+        )));
+    }
+
+    #[test]
+    fn next_slot_skips_slots_chosen_by_unseen_leaders() {
+        // A `LogDecided` for a slot at/above our next_slot (from a
+        // higher-ballot leader whose other traffic we lost) must push
+        // next_slot forward; proposing into a chosen slot would strand
+        // the batch (acceptors are past our ballot, and no retry path
+        // covers a slot that is already in the log).
+        let mut p = spawn(3, 1);
+        let mut o = out();
+        anchor_p1(&mut p, &mut o);
+        p.on_message(ProcessId::new(2),
+            &MultiMsg::LogDecided { slot: 0, batch: one(50) },
+            &mut o,
+        );
+        o.drain();
+        p.on_client(Value::new(7), &mut o);
+        assert!(o.drain().iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: MultiMsg::M2a { slot: 1, batch, .. } }
+                if **batch == [Value::new(7)]
+        )), "fresh proposal lands past the learned entry, not on slot 0");
+    }
+
+    #[test]
+    fn losing_a_slot_to_a_competing_batch_requeues_our_commands() {
+        let mut p = spawn(3, 1);
+        let mut o = out();
+        anchor_p1(&mut p, &mut o);
+        p.on_client(Value::new(7), &mut o); // proposed in slot 0
+        o.drain();
+        // A competing leader's different batch wins slot 0.
+        p.on_message(ProcessId::new(2),
+            &MultiMsg::LogDecided { slot: 0, batch: one(50) },
+            &mut o,
+        );
+        // Our command is immediately re-proposed in a fresh slot.
+        assert!(o.drain().iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: MultiMsg::M2a { slot: 1, batch, .. } }
+                if **batch == [Value::new(7)]
+        )), "losing batch re-proposed past the stolen slot");
+    }
+
+    #[test]
+    fn unanchoring_skips_commands_committed_in_other_slots() {
+        let mut p = spawn(3, 1);
+        let mut o = out();
+        anchor_p1(&mut p, &mut o);
+        p.on_client(Value::new(7), &mut o); // proposed in slot 0, unchosen
+        o.drain();
+        // The same command commits elsewhere (slot 5) via another leader.
+        p.on_message(ProcessId::new(2),
+            &MultiMsg::LogDecided { slot: 5, batch: one(7) },
+            &mut o,
+        );
+        o.drain();
+        // Unanchoring must NOT requeue it: it is committed, and a requeue
+        // would re-forward it every ε forever (commits never prune it
+        // again).
+        p.on_message(ProcessId::new(2), &MultiMsg::M1a { mbal: Ballot::new(8) }, &mut o);
+        o.drain();
+        assert!(!p.is_anchored());
+        assert_eq!(p.pending_len(), 0, "committed command not requeued");
+    }
+
+    #[test]
+    fn unanchoring_requeues_unchosen_proposals() {
+        let mut p = spawn(3, 1);
+        let mut o = out();
+        anchor_p1(&mut p, &mut o);
+        p.on_client(Value::new(42), &mut o); // proposed in slot 0, unchosen
+        o.drain();
+        assert_eq!(p.pending_len(), 0);
+        // A higher ballot takes over: the command must fall back to
+        // pending, not vanish.
+        p.on_message(ProcessId::new(2), &MultiMsg::M1a { mbal: Ballot::new(8) }, &mut o);
+        o.drain();
+        assert!(!p.is_anchored());
+        assert_eq!(p.pending_len(), 1, "unchosen proposal requeued");
+    }
+
+    #[test]
+    fn default_batching_is_one_command_per_slot() {
+        let f = MultiPaxos::new();
+        assert_eq!(f.max_batch(), 1);
+        assert_eq!(f.max_outstanding(), usize::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one command")]
+    fn zero_batch_rejected() {
+        let _ = MultiPaxos::new().with_batching(0, 1);
     }
 }

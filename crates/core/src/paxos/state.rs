@@ -113,9 +113,32 @@ impl P1bQuorum {
 
 /// Counts phase-2b messages per ballot; a majority of 2b's "with the same
 /// mbal field" decides.
+///
+/// The *current* (highest-seen) ballot is cached outside the per-ballot
+/// map: in a stable run every 2b targets the one live ballot, so the hot
+/// path is a single ballot comparison instead of a `BTreeMap` descent per
+/// message. Older ballots (late 2b's from superseded sessions) fall back
+/// to the map.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct DecisionTracker {
-    per_ballot: BTreeMap<Ballot, (QuorumTracker, Value)>,
+    /// The highest ballot with a recorded 2b, and its running count.
+    current: Option<(Ballot, QuorumTracker, Value)>,
+    /// Counts for every older ballot still receiving stray 2b's.
+    older: BTreeMap<Ballot, (QuorumTracker, Value)>,
+}
+
+/// Tallies one 2b into a ballot's running count; `Some(value)` exactly
+/// when this crosses the majority threshold.
+fn tally(
+    tracker: &mut QuorumTracker,
+    stored: Value,
+    value: Value,
+    from: ProcessId,
+) -> Option<Value> {
+    debug_assert_eq!(stored, value, "conflicting 2b values for one ballot");
+    let before = tracker.reached();
+    tracker.insert(from);
+    (!before && tracker.reached()).then_some(stored)
 }
 
 impl DecisionTracker {
@@ -139,22 +162,34 @@ impl DecisionTracker {
         bal: Ballot,
         value: Value,
     ) -> Option<Value> {
-        let entry = self
-            .per_ballot
-            .entry(bal)
-            .or_insert_with(|| (QuorumTracker::new(n), value));
-        debug_assert_eq!(
-            entry.1, value,
-            "conflicting 2b values for the same ballot {bal}"
-        );
-        let before = entry.0.reached();
-        entry.0.insert(from);
-        (!before && entry.0.reached()).then_some(entry.1)
+        match &mut self.current {
+            // Fast path: 2b for the current ballot (every message in a
+            // stable run).
+            Some((cb, tracker, stored)) if *cb == bal => tally(tracker, *stored, value, from),
+            cur => {
+                if cur.as_ref().is_none_or(|(cb, ..)| bal > *cb) {
+                    // A newer ballot takes over the cache; the superseded
+                    // one keeps counting from the map.
+                    if let Some((cb, t, v)) = cur.take() {
+                        self.older.insert(cb, (t, v));
+                    }
+                    let (_, tracker, stored) =
+                        cur.insert((bal, QuorumTracker::new(n), value));
+                    tally(tracker, *stored, value, from)
+                } else {
+                    let (tracker, stored) = self
+                        .older
+                        .entry(bal)
+                        .or_insert_with(|| (QuorumTracker::new(n), value));
+                    tally(tracker, *stored, value, from)
+                }
+            }
+        }
     }
 
     /// Number of ballots with at least one recorded 2b.
     pub fn ballots_seen(&self) -> usize {
-        self.per_ballot.len()
+        self.older.len() + usize::from(self.current.is_some())
     }
 }
 
@@ -239,6 +274,23 @@ mod tests {
         assert_eq!(d.record(3, pid(0), b, v), None);
         assert_eq!(d.record(3, pid(0), b, v), None);
         assert_eq!(d.record(3, pid(1), b, v), Some(v));
+    }
+
+    #[test]
+    fn decision_tracker_demoted_ballot_keeps_its_count() {
+        // The current-ballot cache must hand its running count to the map
+        // when a newer ballot supersedes it, not drop it.
+        let mut d = DecisionTracker::new();
+        let b5 = Ballot::new(5);
+        let b9 = Ballot::new(9);
+        assert_eq!(d.record(3, pid(0), b5, Value::new(1)), None);
+        assert_eq!(d.record(3, pid(0), b9, Value::new(2)), None, "cache moves to b9");
+        assert_eq!(
+            d.record(3, pid(1), b5, Value::new(1)),
+            Some(Value::new(1)),
+            "b5's earlier 2b still counts after demotion"
+        );
+        assert_eq!(d.ballots_seen(), 2);
     }
 
     #[test]

@@ -165,3 +165,43 @@ proptest! {
         prop_assert!(bigger_sigma.decision_bound() >= base.decision_bound());
     }
 }
+
+proptest! {
+    /// The slot-range-sharded log store is observationally equivalent to a
+    /// reference `BTreeMap` model under arbitrary interleavings of
+    /// inserts, point lookups and tail reads (the replicated-log access
+    /// mix), including cross-shard slot ranges.
+    #[test]
+    fn slotmap_matches_btreemap_model(
+        ops in proptest::collection::vec((0u32..4, 0u64..5000, 0u64..1000), 0..300)
+    ) {
+        use esync_core::paxos::slotlog::SlotMap;
+        use std::collections::BTreeMap;
+        let mut sharded: SlotMap<u64> = SlotMap::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (op, slot, val) in ops {
+            match op {
+                // Bias toward inserts so the maps actually fill up.
+                0 | 1 => {
+                    prop_assert_eq!(sharded.insert(slot, val), model.insert(slot, val));
+                }
+                2 => {
+                    prop_assert_eq!(sharded.get(slot), model.get(&slot));
+                    prop_assert_eq!(sharded.contains(slot), model.contains_key(&slot));
+                }
+                _ => {
+                    let tail: Vec<(u64, u64)> =
+                        sharded.tail(slot).map(|(s, v)| (s, *v)).collect();
+                    let model_tail: Vec<(u64, u64)> =
+                        model.range(slot..).map(|(s, v)| (*s, *v)).collect();
+                    prop_assert_eq!(tail, model_tail);
+                }
+            }
+            prop_assert_eq!(sharded.len(), model.len());
+            prop_assert_eq!(sharded.max_slot(), model.keys().next_back().copied());
+        }
+        let all: Vec<(u64, u64)> = sharded.iter().map(|(s, v)| (s, *v)).collect();
+        let model_all: Vec<(u64, u64)> = model.iter().map(|(s, v)| (*s, *v)).collect();
+        prop_assert_eq!(all, model_all);
+    }
+}

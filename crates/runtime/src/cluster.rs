@@ -26,6 +26,21 @@ pub struct Decision {
     pub elapsed: Duration,
 }
 
+/// A committed command reported by one node: one notification per
+/// `Decide` action, i.e. per command per node for the replicated-log
+/// layer (whereas [`Decision`] reports only each node's *first* decide —
+/// the single-shot interface). Workload drivers consume the commit stream
+/// to measure sustained throughput and end-to-end latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Commit {
+    /// The applying process.
+    pub pid: ProcessId,
+    /// The committed command.
+    pub value: Value,
+    /// Wall time since cluster start.
+    pub elapsed: Duration,
+}
+
 /// Errors from running a cluster.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -178,6 +193,7 @@ pub struct Cluster<P: Protocol> {
     start: Instant,
     node_senders: Vec<Sender<Wire<P::Msg>>>,
     decisions_rx: Receiver<Decision>,
+    commits_rx: Receiver<Commit>,
     handles: Vec<JoinHandle<()>>,
     delayer_handle: Option<JoinHandle<()>>,
 }
@@ -208,6 +224,7 @@ where
         let (senders, receivers) = make_inboxes::<P::Msg>(n);
         let (delayer_tx, delayer_handle) = spawn_delayer(senders.clone());
         let (dec_tx, dec_rx) = unbounded::<Decision>();
+        let (commit_tx, commit_rx) = unbounded::<Commit>();
         let mut seed_rng = ChaCha8Rng::seed_from_u64(cfg.seed);
 
         let mut handles = Vec::with_capacity(n);
@@ -230,9 +247,10 @@ where
             );
             let clock = LocalClock::new(rate, start);
             let decisions = dec_tx.clone();
+            let commits = commit_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("esync-node-{i}"))
-                .spawn(move || run_node(pid, proc, inbox, transport, clock, decisions))
+                .spawn(move || run_node(pid, proc, inbox, transport, clock, decisions, commits))
                 .expect("spawn node thread");
             handles.push(handle);
         }
@@ -241,6 +259,7 @@ where
             start,
             node_senders: senders,
             decisions_rx: dec_rx,
+            commits_rx: commit_rx,
             handles,
             delayer_handle: Some(delayer_handle),
         })
@@ -259,6 +278,14 @@ where
     /// Submits a client command to node `pid` (multi-instance protocols).
     pub fn submit(&self, pid: ProcessId, value: Value) {
         let _ = self.node_senders[pid.as_usize()].send(Wire::Submit { value });
+    }
+
+    /// The commit stream: one [`Commit`] per command per node, in each
+    /// node's application order. Drain it (`recv`/`try_iter`) to measure
+    /// sustained-workload throughput and latency; leaving it undrained
+    /// only buffers (the channel is unbounded).
+    pub fn commits(&self) -> &Receiver<Commit> {
+        &self.commits_rx
     }
 
     /// Waits until every node has reported a decision, or the deadline.

@@ -10,9 +10,13 @@
 //! Scope: the runtime supports protocols that need no driver-side oracle —
 //! the paper's modified Paxos and modified B-Consensus (both leaderless and
 //! oracle-free by construction), the heartbeat-elector flavor of
-//! traditional Paxos, the rotating coordinator, and the replicated log.
-//! Fault injection (crash/restart) is the simulator's job; the runtime
-//! injects message loss and delay only.
+//! traditional Paxos, the rotating coordinator, and the replicated log —
+//! plus client submit streams against the replicated log:
+//! [`Cluster::submit`] feeds commands in, and the per-command
+//! [`Cluster::commits`] stream reports every applied log entry, which is
+//! what the `esync-workload` drivers measure sustained throughput and
+//! commit latency from. Fault injection (crash/restart) is the simulator's
+//! job; the runtime injects message loss and delay only.
 //!
 //! ```no_run
 //! use esync_core::paxos::session::SessionPaxos;
@@ -38,4 +42,4 @@ pub mod cluster;
 pub mod node;
 pub mod transport;
 
-pub use cluster::{Cluster, ClusterConfig, Decision, RuntimeError};
+pub use cluster::{Cluster, ClusterConfig, Commit, Decision, RuntimeError};

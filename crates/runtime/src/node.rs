@@ -1,7 +1,7 @@
 //! One OS thread per process: inbox, wall-clock timers, drifting local
 //! clock.
 
-use crate::cluster::Decision;
+use crate::cluster::{Commit, Decision};
 use crate::transport::{Transport, Wire};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use esync_core::outbox::{Action, Outbox, Process};
@@ -49,6 +49,7 @@ pub fn run_node<Proc>(
     mut transport: Transport<Proc::Msg>,
     clock: LocalClock,
     decisions: Sender<Decision>,
+    commits: Sender<Commit>,
 ) where
     Proc: Process,
     Proc::Msg: Clone,
@@ -65,6 +66,7 @@ pub fn run_node<Proc>(
         &mut timers,
         &clock,
         &decisions,
+        &commits,
         &mut reported,
     );
 
@@ -88,6 +90,7 @@ pub fn run_node<Proc>(
                     &mut timers,
                     &clock,
                     &decisions,
+                    &commits,
                     &mut reported,
                 );
             }
@@ -122,6 +125,7 @@ pub fn run_node<Proc>(
                     &mut timers,
                     &clock,
                     &decisions,
+                    &commits,
                     &mut reported,
                 );
             }
@@ -135,6 +139,7 @@ pub fn run_node<Proc>(
                     &mut timers,
                     &clock,
                     &decisions,
+                    &commits,
                     &mut reported,
                 );
             }
@@ -142,6 +147,7 @@ pub fn run_node<Proc>(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply<M: Clone>(
     pid: ProcessId,
     out: &mut Outbox<M>,
@@ -149,6 +155,7 @@ fn apply<M: Clone>(
     timers: &mut HashMap<TimerId, Instant>,
     clock: &LocalClock,
     decisions: &Sender<Decision>,
+    commits: &Sender<Commit>,
     reported: &mut bool,
 ) {
     for action in out.drain() {
@@ -162,12 +169,20 @@ fn apply<M: Clone>(
                 timers.remove(&id);
             }
             Action::Decide { value } => {
+                let elapsed = transport.elapsed();
+                // Every decide is a commit (per-command, multi-instance)…
+                let _ = commits.send(Commit {
+                    pid,
+                    value,
+                    elapsed,
+                });
+                // …but only the first is the node's single-shot decision.
                 if !*reported {
                     *reported = true;
                     let _ = decisions.send(Decision {
                         pid,
                         value,
-                        elapsed: transport.elapsed(),
+                        elapsed,
                     });
                 }
             }

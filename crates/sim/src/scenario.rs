@@ -5,9 +5,20 @@
 //! validated by the world at construction; restarts are allowed at any time
 //! (a process that restarts after `TS` stays up and must decide within
 //! `O(δ)` of restarting, experiment E4).
+//!
+//! Besides single [`Scenario::submit`] events, a scenario can carry
+//! [`SubmitStream`]s — compact, seedable specifications of *recurring*
+//! client-submission traffic (fixed-rate or Poisson arrivals of keyed KV
+//! commands). Streams are the open-loop workload hook: the world expands
+//! them into `ClientSubmit` events at construction, and the
+//! `esync-workload` crate replays the **same** expansion against the
+//! threaded runtime, so both backends see bit-identical command sequences.
 
 use crate::time::SimTime;
+use esync_core::time::RealDuration;
 use esync_core::types::{ProcessId, Value};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Fault and workload script for one run.
@@ -19,6 +30,8 @@ pub struct Scenario {
     pub restarts: Vec<(ProcessId, SimTime)>,
     /// `(pid, at, value)` client submissions (multi-instance protocols).
     pub submits: Vec<(ProcessId, SimTime, Value)>,
+    /// Recurring client-submission streams (multi-instance protocols).
+    pub streams: Vec<SubmitStream>,
 }
 
 impl Scenario {
@@ -61,6 +74,12 @@ impl Scenario {
         self
     }
 
+    /// Adds a recurring client-submission stream.
+    pub fn stream(mut self, stream: SubmitStream) -> Self {
+        self.streams.push(stream);
+        self
+    }
+
     /// Every process referenced by this scenario.
     pub fn referenced_pids(&self) -> impl Iterator<Item = ProcessId> + '_ {
         self.crashes
@@ -68,6 +87,10 @@ impl Scenario {
             .map(|(p, _)| *p)
             .chain(self.restarts.iter().map(|(p, _)| *p))
             .chain(self.submits.iter().map(|(p, _, _)| *p))
+            .chain(self.streams.iter().filter_map(|s| match s.target {
+                StreamTarget::Fixed(p) => Some(p),
+                StreamTarget::RoundRobin => None,
+            }))
     }
 
     /// Processes that are crashed at `t` and have no restart scheduled at
@@ -86,6 +109,176 @@ impl Scenario {
             }
         }
         down
+    }
+}
+
+/// Which process a stream's commands are submitted to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamTarget {
+    /// Every command goes to one process.
+    Fixed(ProcessId),
+    /// Command `i` goes to process `i mod n` (clients spread over replicas).
+    RoundRobin,
+}
+
+/// Inter-arrival process of a [`SubmitStream`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Arrivals {
+    /// Exactly one command per `interval` (deterministic rate).
+    FixedRate {
+        /// The inter-arrival gap.
+        interval: RealDuration,
+    },
+    /// Poisson arrivals: exponential inter-arrival gaps with the given
+    /// mean, sampled from the stream's seed.
+    Poisson {
+        /// The mean inter-arrival gap (`1/λ`).
+        mean: RealDuration,
+    },
+}
+
+/// Command ids and keys are packed into the wire [`Value`] as
+/// `key << KEY_SHIFT | id`: consensus stays oblivious to contents, while
+/// generators and analyzers agree on a keyed-KV command identity without a
+/// side table. Ids are unique per run (at-least-once deduplication); keys
+/// model the KV working set (a future multi-shard router hashes them).
+pub const KEY_SHIFT: u32 = 48;
+
+/// Packs a keyed command into its wire value.
+///
+/// # Panics
+///
+/// Panics if `id` overflows the [`KEY_SHIFT`]-bit id field or `key` the
+/// remaining bits.
+pub fn kv_command(key: u64, id: u64) -> Value {
+    assert!(id < (1 << KEY_SHIFT), "command id overflows the id field");
+    assert!(key < (1 << (64 - KEY_SHIFT)), "key overflows the key field");
+    Value::new(key << KEY_SHIFT | id)
+}
+
+/// The unique command id of a wire value built by [`kv_command`].
+pub const fn kv_id(v: Value) -> u64 {
+    v.get() & ((1 << KEY_SHIFT) - 1)
+}
+
+/// The key of a wire value built by [`kv_command`].
+pub const fn kv_key(v: Value) -> u64 {
+    v.get() >> KEY_SHIFT
+}
+
+/// A deterministic, seedable stream of recurring client submissions —
+/// the open-loop workload generator.
+///
+/// Every field is plain data, so a stream round-trips through the
+/// serialized [`crate::SimConfig`] embedded in benchmark artifacts: the
+/// exact command sequence is reproducible from the artifact alone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmitStream {
+    /// Where commands land.
+    pub target: StreamTarget,
+    /// First arrival instant.
+    pub start: SimTime,
+    /// Inter-arrival process after `start`.
+    pub arrivals: Arrivals,
+    /// Number of commands.
+    pub count: u64,
+    /// Stream-local PRNG seed (Poisson gaps and key sampling); independent
+    /// of the world seed so workloads can be varied against a fixed
+    /// network schedule and vice versa.
+    pub seed: u64,
+    /// Command ids are `id_base + i` — give concurrent streams disjoint
+    /// ranges to keep ids unique run-wide.
+    pub id_base: u64,
+    /// Keys are sampled uniformly from `0..key_space` (`0` disables
+    /// keying: values carry the bare id).
+    pub key_space: u64,
+}
+
+impl SubmitStream {
+    /// A fixed-rate stream of `count` unkeyed commands starting at `start`.
+    pub fn fixed_rate(start: SimTime, interval: RealDuration, count: u64) -> Self {
+        SubmitStream {
+            target: StreamTarget::RoundRobin,
+            start,
+            arrivals: Arrivals::FixedRate { interval },
+            count,
+            seed: 0,
+            id_base: 0,
+            key_space: 0,
+        }
+    }
+
+    /// A Poisson stream of `count` unkeyed commands starting at `start`.
+    pub fn poisson(start: SimTime, mean: RealDuration, count: u64) -> Self {
+        SubmitStream {
+            arrivals: Arrivals::Poisson { mean },
+            ..SubmitStream::fixed_rate(start, mean, count)
+        }
+    }
+
+    /// Sets the target (consumed-and-returned for chaining).
+    #[must_use]
+    pub fn target(mut self, target: StreamTarget) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Sets the stream seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the id base.
+    #[must_use]
+    pub fn id_base(mut self, id_base: u64) -> Self {
+        self.id_base = id_base;
+        self
+    }
+
+    /// Samples keys from `0..key_space`.
+    #[must_use]
+    pub fn keyed(mut self, key_space: u64) -> Self {
+        self.key_space = key_space;
+        self
+    }
+
+    /// Expands the stream into its `(at, pid, value)` submissions, in
+    /// arrival order, for an `n`-process system. Deterministic in
+    /// `(self, n)`: the simulator world and the threaded-runtime driver
+    /// both consume this expansion, so the two backends replay an
+    /// identical command sequence.
+    pub fn expand(&self, n: usize) -> Vec<(SimTime, ProcessId, Value)> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut at = self.start;
+        let mut out = Vec::with_capacity(self.count as usize);
+        for i in 0..self.count {
+            if i > 0 {
+                let gap = match self.arrivals {
+                    Arrivals::FixedRate { interval } => interval,
+                    Arrivals::Poisson { mean } => {
+                        // Inverse-CDF exponential sampling; `u < 1` keeps
+                        // the log argument positive and the gap finite.
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        mean.mul_f64(-(1.0 - u).ln())
+                    }
+                };
+                at = at + gap;
+            }
+            let pid = match self.target {
+                StreamTarget::Fixed(p) => p,
+                StreamTarget::RoundRobin => ProcessId::new((i % n as u64) as u32),
+            };
+            let id = self.id_base + i;
+            let value = if self.key_space == 0 {
+                Value::new(id)
+            } else {
+                kv_command(rng.gen_range(0..self.key_space), id)
+            };
+            out.push((at, pid, value));
+        }
+        out
     }
 }
 
@@ -143,8 +336,68 @@ mod tests {
         let s = Scenario::none()
             .crash(pid(1), SimTime::ZERO)
             .restart(pid(2), SimTime::ZERO)
-            .submit(pid(3), SimTime::ZERO, Value::new(0));
+            .submit(pid(3), SimTime::ZERO, Value::new(0))
+            .stream(
+                SubmitStream::fixed_rate(SimTime::ZERO, RealDuration::from_millis(1), 2)
+                    .target(StreamTarget::Fixed(pid(4))),
+            );
         let pids: Vec<_> = s.referenced_pids().collect();
-        assert_eq!(pids, vec![pid(1), pid(2), pid(3)]);
+        assert_eq!(pids, vec![pid(1), pid(2), pid(3), pid(4)]);
+    }
+
+    #[test]
+    fn kv_encoding_roundtrips() {
+        let v = kv_command(700, 123_456);
+        assert_eq!(kv_id(v), 123_456);
+        assert_eq!(kv_key(v), 700);
+        assert_eq!(kv_key(Value::new(9)), 0, "unkeyed values have key 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "id field")]
+    fn kv_id_overflow_rejected() {
+        let _ = kv_command(0, 1 << KEY_SHIFT);
+    }
+
+    #[test]
+    fn fixed_rate_stream_is_evenly_spaced() {
+        let s = SubmitStream::fixed_rate(
+            SimTime::from_millis(100),
+            RealDuration::from_millis(10),
+            4,
+        );
+        let cmds = s.expand(3);
+        let ats: Vec<u64> = cmds.iter().map(|(at, ..)| at.as_nanos() / 1_000_000).collect();
+        assert_eq!(ats, vec![100, 110, 120, 130]);
+        let pids: Vec<u32> = cmds.iter().map(|(_, p, _)| p.as_u32()).collect();
+        assert_eq!(pids, vec![0, 1, 2, 0], "round-robin over n=3");
+        let ids: Vec<u64> = cmds.iter().map(|(.., v)| kv_id(*v)).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn poisson_stream_is_deterministic_and_ordered() {
+        let s = SubmitStream::poisson(SimTime::ZERO, RealDuration::from_millis(5), 50)
+            .seed(7)
+            .keyed(16);
+        let a = s.expand(5);
+        let b = s.expand(5);
+        assert_eq!(a, b, "same spec, same expansion");
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "arrival-ordered");
+        assert!(a.iter().all(|(.., v)| kv_key(*v) < 16));
+        // Distinct seeds give distinct schedules.
+        assert_ne!(a, s.clone().seed(8).expand(5));
+        // The mean gap is in the right ballpark (loose: 50 samples).
+        let span = a.last().unwrap().0.as_millis_f64();
+        assert!(span > 50.0 && span < 800.0, "span {span}ms");
+    }
+
+    #[test]
+    fn stream_ids_offset_by_base() {
+        let s = SubmitStream::fixed_rate(SimTime::ZERO, RealDuration::from_millis(1), 3)
+            .id_base(1000)
+            .keyed(4);
+        let ids: Vec<u64> = s.expand(2).iter().map(|(.., v)| kv_id(*v)).collect();
+        assert_eq!(ids, vec![1000, 1001, 1002]);
     }
 }

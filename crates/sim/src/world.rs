@@ -4,7 +4,7 @@
 use crate::clock::DriftClock;
 use crate::error::SimError;
 use crate::event::{EventKind, EventQueue, MsgPayload};
-use crate::metrics::Report;
+use crate::metrics::{CommitRecord, Report};
 use crate::network::{Delivery, Network, PreStability};
 use crate::oracle::{plan_wab_delivery, LeaderOracle};
 use crate::scenario::Scenario;
@@ -292,6 +292,10 @@ pub struct World<P: Protocol> {
     msgs_by_kind: Vec<(&'static str, u64)>,
     msgs_dropped: u64,
     events: u64,
+    /// Every `Action::Decide` with its instant — one record per command
+    /// per process for multi-instance protocols (the workload drivers'
+    /// measurement feed), one per process for single-shot ones.
+    commits: Vec<CommitRecord>,
     /// Reused outbox: one action buffer for the whole run instead of one
     /// allocation per event.
     scratch: Outbox<P::Msg>,
@@ -301,21 +305,109 @@ pub struct World<P: Protocol> {
 impl<P: Protocol> World<P> {
     /// Creates a world and schedules boots, faults and oracle events.
     pub fn new(cfg: SimConfig, protocol: P) -> Self {
+        let mut world = World {
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            network: Network::new(cfg.ts, cfg.timing.delta(), cfg.post_delay_range, cfg.pre.clone()),
+            leader: LeaderOracle::new(cfg.leader_announce_after),
+            queue: EventQueue::with_bucket_width_shift(Self::width_shift(&cfg), Self::queue_cap(&cfg)),
+            cfg,
+            protocol,
+            procs: Vec::new(),
+            now: SimTime::ZERO,
+            initial_values: Vec::new(),
+            live_undecided: 0,
+            msgs_sent: 0,
+            msgs_sent_after_ts: 0,
+            msgs_by_kind: Vec::with_capacity(8),
+            msgs_dropped: 0,
+            events: 0,
+            commits: Vec::new(),
+            scratch: Outbox::default(),
+            trace: None,
+        };
+        world.populate();
+        world
+    }
+
+    /// Bucket width ~δ/16 spreads in-flight messages across the calendar
+    /// ring.
+    fn width_shift(cfg: &SimConfig) -> u32 {
+        (cfg.timing.delta().as_nanos() / 16).max(1024).ilog2()
+    }
+
+    /// Pre-size for the steady state: every process broadcasting to every
+    /// process plus timers and control events, so the slab does not regrow
+    /// during the first busy instants.
+    fn queue_cap(cfg: &SimConfig) -> usize {
         let n = cfg.timing.n();
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        let initial_values = cfg
+        24 * n * n + 8 * n + 64
+    }
+
+    /// Re-initializes this world for a fresh run of `cfg`, **reusing** the
+    /// event queue's slab and ring, the per-process harness vector, the
+    /// scratch outbox and every metrics buffer. A sweep resets one world
+    /// per seed instead of rebuilding it; the run is bit-identical to one
+    /// on a newly constructed `World::new(cfg, protocol)`
+    /// (`reset_is_bit_identical_to_fresh_construction` enforces this).
+    /// The protocol factory is kept; trace recording stays enabled if it
+    /// was.
+    pub fn reset(&mut self, cfg: SimConfig) {
+        self.queue.reset(Self::width_shift(&cfg), Self::queue_cap(&cfg));
+        self.rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        self.network = Network::new(cfg.ts, cfg.timing.delta(), cfg.post_delay_range, cfg.pre.clone());
+        self.leader = LeaderOracle::new(cfg.leader_announce_after);
+        self.cfg = cfg;
+        self.now = SimTime::ZERO;
+        self.live_undecided = 0;
+        self.msgs_sent = 0;
+        self.msgs_sent_after_ts = 0;
+        self.msgs_by_kind.clear();
+        self.msgs_dropped = 0;
+        self.events = 0;
+        self.commits.clear();
+        if let Some(trace) = self.trace.as_mut() {
+            trace.clear();
+        }
+        self.populate();
+    }
+
+    /// Spawns the processes and schedules boots, faults, submissions and
+    /// oracle events (shared by [`World::new`] and [`World::reset`]).
+    fn populate(&mut self) {
+        let cfg = &self.cfg;
+        let n = cfg.timing.n();
+        self.initial_values = cfg
             .initial_values
             .clone()
             .unwrap_or_else(|| (0..n as u64).map(|i| Value::new(100 + i)).collect());
         assert_eq!(
-            initial_values.len(),
+            self.initial_values.len(),
             n,
             "one initial value per process required"
         );
-        let procs: Vec<ProcHarness<P::Process>> = ProcessId::all(n)
-            .map(|pid| ProcHarness {
-                proc: protocol.spawn(pid, &cfg.timing, initial_values[pid.as_usize()]),
-                clock: DriftClock::sample(cfg.timing.rho(), &mut rng),
+        // Reuse harness shells (and their timer-slot vectors) in place.
+        self.procs.truncate(n);
+        for (i, h) in self.procs.iter_mut().enumerate() {
+            let pid = ProcessId::new(i as u32);
+            h.proc = self
+                .protocol
+                .spawn(pid, &cfg.timing, self.initial_values[i]);
+            h.clock = DriftClock::sample(cfg.timing.rho(), &mut self.rng);
+            h.alive = false;
+            h.started = false;
+            h.timers.clear();
+            h.decided_at = None;
+            h.decided_value = None;
+            h.crash_times.clear();
+            h.restart_times.clear();
+        }
+        for i in self.procs.len()..n {
+            let pid = ProcessId::new(i as u32);
+            self.procs.push(ProcHarness {
+                proc: self
+                    .protocol
+                    .spawn(pid, &cfg.timing, self.initial_values[i]),
+                clock: DriftClock::sample(cfg.timing.rho(), &mut self.rng),
                 alive: false,
                 started: false,
                 timers: Vec::with_capacity(8),
@@ -323,52 +415,30 @@ impl<P: Protocol> World<P> {
                 decided_value: None,
                 crash_times: Vec::new(),
                 restart_times: Vec::new(),
-            })
-            .collect();
-        let network = Network::new(cfg.ts, cfg.timing.delta(), cfg.post_delay_range, cfg.pre.clone());
-        // Pre-size for the steady state: every process broadcasting to every
-        // process plus timers and control events, so the slab does not
-        // regrow during the first busy instants. Bucket width ~δ/16 spreads
-        // in-flight messages across the calendar ring.
-        let width_shift = (cfg.timing.delta().as_nanos() / 16).max(1024).ilog2();
-        let mut queue =
-            EventQueue::with_bucket_width_shift(width_shift, 24 * n * n + 8 * n + 64);
+            });
+        }
         // Crashes are scheduled before boots at the same instant so that a
         // crash at t=0 prevents the process from ever starting.
         for &(pid, at) in &cfg.scenario.crashes {
-            queue.push(at, EventKind::Crash { pid });
+            self.queue.push(at, EventKind::Crash { pid });
         }
         for pid in ProcessId::all(n) {
-            queue.push(SimTime::ZERO, EventKind::Boot { pid });
+            self.queue.push(SimTime::ZERO, EventKind::Boot { pid });
         }
         for &(pid, at) in &cfg.scenario.restarts {
-            queue.push(at, EventKind::Boot { pid });
+            self.queue.push(at, EventKind::Boot { pid });
         }
         for &(pid, at, value) in &cfg.scenario.submits {
-            queue.push(at, EventKind::ClientSubmit { pid, value });
+            self.queue.push(at, EventKind::ClientSubmit { pid, value });
         }
-        let leader = LeaderOracle::new(cfg.leader_announce_after);
+        for stream in &cfg.scenario.streams {
+            for (at, pid, value) in stream.expand(n) {
+                self.queue.push(at, EventKind::ClientSubmit { pid, value });
+            }
+        }
         if cfg.leader_oracle {
-            queue.push(leader.announce_time(cfg.ts), EventKind::LeaderAnnounce);
-        }
-        World {
-            cfg,
-            protocol,
-            procs,
-            queue,
-            network,
-            rng,
-            now: SimTime::ZERO,
-            leader,
-            initial_values,
-            live_undecided: 0,
-            msgs_sent: 0,
-            msgs_sent_after_ts: 0,
-            msgs_by_kind: Vec::with_capacity(8),
-            msgs_dropped: 0,
-            events: 0,
-            scratch: Outbox::default(),
-            trace: None,
+            self.queue
+                .push(self.leader.announce_time(cfg.ts), EventKind::LeaderAnnounce);
         }
     }
 
@@ -404,6 +474,13 @@ impl<P: Protocol> World<P> {
     /// experiments and tests).
     pub fn process(&self, pid: ProcessId) -> &P::Process {
         &self.procs[pid.as_usize()].proc
+    }
+
+    /// Every commit (`Action::Decide`) so far, in application order: one
+    /// record per command per process for multi-instance protocols. The
+    /// feed the workload drivers compute latency histograms from.
+    pub fn commits(&self) -> &[CommitRecord] {
+        &self.commits
     }
 
     /// Injects a message to be delivered at `at`, bypassing the network
@@ -805,6 +882,11 @@ impl<P: Protocol> World<P> {
                     slot.armed_at = None;
                 }
                 Action::Decide { value } => {
+                    self.commits.push(CommitRecord {
+                        at: self.now,
+                        pid,
+                        value,
+                    });
                     let h = &mut self.procs[pid.as_usize()];
                     if h.decided_at.is_none() {
                         h.decided_at = Some(self.now);
@@ -1077,9 +1159,79 @@ mod tests {
             .unwrap();
         let mut w = World::new(cfg, MultiPaxos::new());
         w.run_until(SimTime::from_secs(2));
-        let log = w.process(ProcessId::new(0)).log();
-        assert!(log.values().any(|v| v.get() == 8));
-        assert!(!log.values().any(|v| v.get() == 9));
+        let committed: Vec<u64> = w
+            .process(ProcessId::new(0))
+            .log_values()
+            .map(|v| v.get())
+            .collect();
+        assert!(committed.contains(&8));
+        assert!(!committed.contains(&9));
+        // The commit feed saw value 8 at every live process.
+        assert!(w.commits().iter().any(|c| c.value.get() == 8));
+        assert!(!w.commits().iter().any(|c| c.value.get() == 9));
+    }
+
+    #[test]
+    fn submit_streams_drive_the_log() {
+        use crate::scenario::{SubmitStream, kv_id};
+        use esync_core::paxos::multi::MultiPaxos;
+        use esync_core::time::RealDuration;
+        let stream = SubmitStream::fixed_rate(
+            SimTime::from_millis(500),
+            RealDuration::from_millis(10),
+            6,
+        )
+        .keyed(8)
+        .seed(3);
+        let cfg = SimConfig::builder(3)
+            .seed(12)
+            .stability_at_millis(0)
+            .pre_stability(PreStability::lossless())
+            .scenario(Scenario::none().stream(stream))
+            .build()
+            .unwrap();
+        let mut w = World::new(cfg, MultiPaxos::new());
+        w.run_until(SimTime::from_secs(2));
+        for pid in ProcessId::all(3) {
+            let ids: std::collections::BTreeSet<u64> =
+                w.process(pid).log_values().map(kv_id).collect();
+            assert_eq!(ids, (0..6).collect(), "{pid}: stream commands missing");
+        }
+    }
+
+    /// The allocation-reusing `World::reset` must be indistinguishable
+    /// from fresh construction — same events, same report, bit for bit —
+    /// including across a change of `n` and scenario shape.
+    #[test]
+    fn reset_is_bit_identical_to_fresh_construction() {
+        let mut reused = World::new(quick_cfg(5, 1), SessionPaxos::new());
+        reused.run_to_completion().unwrap();
+        for (n, seed) in [(5, 2u64), (3, 7), (5, 42), (9, 3)] {
+            let fresh_report = World::new(quick_cfg(n, seed), SessionPaxos::new())
+                .run_to_completion()
+                .unwrap();
+            reused.reset(quick_cfg(n, seed));
+            let reused_report = reused.run_to_completion().unwrap();
+            assert_eq!(fresh_report, reused_report, "n={n} seed={seed}");
+        }
+        // Scenario events reschedule on reset too.
+        let cfg = || {
+            SimConfig::builder(3)
+                .seed(4)
+                .stability_at_millis(200)
+                .scenario(Scenario::none().down_between(
+                    ProcessId::new(2),
+                    SimTime::from_millis(50),
+                    SimTime::from_millis(400),
+                ))
+                .build()
+                .unwrap()
+        };
+        let fresh = World::new(cfg(), SessionPaxos::new())
+            .run_to_completion()
+            .unwrap();
+        reused.reset(cfg());
+        assert_eq!(fresh, reused.run_to_completion().unwrap());
     }
 
     #[test]

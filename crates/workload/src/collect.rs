@@ -1,0 +1,206 @@
+//! Latency/throughput collection from per-command commit feeds.
+
+use esync_core::time::RealDuration;
+use esync_core::types::{ProcessId, Value};
+use esync_sim::metrics::{LatencyHistogram, ThroughputTimeline, WorkloadSummary};
+use esync_sim::scenario::kv_id;
+use esync_sim::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Accumulates a workload run's measurements from its submit and commit
+/// events, backend-agnostically: the simulator feeds nanoseconds of
+/// simulated time, the threaded runtime nanoseconds of wall time since
+/// cluster start.
+///
+/// Latency is measured **submission → first commit anywhere**; a command
+/// re-applied at the same process under a second slot (the at-least-once
+/// path across leadership changes) counts as a duplicate, while the normal
+/// one-commit-per-process fan-out does not.
+#[derive(Debug)]
+pub struct Collector {
+    /// The stabilization instant splitting the pre/post histograms, if the
+    /// run has one.
+    ts_ns: Option<u64>,
+    /// Submit instant per tracked command id.
+    submit_ns: BTreeMap<u64, u64>,
+    /// Ids whose first commit has been seen.
+    committed: BTreeSet<u64>,
+    /// `(pid, id)` pairs seen, to detect per-process re-application.
+    applied: BTreeSet<(u32, u64)>,
+    duplicates: u64,
+    latency: LatencyHistogram,
+    pre_ts: LatencyHistogram,
+    post_ts: LatencyHistogram,
+    timeline: ThroughputTimeline,
+    first_submit_ns: Option<u64>,
+    last_commit_ns: Option<u64>,
+}
+
+impl Collector {
+    /// Creates a collector; `ts_ns` enables the pre/post-stability split.
+    pub fn new(ts_ns: Option<u64>, timeline_window: RealDuration) -> Self {
+        Collector {
+            ts_ns,
+            submit_ns: BTreeMap::new(),
+            committed: BTreeSet::new(),
+            applied: BTreeSet::new(),
+            duplicates: 0,
+            latency: LatencyHistogram::new(),
+            pre_ts: LatencyHistogram::new(),
+            post_ts: LatencyHistogram::new(),
+            timeline: ThroughputTimeline::new(timeline_window),
+            first_submit_ns: None,
+            last_commit_ns: None,
+        }
+    }
+
+    /// Registers a submission of `value` at `at_ns`.
+    pub fn on_submit(&mut self, value: Value, at_ns: u64) {
+        let id = kv_id(value);
+        self.submit_ns.entry(id).or_insert(at_ns);
+        if self.first_submit_ns.is_none_or(|t| at_ns < t) {
+            self.first_submit_ns = Some(at_ns);
+        }
+    }
+
+    /// Registers a commit of `value` at process `pid` at `at_ns`. Returns
+    /// the command id if this is the command's **first** commit anywhere
+    /// (the closed-loop driver's cue to submit a replacement); untracked
+    /// ids are ignored.
+    pub fn on_commit(&mut self, pid: ProcessId, value: Value, at_ns: u64) -> Option<u64> {
+        let id = kv_id(value);
+        let submit = *self.submit_ns.get(&id)?;
+        if !self.applied.insert((pid.as_u32(), id)) {
+            self.duplicates += 1;
+        }
+        if !self.committed.insert(id) {
+            return None;
+        }
+        let lat = at_ns.saturating_sub(submit);
+        self.latency.record(lat);
+        match self.ts_ns {
+            Some(ts) if submit < ts => self.pre_ts.record(lat),
+            Some(_) => self.post_ts.record(lat),
+            None => {}
+        }
+        self.timeline.record(SimTime::from_nanos(at_ns));
+        if self.last_commit_ns.is_none_or(|t| at_ns > t) {
+            self.last_commit_ns = Some(at_ns);
+        }
+        Some(id)
+    }
+
+    /// Commands submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submit_ns.len() as u64
+    }
+
+    /// Distinct commands committed so far.
+    pub fn committed(&self) -> u64 {
+        self.committed.len() as u64
+    }
+
+    /// Builds the summary of everything recorded.
+    pub fn summary(&self) -> WorkloadSummary {
+        let span_ns = match (self.first_submit_ns, self.last_commit_ns) {
+            (Some(a), Some(b)) if b > a => b - a,
+            _ => 0,
+        };
+        let measured_secs = span_ns as f64 / 1e9;
+        WorkloadSummary {
+            submitted: self.submitted(),
+            committed: self.committed(),
+            duplicate_commits: self.duplicates,
+            measured_secs,
+            commits_per_sec: if span_ns > 0 {
+                self.committed() as f64 / measured_secs
+            } else {
+                0.0
+            },
+            latency: self.latency.summary(),
+            pre_ts: (self.ts_ns.is_some() && !self.pre_ts.is_empty())
+                .then(|| self.pre_ts.summary()),
+            post_ts: (self.ts_ns.is_some() && !self.post_ts.is_empty())
+                .then(|| self.post_ts.summary()),
+            timeline: self.timeline.counts().to_vec(),
+            timeline_window_ms: self.timeline.window().as_millis_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esync_sim::scenario::kv_command;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn first_commit_measures_latency() {
+        let mut c = Collector::new(None, RealDuration::from_millis(10));
+        let v = kv_command(3, 0);
+        c.on_submit(v, 5 * MS);
+        assert_eq!(c.on_commit(pid(0), v, 9 * MS), Some(0), "first commit");
+        assert_eq!(c.on_commit(pid(1), v, 10 * MS), None, "fan-out, not first");
+        let s = c.summary();
+        assert_eq!(s.submitted, 1);
+        assert_eq!(s.committed, 1);
+        assert_eq!(s.duplicate_commits, 0, "per-process fan-out is not a dup");
+        assert_eq!(s.latency.count, 1);
+        assert_eq!(s.latency.min_ns, 4 * MS);
+    }
+
+    #[test]
+    fn reapplication_counts_as_duplicate() {
+        let mut c = Collector::new(None, RealDuration::from_millis(10));
+        let v = kv_command(0, 7);
+        c.on_submit(v, 0);
+        c.on_commit(pid(0), v, MS);
+        // Same process applies id 7 again (second slot): a duplicate.
+        c.on_commit(pid(0), v, 2 * MS);
+        assert_eq!(c.summary().duplicate_commits, 1);
+        assert_eq!(c.summary().committed, 1);
+    }
+
+    #[test]
+    fn untracked_ids_are_ignored() {
+        let mut c = Collector::new(None, RealDuration::from_millis(10));
+        assert_eq!(c.on_commit(pid(0), Value::new(42), MS), None);
+        assert_eq!(c.summary().committed, 0);
+    }
+
+    #[test]
+    fn pre_post_split_by_submit_time() {
+        let ts = 100 * MS;
+        let mut c = Collector::new(Some(ts), RealDuration::from_millis(10));
+        let early = kv_command(0, 0);
+        let late = kv_command(0, 1);
+        c.on_submit(early, 50 * MS);
+        c.on_submit(late, 150 * MS);
+        c.on_commit(pid(0), early, 120 * MS); // submitted pre-TS
+        c.on_commit(pid(0), late, 152 * MS); // submitted post-TS
+        let s = c.summary();
+        assert_eq!(s.pre_ts.as_ref().unwrap().count, 1);
+        assert_eq!(s.pre_ts.as_ref().unwrap().min_ns, 70 * MS);
+        assert_eq!(s.post_ts.as_ref().unwrap().count, 1);
+        assert_eq!(s.post_ts.as_ref().unwrap().min_ns, 2 * MS);
+    }
+
+    #[test]
+    fn throughput_over_measured_span() {
+        let mut c = Collector::new(None, RealDuration::from_millis(10));
+        for id in 0..10u64 {
+            let v = kv_command(0, id);
+            c.on_submit(v, 0);
+            c.on_commit(pid(0), v, (id + 1) * 100 * MS);
+        }
+        let s = c.summary();
+        // 10 commits over exactly 1 second (0 .. 1000ms).
+        assert!((s.commits_per_sec - 10.0).abs() < 1e-9, "{}", s.commits_per_sec);
+        assert_eq!(s.timeline.iter().sum::<u64>(), 10);
+    }
+}

@@ -1,0 +1,48 @@
+//! # esync-workload — replicated-log throughput workloads
+//!
+//! The paper's bound is about *decision latency after stabilization*; this
+//! crate is the steady-state counterpart: sustained client traffic against
+//! the multi-instance replicated log, measuring **commit throughput** and
+//! **end-to-end latency percentiles** — before and after the stabilization
+//! time — over both execution substrates:
+//!
+//! * the deterministic discrete-event simulator (`esync-sim`), where every
+//!   run is a bit-reproducible function of its seeds, and
+//! * the threaded real-time runtime (`esync-runtime`), driving the *same*
+//!   state machines over real channels.
+//!
+//! Two client models, both deterministic and seedable:
+//!
+//! * **Open loop** ([`sim_driver::run_open_loop`],
+//!   [`rt_driver::run_open_loop`]): commands arrive on a fixed-rate or
+//!   Poisson schedule ([`esync_sim::scenario::SubmitStream`]) regardless
+//!   of completion — the model for rate sweeps and overload studies. Both
+//!   backends replay the **same** stream expansion, so they submit
+//!   bit-identical command sequences.
+//! * **Closed loop** ([`sim_driver::run_closed_loop`],
+//!   [`rt_driver::run_closed_loop`]): each of `clients` keeps exactly
+//!   `outstanding` commands in flight, submitting a replacement the moment
+//!   one commits — the model for saturation throughput.
+//!
+//! Commands are keyed KV operations packed into the wire [`Value`] by
+//! [`esync_sim::scenario::kv_command`]: a unique id (at-least-once
+//! deduplication) plus a sampled key (the working set a future multi-shard
+//! router hashes). Measurements land in
+//! [`esync_sim::metrics::WorkloadSummary`]: commits/sec, p50/p99/p999
+//! commit latency from a fixed-bucket HDR-style histogram, the pre- vs
+//! post-stability split, and a commits-per-window timeline.
+//!
+//! [`Value`]: esync_core::types::Value
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod collect;
+pub mod gen;
+pub mod rt_driver;
+pub mod sim_driver;
+
+pub use collect::Collector;
+pub use gen::{ClosedLoopSpec, CommandGen};
+pub use sim_driver::SimWorkloadOutcome;

@@ -1,0 +1,199 @@
+//! Workload drivers over the threaded real-time runtime.
+//!
+//! The same generators as [`crate::sim_driver`], driving an
+//! [`esync_runtime::Cluster`] over real channels and wall clocks: commands
+//! go in through [`Cluster::submit`], measurements come back out of the
+//! per-command [`Cluster::commits`] stream. Command *sequences* are
+//! bit-identical to the simulator drivers' (same [`CommandGen`], same
+//! stream expansion); timings are wall-clock and therefore machine-
+//! dependent — the runtime drivers demonstrate the subsystem end-to-end,
+//! while the simulator drivers produce the reproducible artifacts.
+
+use crate::collect::Collector;
+use crate::gen::{ClosedLoopSpec, CommandGen};
+use esync_core::paxos::multi::MultiPaxos;
+use esync_core::types::ProcessId;
+use esync_sim::metrics::WorkloadSummary;
+use esync_sim::scenario::{kv_id, SubmitStream};
+use esync_runtime::{Cluster, ClusterConfig, RuntimeError};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+/// A completed threaded-runtime workload run.
+#[derive(Debug, Clone)]
+pub struct RtWorkloadOutcome {
+    /// Throughput and latency measurements (wall-clock nanoseconds).
+    pub summary: WorkloadSummary,
+    /// Command ids applied per node — agreement means every node's set
+    /// converges to the full command set.
+    pub applied_per_node: Vec<BTreeSet<u64>>,
+}
+
+/// How long the drivers wait on the commit channel per poll.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Runs a **closed-loop** workload against a threaded cluster: spawns the
+/// cluster, waits `warmup` for the log to anchor a leader, then keeps
+/// `spec.clients × spec.outstanding` commands in flight until
+/// `spec.commands` are committed *and applied at every node*, or
+/// `deadline` (from cluster start) passes.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Config`] for invalid timing parameters and
+/// [`RuntimeError::Timeout`] if the deadline passes before every command
+/// commits everywhere.
+pub fn run_closed_loop(
+    cfg: ClusterConfig,
+    protocol: MultiPaxos,
+    spec: &ClosedLoopSpec,
+    warmup: Duration,
+    deadline: Duration,
+) -> Result<RtWorkloadOutcome, RuntimeError> {
+    assert!(spec.clients >= 1, "at least one client");
+    assert!(spec.outstanding >= 1, "at least one in-flight command");
+    let cluster = Cluster::spawn(cfg, protocol)?;
+    let n = cluster.n();
+    std::thread::sleep(warmup);
+    let mut gen = CommandGen::new(spec.seed, spec.key_space);
+    let mut owner: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut collector = Collector::new(None, spec.timeline_window);
+    let mut applied: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); n];
+    for client in 0..spec.clients as u32 {
+        for _ in 0..spec.outstanding {
+            submit_one(&cluster, &mut gen, &mut collector, &mut owner, client, spec);
+        }
+    }
+    let done = |collector: &Collector, applied: &[BTreeSet<u64>]| {
+        collector.committed() >= spec.commands
+            && applied.iter().all(|s| s.len() as u64 >= spec.commands)
+    };
+    while !done(&collector, &applied) {
+        if cluster.elapsed() > deadline {
+            let decided = collector.committed() as usize;
+            cluster.shutdown();
+            return Err(RuntimeError::Timeout {
+                decided,
+                n: spec.commands as usize,
+            });
+        }
+        let Ok(commit) = cluster.commits().recv_timeout(POLL) else {
+            continue;
+        };
+        applied[commit.pid.as_usize()].insert(kv_id(commit.value));
+        let at_ns = commit.elapsed.as_nanos() as u64;
+        if let Some(id) = collector.on_commit(commit.pid, commit.value, at_ns) {
+            let client = owner[&id];
+            submit_one(&cluster, &mut gen, &mut collector, &mut owner, client, spec);
+        }
+    }
+    cluster.shutdown();
+    Ok(RtWorkloadOutcome {
+        summary: collector.summary(),
+        applied_per_node: applied,
+    })
+}
+
+/// Runs an **open-loop** workload against a threaded cluster: the stream's
+/// expansion (the same one the simulator schedules) is replayed on the
+/// wall clock — command `i` is submitted once `stream.expand(n)[i].0` of
+/// wall time has elapsed since the post-spawn submission start — then
+/// commits are drained until every command is applied everywhere or
+/// `deadline` passes.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Config`] for invalid timing parameters and
+/// [`RuntimeError::Timeout`] on deadline.
+pub fn run_open_loop(
+    cfg: ClusterConfig,
+    protocol: MultiPaxos,
+    stream: &SubmitStream,
+    deadline: Duration,
+) -> Result<RtWorkloadOutcome, RuntimeError> {
+    let cluster = Cluster::spawn(cfg, protocol)?;
+    let n = cluster.n();
+    let schedule = stream.expand(n);
+    let total = schedule.len() as u64;
+    let mut collector = Collector::new(None, esync_core::time::RealDuration::from_millis(50));
+    let mut applied: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); n];
+    let start = Instant::now();
+    let drain = |collector: &mut Collector, applied: &mut Vec<BTreeSet<u64>>, wait: Duration| {
+        if let Ok(commit) = cluster.commits().recv_timeout(wait) {
+            applied[commit.pid.as_usize()].insert(kv_id(commit.value));
+            collector.on_commit(commit.pid, commit.value, commit.elapsed.as_nanos() as u64);
+        }
+    };
+    for (at, pid, value) in &schedule {
+        let due = start + Duration::from_nanos(at.as_nanos());
+        loop {
+            let now = Instant::now();
+            if now >= due {
+                break;
+            }
+            drain(&mut collector, &mut applied, (due - now).min(POLL));
+        }
+        collector.on_submit(*value, cluster.elapsed().as_nanos() as u64);
+        cluster.submit(*pid, *value);
+    }
+    while collector.committed() < total || applied.iter().any(|s| (s.len() as u64) < total) {
+        if cluster.elapsed() > deadline {
+            let decided = collector.committed() as usize;
+            cluster.shutdown();
+            return Err(RuntimeError::Timeout {
+                decided,
+                n: total as usize,
+            });
+        }
+        drain(&mut collector, &mut applied, POLL);
+    }
+    cluster.shutdown();
+    Ok(RtWorkloadOutcome {
+        summary: collector.summary(),
+        applied_per_node: applied,
+    })
+}
+
+/// Issues the next command for `client`, if the budget allows.
+fn submit_one(
+    cluster: &Cluster<MultiPaxos>,
+    gen: &mut CommandGen,
+    collector: &mut Collector,
+    owner: &mut BTreeMap<u64, u32>,
+    client: u32,
+    spec: &ClosedLoopSpec,
+) {
+    if gen.issued() >= spec.commands {
+        return;
+    }
+    let value = gen.next_command();
+    owner.insert(kv_id(value), client);
+    collector.on_submit(value, cluster.elapsed().as_nanos() as u64);
+    cluster.submit(ProcessId::new(client % cluster.n() as u32), value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_over_threads_commits_everywhere() {
+        let cfg = ClusterConfig::new(3)
+            .delta(Duration::from_millis(5))
+            .seed(21);
+        let spec = ClosedLoopSpec::new(2, 2, 12).seed(3);
+        let out = run_closed_loop(
+            cfg,
+            MultiPaxos::new().with_batching(4, 2),
+            &spec,
+            Duration::from_millis(300),
+            Duration::from_secs(30),
+        )
+        .expect("workload completes");
+        assert_eq!(out.summary.committed, 12);
+        assert!(out.summary.latency.count == 12);
+        for (i, ids) in out.applied_per_node.iter().enumerate() {
+            assert_eq!(ids.len(), 12, "node {i} misses commands");
+        }
+    }
+}

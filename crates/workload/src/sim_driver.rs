@@ -1,0 +1,289 @@
+//! Workload drivers over the deterministic discrete-event simulator.
+//!
+//! Everything here is a pure function of the configuration and seeds:
+//! rerunning a driver with the same inputs produces a bit-identical
+//! [`WorkloadSummary`] (and simulator [`Report`]), which is what lets
+//! `BENCH_exp_w*.json` artifacts diff cleanly across machines.
+
+use crate::collect::Collector;
+use crate::gen::{ClosedLoopSpec, CommandGen};
+use esync_core::paxos::multi::MultiPaxos;
+use esync_core::types::ProcessId;
+use esync_sim::metrics::WorkloadSummary;
+use esync_sim::scenario::kv_id;
+use esync_sim::{Report, SimConfig, SimTime, World};
+use std::collections::BTreeMap;
+
+/// A completed simulator workload run.
+#[derive(Debug, Clone)]
+pub struct SimWorkloadOutcome {
+    /// Throughput and latency measurements.
+    pub summary: WorkloadSummary,
+    /// The underlying simulator report (events, messages, config echo).
+    pub report: Report,
+    /// Simulated instant the drive stopped at.
+    pub end: SimTime,
+    /// Whether every pair of processes agrees on every shared log slot —
+    /// the replicated-log safety property (single-shot `Report::agreement`
+    /// is about first decides and does not apply to steady-state logs).
+    pub log_agreement: bool,
+}
+
+/// Slot-by-slot log agreement across all processes: no two processes hold
+/// different batches in the same slot.
+fn logs_agree(world: &World<MultiPaxos>) -> bool {
+    let n = world.config().timing.n();
+    let mut reference: BTreeMap<u64, &[esync_core::types::Value]> = BTreeMap::new();
+    for pid in (0..n as u32).map(ProcessId::new) {
+        for (slot, batch) in world.process(pid).log().iter() {
+            match reference.entry(slot) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(batch);
+                }
+                std::collections::btree_map::Entry::Occupied(e) => {
+                    if *e.get() != &batch[..] {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Runs an **open-loop** workload: the configuration's scenario
+/// [`SubmitStream`](esync_sim::scenario::SubmitStream)s arrive on their
+/// schedule regardless of completion; the world runs to `horizon` and
+/// every commit is scored against its submission. Only stream commands
+/// are scored — plain `scenario.submits` still execute, but their values
+/// share no id-namespace discipline with the streams, so they are left
+/// out of the measurement (the collector ignores untracked ids).
+///
+/// The pre-/post-stability split classifies a command by its *submission*
+/// instant relative to the configuration's `TS`.
+pub fn run_open_loop(cfg: SimConfig, protocol: MultiPaxos, horizon: SimTime) -> SimWorkloadOutcome {
+    let n = cfg.timing.n();
+    let spec_window = default_timeline_window(&cfg);
+    let mut collector = Collector::new(Some(cfg.ts.as_nanos()), spec_window);
+    // `expand` is a pure function of `(stream, n)`, so this expansion is
+    // bit-identical to the one `World::new` schedules from the same
+    // config — the collector scores against exactly the submissions the
+    // world executes.
+    for stream in &cfg.scenario.streams {
+        for (at, _, value) in stream.expand(n) {
+            collector.on_submit(value, at.as_nanos());
+        }
+    }
+    let mut world = World::new(cfg, protocol);
+    world.run_until(horizon);
+    for c in world.commits() {
+        collector.on_commit(c.pid, c.value, c.at.as_nanos());
+    }
+    SimWorkloadOutcome {
+        summary: collector.summary(),
+        report: world.report(),
+        end: world.now(),
+        log_agreement: logs_agree(&world),
+    }
+}
+
+/// The open-loop timeline window: δ·5, so a 10ms-δ run gets 50ms windows.
+fn default_timeline_window(cfg: &SimConfig) -> esync_core::time::RealDuration {
+    cfg.timing.delta() * 5
+}
+
+/// Runs a **closed-loop** workload: `spec.clients` clients each keep
+/// `spec.outstanding` commands in flight (submitting to process
+/// `client mod n`), replacing each command the moment its first commit
+/// lands, until `spec.commands` have been issued and committed — the
+/// saturation-throughput drive. `warmup` gives the log time to anchor a
+/// leader before measurement; `horizon` bounds the run.
+pub fn run_closed_loop(
+    cfg: SimConfig,
+    protocol: MultiPaxos,
+    spec: &ClosedLoopSpec,
+    warmup: SimTime,
+    horizon: SimTime,
+) -> SimWorkloadOutcome {
+    assert!(spec.clients >= 1, "at least one client");
+    assert!(spec.outstanding >= 1, "at least one in-flight command");
+    let n = cfg.timing.n();
+    let ts = cfg.ts.as_nanos();
+    let mut collector = Collector::new(Some(ts), spec.timeline_window);
+    let mut gen = CommandGen::new(spec.seed, spec.key_space);
+    let mut owner: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut world = World::new(cfg, protocol);
+    world.run_until(warmup);
+    for client in 0..spec.clients as u32 {
+        for _ in 0..spec.outstanding {
+            submit_one(&mut world, &mut gen, &mut collector, &mut owner, n, client, spec);
+        }
+    }
+    let mut cursor = 0usize;
+    while collector.committed() < spec.commands && world.now() < horizon {
+        if !world.step() {
+            break; // quiescent: nothing left that could commit
+        }
+        while cursor < world.commits().len() {
+            let c = world.commits()[cursor];
+            cursor += 1;
+            if let Some(id) = collector.on_commit(c.pid, c.value, c.at.as_nanos()) {
+                let client = owner[&id];
+                submit_one(&mut world, &mut gen, &mut collector, &mut owner, n, client, spec);
+            }
+        }
+    }
+    SimWorkloadOutcome {
+        summary: collector.summary(),
+        report: world.report(),
+        end: world.now(),
+        log_agreement: logs_agree(&world),
+    }
+}
+
+/// Issues the next command for `client`, if the budget allows.
+fn submit_one(
+    world: &mut World<MultiPaxos>,
+    gen: &mut CommandGen,
+    collector: &mut Collector,
+    owner: &mut BTreeMap<u64, u32>,
+    n: usize,
+    client: u32,
+    spec: &ClosedLoopSpec,
+) {
+    if gen.issued() >= spec.commands {
+        return;
+    }
+    let value = gen.next_command();
+    owner.insert(kv_id(value), client);
+    let now = world.now();
+    collector.on_submit(value, now.as_nanos());
+    world.submit(now, ProcessId::new(client % n as u32), value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esync_sim::scenario::SubmitStream;
+    use esync_sim::{PreStability, Scenario};
+
+    fn stable_cfg(n: usize, seed: u64) -> SimConfig {
+        SimConfig::builder(n)
+            .seed(seed)
+            .stability_at_millis(0)
+            .pre_stability(PreStability::lossless())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn closed_loop_commits_everything() {
+        let spec = ClosedLoopSpec::new(3, 2, 40).seed(1);
+        let out = run_closed_loop(
+            stable_cfg(3, 1),
+            MultiPaxos::new(),
+            &spec,
+            SimTime::from_millis(500),
+            SimTime::from_secs(60),
+        );
+        assert_eq!(out.summary.submitted, 40);
+        assert_eq!(out.summary.committed, 40);
+        assert!(out.summary.commits_per_sec > 0.0);
+        assert_eq!(out.summary.latency.count, 40);
+        assert!(out.summary.latency.p50_ns > 0);
+        assert!(out.log_agreement);
+    }
+
+    #[test]
+    fn closed_loop_is_bit_identical_across_reruns() {
+        let spec = ClosedLoopSpec::new(2, 4, 60).seed(9);
+        let run = || {
+            run_closed_loop(
+                stable_cfg(5, 7),
+                MultiPaxos::new().with_batching(4, 2),
+                &spec,
+                SimTime::from_millis(500),
+                SimTime::from_secs(60),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.summary, b.summary, "same seeds, same measurements");
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.end, b.end);
+    }
+
+    #[test]
+    fn open_loop_scores_stream_commands() {
+        let stream = SubmitStream::fixed_rate(
+            SimTime::from_millis(400),
+            esync_core::time::RealDuration::from_millis(5),
+            30,
+        )
+        .keyed(64)
+        .seed(2);
+        let mut cfg = stable_cfg(3, 3);
+        cfg.scenario = Scenario::none().stream(stream);
+        let out = run_open_loop(cfg, MultiPaxos::new(), SimTime::from_secs(3));
+        assert_eq!(out.summary.submitted, 30);
+        assert_eq!(out.summary.committed, 30);
+        assert!(out.log_agreement);
+        assert!(out.summary.post_ts.is_some(), "TS=0: all post-stability");
+        assert!(out.summary.pre_ts.is_none());
+        assert_eq!(out.summary.timeline.iter().sum::<u64>(), 30);
+    }
+
+    #[test]
+    fn open_loop_is_bit_identical_across_reruns() {
+        let mk = || {
+            let stream = SubmitStream::poisson(
+                SimTime::from_millis(100),
+                esync_core::time::RealDuration::from_millis(4),
+                50,
+            )
+            .keyed(32)
+            .seed(11);
+            let mut cfg = SimConfig::builder(3)
+                .seed(5)
+                .stability_at_millis(300)
+                .pre_stability(PreStability::chaos())
+                .build()
+                .unwrap();
+            cfg.scenario = Scenario::none().stream(stream);
+            run_open_loop(cfg, MultiPaxos::new(), SimTime::from_secs(5))
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn open_loop_splits_latency_at_stability() {
+        // Submissions straddle TS=300ms under chaos: the pre-TS side must
+        // be recorded separately and be slower in the tail.
+        let stream = SubmitStream::fixed_rate(
+            SimTime::from_millis(50),
+            esync_core::time::RealDuration::from_millis(25),
+            40,
+        )
+        .keyed(16)
+        .seed(4);
+        let mut cfg = SimConfig::builder(5)
+            .seed(6)
+            .stability_at_millis(300)
+            .pre_stability(PreStability::chaos())
+            .build()
+            .unwrap();
+        cfg.scenario = Scenario::none().stream(stream);
+        let out = run_open_loop(cfg, MultiPaxos::new(), SimTime::from_secs(10));
+        let pre = out.summary.pre_ts.expect("pre-TS submissions exist");
+        let post = out.summary.post_ts.expect("post-TS submissions exist");
+        assert!(pre.count > 0 && post.count > 0);
+        assert_eq!(
+            pre.count + post.count,
+            out.summary.latency.count,
+            "split partitions the histogram"
+        );
+    }
+}

@@ -38,11 +38,11 @@ impl CommandTable {
     }
 }
 
-/// Applies a decided log prefix to a key-value store.
-fn apply(table: &CommandTable, log: &BTreeMap<u64, Value>) -> BTreeMap<String, String> {
+/// Applies a decided log (commands in slot order) to a key-value store.
+fn apply(table: &CommandTable, log: impl Iterator<Item = Value>) -> BTreeMap<String, String> {
     let mut kv = BTreeMap::new();
-    for v in log.values() {
-        let cmd = table.resolve(*v);
+    for v in log {
+        let cmd = table.resolve(v);
         kv.insert(cmd.key.clone(), cmd.value.clone());
     }
     kv
@@ -87,10 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("replicated KV over multi-instance session Paxos, n={n}");
     println!("anchored leader: {leader}\n");
 
-    let reference = apply(&table, world.process(ProcessId::new(0)).log());
+    let reference = apply(&table, world.process(ProcessId::new(0)).log_values());
     for pid in ProcessId::all(n) {
         let proc = world.process(pid);
-        let kv = apply(&table, proc.log());
+        let kv = apply(&table, proc.log_values());
         println!(
             "{pid}: {} log entries, kv state {:?}",
             proc.log().len(),

@@ -20,3 +20,8 @@ exp name:
 # The Criterion micro-benchmarks only, capturing BENCH_micro.json.
 micro:
     scripts/bench.sh micro
+
+# The replicated-log throughput workloads (closed-loop saturation W1 and
+# open-loop rate-vs-stability W2), refreshing BENCH_exp_w*.json.
+workload:
+    scripts/bench.sh w1 w2

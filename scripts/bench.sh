@@ -20,6 +20,8 @@ targets=(
     exp_e8_clock_drift
     exp_e9_ablations
     exp_e10_bound_check
+    exp_w1_throughput_vs_n
+    exp_w2_load_vs_stability
     micro_simulator
 )
 

@@ -16,6 +16,10 @@
 //! * [`check`] (`esync-check`) — a bounded model checker and adversarial
 //!   schedule fuzzer: safety under *every* message reordering, early timer,
 //!   drop, crash and lying leader oracle, not just timed schedules.
+//! * [`workload`] (`esync-workload`) — replicated-log throughput
+//!   workloads: deterministic open/closed-loop client drivers over both
+//!   the simulator and the runtime, with latency histograms and
+//!   commits/sec measurement.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and `EXPERIMENTS.md`
 //! for the paper-claim reproduction tables.
@@ -24,3 +28,4 @@ pub use esync_check as check;
 pub use esync_core as core;
 pub use esync_runtime as runtime;
 pub use esync_sim as sim;
+pub use esync_workload as workload;

@@ -43,8 +43,7 @@ fn commands_land_in_the_log_everywhere() {
     let w = run_log(n, 1, submits, SimTime::from_secs(2));
     // Every submitted command appears in every process's log.
     for pid in ProcessId::all(n) {
-        let log = w.process(pid).log();
-        let values: Vec<u64> = log.values().map(|v| v.get()).collect();
+        let values: Vec<u64> = w.process(pid).log_values().map(|v| v.get()).collect();
         for expected in [1001, 1002, 1003] {
             assert!(
                 values.contains(&expected),
@@ -70,10 +69,10 @@ fn logs_agree_slot_by_slot() {
     assert!(!reference.is_empty());
     for pid in ProcessId::all(n) {
         let log = w.process(pid).log();
-        for (slot, v) in log {
+        for (slot, batch) in log.iter() {
             assert_eq!(
                 reference.get(slot),
-                Some(v),
+                Some(batch),
                 "{pid}: slot {slot} disagrees"
             );
         }
@@ -110,9 +109,8 @@ fn commit_latency_is_a_few_message_delays_once_anchored() {
     // With lossless delays ≤ δ = 10ms: 2a + 2b = 2δ to commit at every
     // process; allow 3δ for the submit event itself and jitter.
     for pid in ProcessId::all(n) {
-        let log = w.process(pid).log();
         assert!(
-            log.values().any(|v| v.get() == 7777),
+            w.process(pid).log_values().any(|v| v.get() == 7777),
             "{pid}: command not committed within 3δ of submission"
         );
     }
@@ -134,7 +132,7 @@ fn forwarded_commands_survive_non_leader_submission() {
     );
     for pid in ProcessId::all(n) {
         assert!(
-            w.process(pid).log().values().any(|v| v.get() == 4242),
+            w.process(pid).log_values().any(|v| v.get() == 4242),
             "{pid}: forwarded command missing"
         );
     }
@@ -163,11 +161,11 @@ fn log_survives_chaotic_prestability() {
     for pid in ProcessId::all(n) {
         let log = w.process(pid).log();
         assert!(
-            log.values().any(|v| v.get() == 9002),
+            w.process(pid).log_values().any(|v| v.get() == 9002),
             "{pid}: post-TS command missing"
         );
-        for (slot, v) in log {
-            assert_eq!(reference.get(slot), Some(v), "{pid}: slot {slot}");
+        for (slot, batch) in log.iter() {
+            assert_eq!(reference.get(slot), Some(batch), "{pid}: slot {slot}");
         }
     }
 }

@@ -45,6 +45,38 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// A closed-loop drive through the sharded log group: the event loop
+/// under multi-instance load (shard-tagged messages, per-shard timers,
+/// SoA liveness flags on every deliver). The end-to-end cost of one
+/// committed command through the S=4 engine.
+fn bench_log_group_workload(c: &mut Criterion) {
+    use esync_core::paxos::group::LogGroup;
+    use esync_workload::gen::ClosedLoopSpec;
+    use esync_workload::sim_driver::run_closed_loop;
+    c.bench_function("log_group_s4_closed_loop_120_commands", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = SimConfig::builder(5)
+                .seed(seed)
+                .stability_at_millis(0)
+                .pre_stability(PreStability::lossless())
+                .build()
+                .unwrap();
+            let spec = ClosedLoopSpec::new(5, 8, 120).seed(seed).key_space(1 << 10);
+            let out = run_closed_loop(
+                cfg,
+                LogGroup::new(4),
+                &spec,
+                SimTime::from_millis(500),
+                SimTime::from_secs(120),
+            );
+            assert_eq!(out.summary.committed, 120);
+            black_box(out.report.events)
+        });
+    });
+}
+
 fn bench_chaos_run(c: &mut Criterion) {
     c.bench_function("end_to_end_chaos_run_n5", |b| {
         let mut seed = 0u64;
@@ -201,7 +233,8 @@ fn bench_sweep(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_end_to_end, bench_chaos_run, bench_protocol_step,
-              bench_decision_tracker, bench_event_queue, bench_sweep
+    targets = bench_end_to_end, bench_log_group_workload, bench_chaos_run,
+              bench_protocol_step, bench_decision_tracker, bench_event_queue,
+              bench_sweep
 }
 criterion_main!(benches);

@@ -182,8 +182,10 @@ impl SweepSummary {
 }
 
 /// The artifact schema version this crate writes (see
-/// `crates/bench/README.md`); v2 added the per-sweep `workload` field.
-pub const SCHEMA_VERSION: u32 = 2;
+/// `crates/bench/README.md`); v2 added the per-sweep `workload` field,
+/// v3 the per-shard split (`workload.per_shard[]`) of the sharded
+/// log-group experiments.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// A whole experiment's artifact: every sweep it ran, plus context.
 #[derive(Debug, Clone, Serialize)]
@@ -274,7 +276,7 @@ mod tests {
         ));
         let json = serde_json::to_string(&a).unwrap();
         assert!(json.contains("\"experiment\":\"exp_test\""));
-        assert!(json.contains("\"schema_version\":2"));
+        assert!(json.contains("\"schema_version\":3"));
         assert!(json.contains("\"runs_per_sec\""));
         assert!(json.contains("\"workload\":null"));
     }

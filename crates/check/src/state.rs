@@ -219,7 +219,7 @@ where
                 Action::CancelTimer { id } => {
                     self.timers[i].remove(&id);
                 }
-                Action::Decide { value } => match self.decided[i] {
+                Action::Decide { value, .. } => match self.decided[i] {
                     None => self.decided[i] = Some(value),
                     Some(prev) if prev != value => {
                         return Some(format!(

@@ -678,7 +678,7 @@ mod tests {
         assert!(o
             .drain()
             .iter()
-            .any(|a| matches!(a, Action::Decide { value } if *value == Value::new(7))));
+            .any(|a| matches!(a, Action::Decide { value, .. } if *value == Value::new(7))));
     }
 
     #[test]

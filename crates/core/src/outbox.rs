@@ -14,7 +14,7 @@
 
 use crate::config::TimingConfig;
 use crate::time::{LocalDuration, LocalInstant};
-use crate::types::{ProcessId, TimerId, Value};
+use crate::types::{ProcessId, ShardId, TimerId, Value};
 use crate::wab::WabMessage;
 use core::fmt;
 
@@ -52,6 +52,11 @@ pub enum Action<M> {
     Decide {
         /// The decided value.
         value: Value,
+        /// The log-group shard the decision belongs to. Single-instance
+        /// protocols decide in [`ShardId::ZERO`]; the sharded log group
+        /// tags each commit with its shard so drivers and metrics can
+        /// attribute throughput and latency per shard.
+        shard: ShardId,
     },
     /// Hand a message to the weak-ordering oracle (B-Consensus only; see
     /// [`crate::wab`]). Drivers without an oracle reject protocols that use
@@ -64,7 +69,7 @@ pub enum Action<M> {
 
 /// Collects the [`Action`]s emitted while handling one event, and exposes
 /// the process's current local-clock reading.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Outbox<M> {
     now: LocalInstant,
     actions: Vec<Action<M>>,
@@ -118,9 +123,15 @@ impl<M> Outbox<M> {
         self.actions.push(Action::CancelTimer { id });
     }
 
-    /// Records the decision `value`.
+    /// Records the decision `value` (in shard [`ShardId::ZERO`] — the
+    /// single-instance case).
     pub fn decide(&mut self, value: Value) {
-        self.actions.push(Action::Decide { value });
+        self.decide_in_shard(ShardId::ZERO, value);
+    }
+
+    /// Records the decision `value` in log-group shard `shard`.
+    pub fn decide_in_shard(&mut self, shard: ShardId, value: Value) {
+        self.actions.push(Action::Decide { value, shard });
     }
 
     /// Hands `msg` to the weak-ordering oracle.
@@ -211,6 +222,14 @@ pub trait Process {
 
     /// The value this process has decided, if any.
     fn decision(&self) -> Option<Value>;
+
+    /// Whether this process currently believes it is the (anchored)
+    /// leader. Drivers use this for observability only — crash-the-leader
+    /// fault scenarios, load-balancing hints — never for correctness.
+    /// Single-shot protocols keep the default `false`.
+    fn is_leader(&self) -> bool {
+        false
+    }
 }
 
 /// A factory for one protocol's processes.
@@ -229,6 +248,14 @@ pub trait Protocol {
     fn kind_of(msg: &Self::Msg) -> &'static str {
         let _ = msg;
         "msg"
+    }
+
+    /// How many log-group shards each spawned process runs. Measurement
+    /// layers pre-size their per-shard accounting from this, so shards
+    /// that never commit still appear (as zeros) in per-shard summaries.
+    /// Single-instance protocols keep the default `1`.
+    fn shard_count(&self) -> usize {
+        1
     }
 
     /// Creates the state machine for process `id` proposing `initial`.
@@ -259,7 +286,9 @@ mod tests {
         assert!(matches!(acts[1], Action::Broadcast { .. }));
         assert!(matches!(acts[2], Action::SetTimer { .. }));
         assert!(matches!(acts[3], Action::CancelTimer { .. }));
-        assert!(matches!(acts[4], Action::Decide { value } if value == Value::new(3)));
+        assert!(
+            matches!(acts[4], Action::Decide { value, shard } if value == Value::new(3) && shard == ShardId::ZERO)
+        );
         assert!(out.is_empty());
     }
 

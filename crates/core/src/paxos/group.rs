@@ -1,0 +1,710 @@
+//! Sharded log groups: one process = `S` independent replicated logs.
+//!
+//! The paper's post-stabilization bound is **per consensus instance**:
+//! once the system stabilizes, each instance decides within two message
+//! delays, independently of every other instance. Aggregate throughput
+//! should therefore scale with the number of *independent* logs a
+//! cluster runs — the classic multi-shard parallel-commit construction
+//! (and the sharded analogue of synchronized-round results showing
+//! parallel independent opinion processes converge faster than one
+//! serialized process). This module is that construction:
+//!
+//! * A [`LogGroup`] spawns, per process, a group of `S`
+//!   [`MultiPaxosProcess`] shards — the engine-facing instance type the
+//!   single-log layer already exposes through the sans-IO [`Process`]
+//!   trait, reused here unchanged. Each shard runs its own anchoring,
+//!   session timer, ε-retransmission and proposal pipeline.
+//! * Every wire message is tagged with its [`ShardId`] ([`GroupMsg`]),
+//!   and every timer id is offset by the shard
+//!   ([`LogGroupProcess::group_timer`]), so drivers — the simulator's
+//!   `World` and the threaded runtime's `Cluster`/node loop — dispatch on
+//!   the shard tag without knowing the group's internals.
+//! * Client commands are routed by their KV key through a pluggable
+//!   [`ShardRouter`] (default: `kv_key(value) % S`), and every commit is
+//!   tagged with its shard via
+//!   [`Outbox::decide_in_shard`](crate::outbox::Outbox::decide_in_shard),
+//!   so per-command commit feeds carry the shard end to end.
+//!
+//! **`S = 1` is bit-identical to the plain [`MultiPaxos`] layer**: shard
+//! 0's timer ids map to themselves, the router sends every key to shard
+//! 0, and the action stream per event is the inner stream with each
+//! message wrapped — the workload smoke suite asserts equal
+//! `WorkloadSummary`s seed for seed.
+//!
+//! Shards are independent by design: there is **no cross-shard ordering**.
+//! The group exposes a merged committed-prefix view
+//! ([`LogGroupProcess::merged_prefix`]) that interleaves the shards'
+//! all-chosen prefixes deterministically by `(slot, shard)`; applications
+//! needing cross-shard transactions must layer them above (each key's
+//! history is totally ordered by its shard's log, as in any range-sharded
+//! store).
+
+use crate::config::TimingConfig;
+use crate::outbox::{Action, Outbox, Process, Protocol};
+use crate::paxos::multi::{Batch, MultiMsg, MultiPaxos, MultiPaxosProcess};
+use crate::paxos::slotlog::SlotMap;
+use crate::types::{kv_key, ProcessId, TimerId, Value};
+
+pub use crate::types::ShardId;
+
+/// Timer ids each shard uses (the session timer and the ε tick); the
+/// group maps shard `s`'s inner timer `t` to id `s · TIMERS_PER_SHARD + t`.
+pub const TIMERS_PER_SHARD: u32 = 2;
+
+/// A shard-tagged wire message: the single-log layer's [`MultiMsg`] plus
+/// the [`ShardId`] it belongs to. Drivers treat the tag as opaque; the
+/// receiving group dispatches on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupMsg {
+    /// The shard this message belongs to.
+    pub shard: ShardId,
+    /// The single-log payload.
+    pub msg: MultiMsg,
+}
+
+/// How client commands map onto shards, by KV key (see
+/// [`kv_key`]; unkeyed values have key 0 and all
+/// land in shard 0).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardRouter {
+    /// `key % S` — uniform keys spread uniformly (the default).
+    Modulo,
+    /// Contiguous key ranges: `boundaries` holds `S − 1` ascending
+    /// upper-exclusive split points; keys below `boundaries[0]` go to
+    /// shard 0, keys in `boundaries[i-1]..boundaries[i]` to shard `i`,
+    /// and keys at or above the last boundary to shard `S − 1`. The
+    /// range-partitioned layout of ordered KV stores.
+    Range(Vec<u64>),
+}
+
+impl ShardRouter {
+    /// The shard `key` routes to, for a group of `shards` shards.
+    pub fn route(&self, key: u64, shards: usize) -> ShardId {
+        debug_assert!(shards >= 1);
+        let s = match self {
+            ShardRouter::Modulo => (key % shards as u64) as u32,
+            ShardRouter::Range(bounds) => {
+                bounds.partition_point(|b| key >= *b) as u32
+            }
+        };
+        debug_assert!((s as usize) < shards, "router stayed in range");
+        ShardId::new(s)
+    }
+
+    /// Validates the router against a shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ShardRouter::Range`] does not carry exactly
+    /// `shards − 1` strictly ascending boundaries.
+    fn validate(&self, shards: usize) {
+        if let ShardRouter::Range(bounds) = self {
+            assert_eq!(
+                bounds.len(),
+                shards - 1,
+                "a range router over {shards} shards takes {} boundaries",
+                shards - 1
+            );
+            assert!(
+                bounds.windows(2).all(|w| w[0] < w[1]),
+                "range boundaries must be strictly ascending"
+            );
+        }
+    }
+}
+
+/// Protocol factory for a sharded log group: `S` independent
+/// [`MultiPaxos`] instances per process, shard-routed by KV key.
+#[derive(Debug, Clone)]
+pub struct LogGroup {
+    inner: MultiPaxos,
+    shards: usize,
+    router: ShardRouter,
+}
+
+impl LogGroup {
+    /// A group of `shards` independent unbatched logs with modulo
+    /// routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a log group holds at least one shard");
+        LogGroup {
+            inner: MultiPaxos::new(),
+            shards,
+            router: ShardRouter::Modulo,
+        }
+    }
+
+    /// Configures every shard's proposer-side batching (see
+    /// [`MultiPaxos::with_batching`]; the pipeline window is per shard,
+    /// so the group's aggregate in-flight capacity is `S · max_outstanding`).
+    #[must_use]
+    pub fn with_batching(mut self, max_batch: usize, max_outstanding: usize) -> Self {
+        self.inner = self.inner.with_batching(max_batch, max_outstanding);
+        self
+    }
+
+    /// Configures every shard's admitted-set compaction window (see
+    /// [`MultiPaxos::with_admitted_window`]).
+    #[must_use]
+    pub fn with_admitted_window(mut self, window: u64) -> Self {
+        self.inner = self.inner.with_admitted_window(window);
+        self
+    }
+
+    /// Replaces the key router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ShardRouter::Range`] does not fit the shard count.
+    #[must_use]
+    pub fn with_router(mut self, router: ShardRouter) -> Self {
+        router.validate(self.shards);
+        self.router = router;
+        self
+    }
+
+    /// The number of shards per process.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The key router.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+}
+
+impl Protocol for LogGroup {
+    type Msg = GroupMsg;
+    type Process = LogGroupProcess;
+
+    fn name(&self) -> &'static str {
+        "sharded-log-group"
+    }
+
+    fn kind_of(msg: &GroupMsg) -> &'static str {
+        // Per-kind metrics aggregate across shards (the shard split is
+        // the commit feed's job), so the labels match the single-log
+        // layer's and artifacts stay comparable across S.
+        msg.msg.kind()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    fn spawn(&self, id: ProcessId, cfg: &TimingConfig, initial: Value) -> LogGroupProcess {
+        LogGroupProcess {
+            id,
+            shards: (0..self.shards)
+                .map(|_| self.inner.spawn(id, cfg, initial))
+                .collect(),
+            router: self.router.clone(),
+            scratch: Outbox::default(),
+        }
+    }
+}
+
+/// One process's group of shard state machines.
+#[derive(Debug, Clone)]
+pub struct LogGroupProcess {
+    id: ProcessId,
+    shards: Vec<MultiPaxosProcess>,
+    router: ShardRouter,
+    /// Reused inner outbox: shard handlers emit untagged actions into it,
+    /// and [`LogGroupProcess::dispatch`] maps them into the driver-facing
+    /// outbox — one buffer for the process's lifetime, no per-event
+    /// allocation.
+    scratch: Outbox<MultiMsg>,
+}
+
+impl LogGroupProcess {
+    /// The number of shards in this group.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard's state machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard(&self, shard: ShardId) -> &MultiPaxosProcess {
+        &self.shards[shard.as_usize()]
+    }
+
+    /// The shard a command value routes to.
+    pub fn shard_of(&self, value: Value) -> ShardId {
+        self.router.route(kv_key(value), self.shards.len())
+    }
+
+    /// The driver-facing timer id of shard `shard`'s inner timer `t`.
+    /// The encoding is only injective while every inner timer id is below
+    /// [`TIMERS_PER_SHARD`] — a larger id would silently alias another
+    /// shard's timer space, so it is rejected here (the single encode
+    /// site) rather than corrupting a neighbor shard's state machine.
+    pub fn group_timer(shard: ShardId, t: TimerId) -> TimerId {
+        assert!(
+            t.get() < TIMERS_PER_SHARD,
+            "inner timer {t} does not fit the {TIMERS_PER_SHARD}-per-shard encoding \
+             (bump TIMERS_PER_SHARD alongside the inner protocol's timers)"
+        );
+        TimerId::new(shard.get() * TIMERS_PER_SHARD + t.get())
+    }
+
+    /// The merged committed-prefix view: every entry of every shard's
+    /// **all-chosen prefix** (see
+    /// [`MultiPaxosProcess::chosen_prefix`]), deterministically
+    /// interleaved in ascending `(slot, shard)` order. The cross-shard
+    /// apply order a state machine above the group would consume.
+    pub fn merged_prefix(&self) -> Vec<(ShardId, u64, &Batch)> {
+        let mut out: Vec<(ShardId, u64, &Batch)> = Vec::new();
+        for (s, proc) in self.shards.iter().enumerate() {
+            let shard = ShardId::new(s as u32);
+            for (slot, batch) in proc.log().iter() {
+                if slot >= proc.chosen_prefix() {
+                    break;
+                }
+                out.push((shard, slot, batch));
+            }
+        }
+        out.sort_by_key(|(shard, slot, _)| (*slot, *shard));
+        out
+    }
+
+    /// Every command in the merged committed prefix, in apply order.
+    pub fn merged_prefix_values(&self) -> Vec<Value> {
+        self.merged_prefix()
+            .into_iter()
+            .flat_map(|(_, _, b)| b.iter().copied())
+            .collect()
+    }
+
+    /// Runs one shard handler and re-tags its actions for the driver:
+    /// messages gain the shard tag, timers the shard offset, and decides
+    /// the shard id. Action order is preserved exactly — with `S = 1`
+    /// the emitted stream is the inner stream, message for message.
+    fn dispatch(
+        &mut self,
+        shard: ShardId,
+        out: &mut Outbox<GroupMsg>,
+        f: impl FnOnce(&mut MultiPaxosProcess, &mut Outbox<MultiMsg>),
+    ) {
+        let mut inner = std::mem::take(&mut self.scratch);
+        inner.reset(out.now());
+        f(&mut self.shards[shard.as_usize()], &mut inner);
+        for action in inner.drain_iter() {
+            match action {
+                Action::Send { to, msg } => out.send(to, GroupMsg { shard, msg }),
+                Action::Broadcast { msg } => out.broadcast(GroupMsg { shard, msg }),
+                Action::SetTimer { id, after } => {
+                    out.set_timer(Self::group_timer(shard, id), after);
+                }
+                Action::CancelTimer { id } => {
+                    out.cancel_timer(Self::group_timer(shard, id));
+                }
+                // The inner layer decides in shard zero; the group knows
+                // which shard actually ran.
+                Action::Decide { value, .. } => out.decide_in_shard(shard, value),
+                Action::WabBroadcast { msg } => out.wab_broadcast(msg),
+            }
+        }
+        self.scratch = inner;
+    }
+
+    fn all_shards(&self) -> impl Iterator<Item = ShardId> {
+        (0..self.shards.len() as u32).map(ShardId::new)
+    }
+}
+
+impl Process for LogGroupProcess {
+    type Msg = GroupMsg;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_start(&mut self, out: &mut Outbox<GroupMsg>) {
+        for shard in self.all_shards().collect::<Vec<_>>() {
+            self.dispatch(shard, out, |p, o| p.on_start(o));
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: &GroupMsg, out: &mut Outbox<GroupMsg>) {
+        let shard = msg.shard;
+        if shard.as_usize() >= self.shards.len() {
+            // A tag this group does not know (mixed-S deployments are
+            // outside the model): drop rather than corrupt a live shard.
+            debug_assert!(false, "message for unknown shard {shard}");
+            return;
+        }
+        self.dispatch(shard, out, |p, o| p.on_message(from, &msg.msg, o));
+    }
+
+    fn on_timer(&mut self, timer: TimerId, out: &mut Outbox<GroupMsg>) {
+        let shard = ShardId::new(timer.get() / TIMERS_PER_SHARD);
+        let inner = TimerId::new(timer.get() % TIMERS_PER_SHARD);
+        if shard.as_usize() >= self.shards.len() {
+            debug_assert!(false, "timer for unknown shard {shard}");
+            return;
+        }
+        self.dispatch(shard, out, |p, o| p.on_timer(inner, o));
+    }
+
+    fn on_restart(&mut self, out: &mut Outbox<GroupMsg>) {
+        for shard in self.all_shards().collect::<Vec<_>>() {
+            self.dispatch(shard, out, |p, o| p.on_restart(o));
+        }
+    }
+
+    fn on_client(&mut self, value: Value, out: &mut Outbox<GroupMsg>) {
+        let shard = self.shard_of(value);
+        self.dispatch(shard, out, |p, o| p.on_client(value, o));
+    }
+
+    /// The single-shot interface reads shard 0 (with `S = 1`, exactly the
+    /// plain layer's decision).
+    fn decision(&self) -> Option<Value> {
+        self.shards[0].decision()
+    }
+
+    /// Leading any shard counts: crash-the-leader scenarios target the
+    /// process that holds anchored pipelines.
+    fn is_leader(&self) -> bool {
+        self.shards.iter().any(|p| p.is_leader())
+    }
+}
+
+/// Uniform read access to the per-shard chosen logs of a log process —
+/// what backend-agnostic drivers (the `esync-workload` crate) use for
+/// cross-replica agreement checks and merged reads without knowing
+/// whether they drive a plain [`MultiPaxos`] or a [`LogGroup`].
+pub trait ShardedLogView {
+    /// The number of shards this process runs.
+    fn shard_count(&self) -> usize;
+
+    /// Shard `shard`'s chosen log.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `shard` is out of range.
+    fn shard_log(&self, shard: ShardId) -> &SlotMap<Batch>;
+}
+
+impl ShardedLogView for MultiPaxosProcess {
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn shard_log(&self, shard: ShardId) -> &SlotMap<Batch> {
+        assert_eq!(shard, ShardId::ZERO, "a plain log has exactly one shard");
+        self.log()
+    }
+}
+
+impl ShardedLogView for LogGroupProcess {
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_log(&self, shard: ShardId) -> &SlotMap<Batch> {
+        self.shards[shard.as_usize()].log()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ballot::Ballot;
+    use crate::paxos::multi::{batch_of, SlotVote};
+    use crate::time::LocalInstant;
+    use crate::types::kv_command;
+
+    fn cfg(n: usize) -> TimingConfig {
+        TimingConfig::for_n_processes(n).unwrap()
+    }
+
+    fn out() -> Outbox<GroupMsg> {
+        Outbox::new(LocalInstant::ZERO)
+    }
+
+    fn spawn(shards: usize, n: usize, id: u32) -> LogGroupProcess {
+        LogGroup::new(shards).spawn(ProcessId::new(id), &cfg(n), Value::new(0))
+    }
+
+    /// Anchors shard `s` of `p` (id 1 of 3) on ballot 4 by feeding the
+    /// shard-tagged 1b quorum.
+    fn anchor_shard(p: &mut LogGroupProcess, s: u32, o: &mut Outbox<GroupMsg>) {
+        p.on_timer(
+            TimerId::new(s * TIMERS_PER_SHARD), // shard s's session timer
+            o,
+        );
+        o.drain();
+        for from in [0u32, 2] {
+            p.on_message(
+                ProcessId::new(from),
+                &GroupMsg {
+                    shard: ShardId::new(s),
+                    msg: MultiMsg::M1b {
+                        mbal: Ballot::new(4),
+                        votes: vec![],
+                    },
+                },
+                o,
+            );
+        }
+        o.drain();
+    }
+
+    #[test]
+    fn modulo_router_spreads_keys() {
+        let r = ShardRouter::Modulo;
+        assert_eq!(r.route(0, 4), ShardId::new(0));
+        assert_eq!(r.route(5, 4), ShardId::new(1));
+        assert_eq!(r.route(7, 4), ShardId::new(3));
+        assert_eq!(r.route(123, 1), ShardId::ZERO, "S=1 is a single shard");
+    }
+
+    #[test]
+    fn range_router_partitions_by_boundary() {
+        let r = ShardRouter::Range(vec![10, 100, 1000]);
+        assert_eq!(r.route(0, 4), ShardId::new(0));
+        assert_eq!(r.route(9, 4), ShardId::new(0));
+        assert_eq!(r.route(10, 4), ShardId::new(1));
+        assert_eq!(r.route(999, 4), ShardId::new(2));
+        assert_eq!(r.route(u64::MAX, 4), ShardId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "3 boundaries")]
+    fn range_router_arity_is_validated() {
+        let _ = LogGroup::new(4).with_router(ShardRouter::Range(vec![10]));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn range_router_order_is_validated() {
+        let _ = LogGroup::new(3).with_router(ShardRouter::Range(vec![10, 10]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = LogGroup::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-shard encoding")]
+    fn oversized_inner_timer_id_rejected_at_encode() {
+        // An inner timer id at or above TIMERS_PER_SHARD would alias a
+        // neighbor shard's timer space; the encode site must reject it
+        // loudly instead of silently driving the wrong shard.
+        let _ = LogGroupProcess::group_timer(ShardId::ZERO, TimerId::new(TIMERS_PER_SHARD));
+    }
+
+    #[test]
+    fn start_arms_every_shards_timers() {
+        let mut p = spawn(3, 3, 1);
+        let mut o = out();
+        p.on_start(&mut o);
+        let timers: Vec<u32> = o
+            .drain()
+            .iter()
+            .filter_map(|a| match a {
+                Action::SetTimer { id, .. } => Some(id.get()),
+                _ => None,
+            })
+            .collect();
+        // Shard s arms session (2s) and ε (2s+1).
+        assert_eq!(timers, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn with_one_shard_timer_and_message_tags_are_identity() {
+        let mut p = spawn(1, 3, 1);
+        let mut o = out();
+        p.on_start(&mut o);
+        let acts = o.drain();
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::SetTimer { id, .. } if id.get() == 0
+        )));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: GroupMsg { shard: ShardId::ZERO, msg: MultiMsg::M1a { .. } } }
+        )));
+    }
+
+    #[test]
+    fn commands_route_to_their_shard_and_commit_with_its_tag() {
+        let mut p = spawn(2, 3, 1);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        anchor_shard(&mut p, 0, &mut o);
+        anchor_shard(&mut p, 1, &mut o);
+        assert!(p.is_leader());
+        // key 3 → shard 1 under modulo-2.
+        let v = kv_command(3, 7);
+        assert_eq!(p.shard_of(v), ShardId::new(1));
+        p.on_client(v, &mut o);
+        let acts = o.drain();
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: GroupMsg { shard, msg: MultiMsg::M2a { slot: 0, .. } } }
+                if *shard == ShardId::new(1)
+        )));
+        // Commit shard 1's slot 0: the decide carries shard 1.
+        for from in [0u32, 2] {
+            p.on_message(
+                ProcessId::new(from),
+                &GroupMsg {
+                    shard: ShardId::new(1),
+                    msg: MultiMsg::M2b {
+                        mbal: Ballot::new(4),
+                        slot: 0,
+                        batch: batch_of([v]),
+                    },
+                },
+                &mut o,
+            );
+        }
+        assert!(o.drain().iter().any(|a| matches!(
+            a,
+            Action::Decide { value, shard } if *value == v && *shard == ShardId::new(1)
+        )));
+        assert_eq!(p.shard(ShardId::new(1)).log_entry(0), Some(&batch_of([v])));
+        assert_eq!(p.shard(ShardId::ZERO).log_entry(0), None, "shard 0 untouched");
+    }
+
+    #[test]
+    fn shards_are_independent_instances() {
+        let mut p = spawn(2, 3, 1);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        anchor_shard(&mut p, 0, &mut o);
+        assert!(p.shard(ShardId::ZERO).is_anchored());
+        assert!(!p.shard(ShardId::new(1)).is_anchored(), "per-shard anchoring");
+        // A higher ballot on shard 1 does not unanchor shard 0.
+        p.on_message(
+            ProcessId::new(2),
+            &GroupMsg {
+                shard: ShardId::new(1),
+                msg: MultiMsg::M1a { mbal: Ballot::new(8) },
+            },
+            &mut o,
+        );
+        assert!(p.shard(ShardId::ZERO).is_anchored());
+        assert_eq!(p.shard(ShardId::new(1)).mbal(), Ballot::new(8));
+    }
+
+    #[test]
+    fn shard_timers_fire_the_right_shard() {
+        let mut p = spawn(2, 5, 1);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        // Shard 1's session timer (id 2) expires; shard 0 is untouched.
+        let s0 = p.shard(ShardId::ZERO).session();
+        p.on_timer(TimerId::new(TIMERS_PER_SHARD), &mut o);
+        assert_eq!(p.shard(ShardId::ZERO).session(), s0);
+        assert_ne!(p.shard(ShardId::new(1)).session(), s0);
+    }
+
+    #[test]
+    fn merged_prefix_interleaves_all_chosen_prefixes() {
+        let mut p = spawn(2, 3, 0);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        let learn = |p: &mut LogGroupProcess, s: u32, slot: u64, id: u64, o: &mut Outbox<GroupMsg>| {
+            p.on_message(
+                ProcessId::new(2),
+                &GroupMsg {
+                    shard: ShardId::new(s),
+                    msg: MultiMsg::LogDecided {
+                        slot,
+                        batch: batch_of([kv_command(s as u64, id)]),
+                    },
+                },
+                o,
+            );
+        };
+        learn(&mut p, 0, 0, 10, &mut o);
+        learn(&mut p, 1, 0, 20, &mut o);
+        learn(&mut p, 1, 1, 21, &mut o);
+        // Shard 0 slot 2 is chosen but slot 1 is NOT: it is outside the
+        // all-chosen prefix and must not appear in the merged view.
+        learn(&mut p, 0, 2, 12, &mut o);
+        let merged: Vec<(u32, u64, u64)> = p
+            .merged_prefix()
+            .into_iter()
+            .map(|(s, slot, b)| (s.get(), slot, crate::types::kv_id(b[0])))
+            .collect();
+        assert_eq!(merged, vec![(0, 0, 10), (1, 0, 20), (1, 1, 21)]);
+        assert_eq!(
+            p.merged_prefix_values()
+                .iter()
+                .map(|v| crate::types::kv_id(*v))
+                .collect::<Vec<_>>(),
+            vec![10, 20, 21]
+        );
+    }
+
+    #[test]
+    fn sharded_log_view_is_uniform_across_layers() {
+        let plain = MultiPaxos::new().spawn(ProcessId::new(0), &cfg(3), Value::new(0));
+        assert_eq!(ShardedLogView::shard_count(&plain), 1);
+        assert!(plain.shard_log(ShardId::ZERO).is_empty());
+        let group = spawn(4, 3, 0);
+        assert_eq!(ShardedLogView::shard_count(&group), 4);
+        assert!(group.shard_log(ShardId::new(3)).is_empty());
+    }
+
+    #[test]
+    fn anchoring_recompletes_only_the_reported_shard() {
+        let mut p = spawn(2, 3, 1);
+        let mut o = out();
+        p.on_start(&mut o);
+        p.on_timer(TimerId::new(0), &mut o); // shard 0 session timer
+        o.drain();
+        // Shard 0's 1b reports an old vote in slot 7.
+        p.on_message(
+            ProcessId::new(0),
+            &GroupMsg {
+                shard: ShardId::ZERO,
+                msg: MultiMsg::M1b {
+                    mbal: Ballot::new(4),
+                    votes: vec![SlotVote {
+                        slot: 7,
+                        vote: crate::paxos::multi::BatchVote {
+                            bal: Ballot::new(1),
+                            batch: batch_of([Value::new(70)]),
+                        },
+                    }],
+                },
+            },
+            &mut o,
+        );
+        p.on_message(
+            ProcessId::new(2),
+            &GroupMsg {
+                shard: ShardId::ZERO,
+                msg: MultiMsg::M1b { mbal: Ballot::new(4), votes: vec![] },
+            },
+            &mut o,
+        );
+        let acts = o.drain();
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: GroupMsg { shard: ShardId::ZERO, msg: MultiMsg::M2a { slot: 7, .. } } }
+        )));
+        assert!(p.shard(ShardId::ZERO).is_anchored());
+        assert!(!p.shard(ShardId::new(1)).is_anchored());
+    }
+}

@@ -16,7 +16,7 @@
 //!
 //! * **Sharded, index-addressed log state**: the per-slot tables that
 //!   grow with the log (acceptor votes, chosen entries, 2b counters) live
-//!   in [`SlotMap`](crate::paxos::slotlog::SlotMap)s — O(1) slot
+//!   in [`SlotMap`]s — O(1) slot
 //!   addressing with a cache-resident hot tail, instead of a `BTreeMap`
 //!   descent and rebalance per commit. (Bounded working sets — the live
 //!   proposal pipeline, a phase-1b quorum's reported votes — stay in
@@ -39,6 +39,7 @@
 use crate::ballot::{Ballot, Session};
 use crate::config::TimingConfig;
 use crate::outbox::{Outbox, Process, Protocol};
+use crate::paxos::admitted::{Admitted, AdmittedSet, DEFAULT_ADMITTED_WINDOW};
 use crate::paxos::slotlog::SlotMap;
 use crate::quorum::QuorumTracker;
 use crate::time::LocalInstant;
@@ -221,6 +222,7 @@ impl Slot2b {
 pub struct MultiPaxos {
     max_batch: usize,
     max_outstanding: usize,
+    admitted_window: u64,
 }
 
 impl Default for MultiPaxos {
@@ -236,6 +238,7 @@ impl MultiPaxos {
         MultiPaxos {
             max_batch: 1,
             max_outstanding: usize::MAX,
+            admitted_window: DEFAULT_ADMITTED_WINDOW,
         }
     }
 
@@ -265,6 +268,26 @@ impl MultiPaxos {
     pub fn max_outstanding(&self) -> usize {
         self.max_outstanding
     }
+
+    /// Sets the admitted-set compaction window: chosen commands are
+    /// remembered (for retry dedup and `Forward`-of-chosen answers) until
+    /// their slot falls `window` slots below the all-chosen log prefix
+    /// (see [`AdmittedSet`]). Defaults to [`DEFAULT_ADMITTED_WINDOW`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn with_admitted_window(mut self, window: u64) -> Self {
+        assert!(window >= 1, "the admitted window keeps at least one slot");
+        self.admitted_window = window;
+        self
+    }
+
+    /// The configured admitted-set compaction window.
+    pub fn admitted_window(&self) -> u64 {
+        self.admitted_window
+    }
 }
 
 impl Protocol for MultiPaxos {
@@ -293,8 +316,9 @@ impl Protocol for MultiPaxos {
             max_batch: self.max_batch,
             max_outstanding: self.max_outstanding,
             next_slot: 0,
+            chosen_prefix: 0,
             pending: Vec::new(),
-            admitted: std::collections::BTreeMap::new(),
+            admitted: AdmittedSet::new(self.admitted_window),
             session_heard: QuorumTracker::new(cfg.n()),
             timer_expired: false,
             last_p1a2a: None,
@@ -329,20 +353,27 @@ pub struct MultiPaxosProcess {
     max_batch: usize,
     max_outstanding: usize,
     next_slot: u64,
+    /// The first slot not yet chosen locally — every slot below it is in
+    /// `log`. Drives admitted-set compaction (and is the merged-view
+    /// boundary the log group exposes).
+    chosen_prefix: u64,
     /// Commands awaiting an anchored leader or pipeline-window space.
     pending: Vec<Value>,
-    /// Every command value this process has seen, mapped to its chosen
-    /// slot once committed (`None` while still queued/proposed).
-    /// Admission is idempotent: the ε re-forward path retries commands
-    /// every tick, and without this map a leader whose pipeline is full
-    /// would re-queue each retry into a fresh slot — duplicating every
-    /// queued command. The slot lets a duplicate Forward of an
-    /// already-chosen command be answered with its `LogDecided`, so a
-    /// submitter whose decision broadcasts were all lost still converges
-    /// and stops retrying. Grows with the log (same asymptotics as `log`
-    /// itself); duplicates remain possible only across leadership changes
-    /// (the documented at-least-once path).
-    admitted: std::collections::BTreeMap<Value, Option<u64>>,
+    /// The command values this process has seen, mapped to their chosen
+    /// slot once committed. Admission is idempotent: the ε re-forward
+    /// path retries commands every tick, and without this set a leader
+    /// whose pipeline is full would re-queue each retry into a fresh
+    /// slot — duplicating every queued command. The slot lets a
+    /// duplicate Forward of an already-chosen command be answered with
+    /// its `LogDecided`, so a submitter whose decision broadcasts were
+    /// all lost still converges and stops retrying. **Windowed** (see
+    /// [`AdmittedSet`]): chosen entries are compacted once they fall
+    /// below the all-chosen prefix by more than the configured window,
+    /// so the set stays bounded instead of growing with the log;
+    /// duplicates remain possible only across leadership changes or for
+    /// resubmissions older than the window (the documented at-least-once
+    /// paths).
+    admitted: AdmittedSet,
     session_heard: QuorumTracker,
     timer_expired: bool,
     last_p1a2a: Option<LocalInstant>,
@@ -385,6 +416,19 @@ impl MultiPaxosProcess {
         self.pending.len()
     }
 
+    /// The first slot not yet chosen locally: every slot below it is
+    /// committed (the *all-chosen log prefix* — the boundary the
+    /// admitted-set compaction and the log group's merged view use).
+    pub fn chosen_prefix(&self) -> u64 {
+        self.chosen_prefix
+    }
+
+    /// Entries currently held by the admitted dedup set (bounded by the
+    /// compaction window plus the in-flight pipeline; see [`AdmittedSet`]).
+    pub fn admitted_len(&self) -> usize {
+        self.admitted.len()
+    }
+
     fn broadcast_m1a(&mut self, out: &mut Outbox<MultiMsg>) {
         out.broadcast(MultiMsg::M1a { mbal: self.mbal });
         self.last_p1a2a = Some(out.now());
@@ -414,7 +458,7 @@ impl MultiPaxosProcess {
             .proposals
             .values()
             .flat_map(|b| b.iter().copied())
-            .filter(|v| self.admitted.get(v) == Some(&None))
+            .filter(|v| self.admitted.is_unchosen(*v))
             .collect();
         self.pending.extend(requeue);
         self.anchored = None;
@@ -514,18 +558,15 @@ impl MultiPaxosProcess {
 
     /// Admits a command to the held set, idempotently: a value this
     /// process has already seen (an ε-retry duplicate, or a client
-    /// resubmission of a committed command) is dropped. Returns whether
-    /// the command was newly admitted.
+    /// resubmission of a committed command still inside the admitted
+    /// window) is dropped. Returns whether the command was newly
+    /// admitted.
     fn admit(&mut self, value: Value) -> bool {
-        use std::collections::btree_map::Entry;
-        match self.admitted.entry(value) {
-            Entry::Occupied(_) => false,
-            Entry::Vacant(e) => {
-                e.insert(None);
-                self.pending.push(value);
-                true
-            }
+        let fresh = self.admitted.admit(value);
+        if fresh {
+            self.pending.push(value);
         }
+        fresh
     }
 
     /// Moves pending commands into fresh slots, `max_batch` per slot, while
@@ -550,7 +591,7 @@ impl MultiPaxosProcess {
             // Record where each command landed: admission of a later copy
             // short-circuits, and a duplicate Forward gets answered with
             // this slot's `LogDecided`.
-            self.admitted.insert(*v, Some(slot));
+            self.admitted.mark_chosen(*v, slot);
         }
         // Committed commands need no further client-side retry: drop them
         // from the held set so the ε re-forward loop terminates.
@@ -562,6 +603,13 @@ impl MultiPaxosProcess {
         // (a higher-ballot leader we have not heard from may be filling
         // slots ahead of us — proposing there would strand the batch).
         self.next_slot = self.next_slot.max(slot + 1);
+        // Advance the all-chosen prefix past every contiguously chosen
+        // slot (amortized O(1): each slot is crossed once per run) and
+        // let the admitted set drop entries that fell out of the window.
+        while self.log.contains(self.chosen_prefix) {
+            self.chosen_prefix += 1;
+        }
+        self.admitted.maybe_compact(self.chosen_prefix);
         out.broadcast(MultiMsg::LogDecided {
             slot,
             batch: batch.clone(),
@@ -576,7 +624,7 @@ impl MultiPaxosProcess {
                 let requeue: Vec<Value> = ours
                     .iter()
                     .copied()
-                    .filter(|v| self.admitted.get(v) == Some(&None))
+                    .filter(|v| self.admitted.is_unchosen(*v))
                     .collect();
                 self.pending.extend(requeue);
             }
@@ -665,8 +713,7 @@ impl Process for MultiPaxosProcess {
                 // A retry of an already-chosen command means the sender
                 // missed the decision broadcasts (lost pre-TS): answer
                 // with the chosen entry so its retry loop terminates.
-                if let Some(Some(slot)) = self.admitted.get(value) {
-                    let slot = *slot;
+                if let Some(Admitted::Chosen(slot)) = self.admitted.status(*value) {
                     let batch = self
                         .log
                         .get(slot)
@@ -783,6 +830,11 @@ impl Process for MultiPaxosProcess {
     /// interface, the decision is the first command of the first log entry.
     fn decision(&self) -> Option<Value> {
         self.log.get(0).and_then(|b| b.first().copied())
+    }
+
+    /// Anchored means leading: phase 1 is pre-executed for every slot.
+    fn is_leader(&self) -> bool {
+        self.is_anchored()
     }
 }
 
@@ -1204,7 +1256,7 @@ mod tests {
             .drain()
             .iter()
             .filter_map(|a| match a {
-                Action::Decide { value } => Some(*value),
+                Action::Decide { value, .. } => Some(*value),
                 _ => None,
             })
             .collect();

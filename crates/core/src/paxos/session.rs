@@ -773,7 +773,7 @@ mod tests {
         p.on_message(ProcessId::new(2), &PaxosMsg::P2b { mbal: b, value: v }, &mut o);
         assert_eq!(p.decision(), Some(v));
         let acts = o.drain();
-        assert!(acts.iter().any(|a| matches!(a, Action::Decide { value } if *value == v)));
+        assert!(acts.iter().any(|a| matches!(a, Action::Decide { value, .. } if *value == v)));
         assert!(acts
             .iter()
             .any(|a| matches!(a, Action::Broadcast { msg: PaxosMsg::Decided { value } } if *value == v)));

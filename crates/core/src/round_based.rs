@@ -510,7 +510,7 @@ mod tests {
         assert!(o
             .drain()
             .iter()
-            .any(|a| matches!(a, Action::Decide { value } if *value == v)));
+            .any(|a| matches!(a, Action::Decide { value, .. } if *value == v)));
     }
 
     #[test]

@@ -91,6 +91,76 @@ impl From<u64> for Value {
     }
 }
 
+/// Identifier of one shard (one independent consensus instance) inside a
+/// [log group](crate::paxos::group). Single-instance protocols live
+/// entirely in shard [`ShardId::ZERO`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ShardId(u32);
+
+impl ShardId {
+    /// The only shard of an unsharded (single-instance) log.
+    pub const ZERO: ShardId = ShardId(0);
+
+    /// Creates a shard identifier from its index.
+    pub const fn new(index: u32) -> Self {
+        ShardId(index)
+    }
+
+    /// Returns the index as `u32`.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as `usize` (for indexing shard tables).
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for ShardId {
+    fn from(index: u32) -> Self {
+        ShardId(index)
+    }
+}
+
+/// Command ids and keys are packed into the wire [`Value`] as
+/// `key << KEY_SHIFT | id`: consensus stays oblivious to contents, while
+/// generators, routers and analyzers agree on a keyed-KV command identity
+/// without a side table. Ids are unique per run (at-least-once
+/// deduplication); keys model the KV working set the
+/// [shard router](crate::paxos::group::ShardRouter) partitions.
+pub const KEY_SHIFT: u32 = 48;
+
+/// Packs a keyed command into its wire value.
+///
+/// # Panics
+///
+/// Panics if `id` overflows the [`KEY_SHIFT`]-bit id field or `key` the
+/// remaining bits.
+pub fn kv_command(key: u64, id: u64) -> Value {
+    assert!(id < (1 << KEY_SHIFT), "command id overflows the id field");
+    assert!(key < (1 << (64 - KEY_SHIFT)), "key overflows the key field");
+    Value::new(key << KEY_SHIFT | id)
+}
+
+/// The unique command id of a wire value built by [`kv_command`].
+pub const fn kv_id(v: Value) -> u64 {
+    v.get() & ((1 << KEY_SHIFT) - 1)
+}
+
+/// The key of a wire value built by [`kv_command`].
+pub const fn kv_key(v: Value) -> u64 {
+    v.get() >> KEY_SHIFT
+}
+
 /// Identifier of a timer owned by a process.
 ///
 /// Each protocol declares constants for its timer kinds (e.g. the session
@@ -174,5 +244,30 @@ mod tests {
         assert_send_sync::<ProcessId>();
         assert_send_sync::<Value>();
         assert_send_sync::<TimerId>();
+        assert_send_sync::<ShardId>();
+    }
+
+    #[test]
+    fn shard_id_roundtrip_and_display() {
+        let s = ShardId::new(3);
+        assert_eq!(s.get(), 3);
+        assert_eq!(s.as_usize(), 3);
+        assert_eq!(s.to_string(), "s3");
+        assert_eq!(ShardId::from(3u32), s);
+        assert_eq!(ShardId::ZERO, ShardId::new(0));
+    }
+
+    #[test]
+    fn kv_encoding_roundtrips() {
+        let v = kv_command(700, 123_456);
+        assert_eq!(kv_id(v), 123_456);
+        assert_eq!(kv_key(v), 700);
+        assert_eq!(kv_key(Value::new(9)), 0, "unkeyed values have key 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "id field")]
+    fn kv_id_overflow_rejected() {
+        let _ = kv_command(0, 1 << KEY_SHIFT);
     }
 }

@@ -205,3 +205,120 @@ proptest! {
         prop_assert_eq!(all, model_all);
     }
 }
+
+proptest! {
+    /// Retry dedup survives admitted-set compaction: under arbitrary
+    /// interleavings of fresh submissions, retried `Forward`s and
+    /// in-order commits — with a *small* compaction window, so the
+    /// boundary is crossed constantly — no value is ever committed into
+    /// two slots, provided retries target values that are unchosen or
+    /// chosen within the window (the contract the ε-retry machinery
+    /// satisfies by construction: retries stop once the submitter sees
+    /// the commit). The admitted set itself stays bounded by the window
+    /// plus the in-flight pipeline, however long the run.
+    #[test]
+    fn admitted_compaction_preserves_retry_dedup(
+        window in 2u64..8,
+        ops in proptest::collection::vec((0u32..3, 0u32..10_000), 1..250)
+    ) {
+        use esync_core::outbox::{Action, Outbox, Process, Protocol};
+        use esync_core::paxos::multi::{MultiMsg, MultiPaxos, TIMER_SESSION};
+        use esync_core::ballot::Ballot;
+        use std::collections::BTreeMap;
+
+        let cfg = TimingConfig::for_n_processes(3).unwrap();
+        let mut p = MultiPaxos::new()
+            .with_admitted_window(window)
+            .spawn(ProcessId::new(1), &cfg, Value::new(0));
+        let mut o: Outbox<MultiMsg> = Outbox::new(LocalInstant::ZERO);
+        // Anchor p1 on ballot 4 (session 1 of n = 3).
+        p.on_start(&mut o);
+        p.on_timer(TIMER_SESSION, &mut o);
+        o.drain();
+        let bal = Ballot::new(4);
+        for from in [0u32, 2] {
+            p.on_message(ProcessId::new(from), &MultiMsg::M1b { mbal: bal, votes: vec![] }, &mut o);
+        }
+        o.drain();
+
+        // Model state: what was proposed per slot (observed from the
+        // leader's own 2a broadcasts), what has committed, in order.
+        let mut proposed: BTreeMap<u64, Value> = BTreeMap::new();
+        let mut chosen: Vec<Value> = Vec::new(); // chosen[slot] = value
+        let mut fresh = 0u64;
+        let observe = |o: &mut Outbox<MultiMsg>, proposed: &mut BTreeMap<u64, Value>| {
+            for a in o.drain() {
+                if let Action::Broadcast { msg: MultiMsg::M2a { slot, batch, .. } } = a {
+                    proposed.entry(slot).or_insert(batch[0]);
+                }
+            }
+        };
+
+        for (op, pick) in ops {
+            match op {
+                // Fresh submission: proposed immediately (anchored,
+                // unbounded pipeline window, one command per slot).
+                0 => {
+                    fresh += 1;
+                    p.on_client(Value::new(1000 + fresh), &mut o);
+                    observe(&mut o, &mut proposed);
+                }
+                // Retry: a duplicate Forward of an unchosen value, or of
+                // one chosen within the window of the current prefix —
+                // exactly the retries the ε machinery can still send.
+                1 => {
+                    let prefix = chosen.len() as u64;
+                    let floor = prefix.saturating_sub(window);
+                    let candidates: Vec<Value> = proposed
+                        .iter()
+                        .filter(|(slot, _)| **slot >= floor)
+                        .map(|(_, v)| *v)
+                        .collect();
+                    if !candidates.is_empty() {
+                        let v = candidates[pick as usize % candidates.len()];
+                        p.on_message(ProcessId::new(2), &MultiMsg::Forward { value: v }, &mut o);
+                        observe(&mut o, &mut proposed);
+                    }
+                }
+                // Commit the next slot in order: feed the 2b majority for
+                // the leader's own proposal, crossing the compaction
+                // boundary as the prefix advances.
+                _ => {
+                    let slot = chosen.len() as u64;
+                    if let Some(v) = proposed.get(&slot).copied() {
+                        let batch = esync_core::paxos::multi::batch_of([v]);
+                        for from in [0u32, 2] {
+                            p.on_message(
+                                ProcessId::new(from),
+                                &MultiMsg::M2b { mbal: bal, slot, batch: batch.clone() },
+                                &mut o,
+                            );
+                        }
+                        chosen.push(v);
+                        observe(&mut o, &mut proposed);
+                    }
+                }
+            }
+            prop_assert_eq!(p.chosen_prefix(), chosen.len() as u64, "in-order commits");
+        }
+
+        // No value committed twice — retry dedup held across every
+        // compaction boundary the run crossed.
+        let mut seen = std::collections::BTreeSet::new();
+        for v in p.log_values() {
+            prop_assert!(seen.insert(v), "value {} committed in two slots", v);
+        }
+        prop_assert_eq!(seen.len(), chosen.len());
+        // The admitted set is windowed, not log-sized: bounded by the
+        // retained chosen span (window + amortization slack) plus the
+        // still-unchosen pipeline.
+        let in_flight = fresh - chosen.len() as u64;
+        let bound = window + window / 2 + 1 + in_flight;
+        prop_assert!(
+            (p.admitted_len() as u64) <= bound,
+            "admitted set {} exceeds windowed bound {}",
+            p.admitted_len(),
+            bound
+        );
+    }
+}

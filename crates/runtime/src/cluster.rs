@@ -7,11 +7,13 @@ use esync_core::config::TimingConfig;
 use esync_core::error::ConfigError;
 use esync_core::outbox::Protocol;
 use esync_core::time::RealDuration;
-use esync_core::types::{ProcessId, Value};
+use esync_core::types::{ProcessId, ShardId, Value};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -30,11 +32,15 @@ pub struct Decision {
 /// `Decide` action, i.e. per command per node for the replicated-log
 /// layer (whereas [`Decision`] reports only each node's *first* decide —
 /// the single-shot interface). Workload drivers consume the commit stream
-/// to measure sustained throughput and end-to-end latency.
+/// to measure sustained throughput and end-to-end latency; the shard tag
+/// lets them attribute both per log-group shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Commit {
     /// The applying process.
     pub pid: ProcessId,
+    /// The log-group shard the command committed in
+    /// ([`ShardId::ZERO`] for single-instance protocols).
+    pub shard: ShardId,
     /// The committed command.
     pub value: Value,
     /// Wall time since cluster start.
@@ -194,6 +200,9 @@ pub struct Cluster<P: Protocol> {
     node_senders: Vec<Sender<Wire<P::Msg>>>,
     decisions_rx: Receiver<Decision>,
     commits_rx: Receiver<Commit>,
+    /// Per-node "believes it leads" flags, published by the node threads
+    /// after every event (see [`esync_core::outbox::Process::is_leader`]).
+    leader_flags: Vec<Arc<AtomicBool>>,
     handles: Vec<JoinHandle<()>>,
     delayer_handle: Option<JoinHandle<()>>,
 }
@@ -228,9 +237,12 @@ where
         let mut seed_rng = ChaCha8Rng::seed_from_u64(cfg.seed);
 
         let mut handles = Vec::with_capacity(n);
+        let mut leader_flags = Vec::with_capacity(n);
         for (i, inbox) in receivers.into_iter().enumerate() {
             let pid = ProcessId::new(i as u32);
             let proc = protocol.spawn(pid, &timing, initial_values[i]);
+            let leader_flag = Arc::new(AtomicBool::new(false));
+            leader_flags.push(Arc::clone(&leader_flag));
             let rate = if cfg.rho == 0.0 {
                 1.0
             } else {
@@ -250,7 +262,9 @@ where
             let commits = commit_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("esync-node-{i}"))
-                .spawn(move || run_node(pid, proc, inbox, transport, clock, decisions, commits))
+                .spawn(move || {
+                    run_node(pid, proc, inbox, transport, clock, decisions, commits, leader_flag)
+                })
                 .expect("spawn node thread");
             handles.push(handle);
         }
@@ -260,6 +274,7 @@ where
             node_senders: senders,
             decisions_rx: dec_rx,
             commits_rx: commit_rx,
+            leader_flags,
             handles,
             delayer_handle: Some(delayer_handle),
         })
@@ -286,6 +301,28 @@ where
     /// only buffers (the channel is unbounded).
     pub fn commits(&self) -> &Receiver<Commit> {
         &self.commits_rx
+    }
+
+    /// The node currently claiming leadership (lowest pid wins a tie), if
+    /// any. A wall-clock observation — the answer can be stale by the
+    /// time the caller acts on it — so it is an *observability* hint for
+    /// tests and fault injectors, never a correctness input (the paper's
+    /// protocols elect leaders in-band).
+    pub fn leader_hint(&self) -> Option<ProcessId> {
+        self.leader_flags
+            .iter()
+            .position(|f| f.load(Ordering::Relaxed))
+            .map(|i| ProcessId::new(i as u32))
+    }
+
+    /// Permanently stops node `pid` — the runtime's crash injection
+    /// (threads have no restartable stable storage, so unlike the
+    /// simulator's crash–restart this is crash-forever). Messages and
+    /// submissions to a killed node are silently dropped, as to any dead
+    /// destination.
+    pub fn kill(&self, pid: ProcessId) {
+        let _ = self.node_senders[pid.as_usize()].send(Wire::Stop);
+        self.leader_flags[pid.as_usize()].store(false, Ordering::Relaxed);
     }
 
     /// Waits until every node has reported a decision, or the deadline.

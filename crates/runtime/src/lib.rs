@@ -10,13 +10,26 @@
 //! Scope: the runtime supports protocols that need no driver-side oracle —
 //! the paper's modified Paxos and modified B-Consensus (both leaderless and
 //! oracle-free by construction), the heartbeat-elector flavor of
-//! traditional Paxos, the rotating coordinator, and the replicated log —
-//! plus client submit streams against the replicated log:
-//! [`Cluster::submit`] feeds commands in, and the per-command
-//! [`Cluster::commits`] stream reports every applied log entry, which is
-//! what the `esync-workload` drivers measure sustained throughput and
-//! commit latency from. Fault injection (crash/restart) is the simulator's
-//! job; the runtime injects message loss and delay only.
+//! traditional Paxos, the rotating coordinator, the replicated log, and
+//! the sharded log group (`esync_core::paxos::group::LogGroup`) — plus
+//! client submit streams against the (possibly sharded) replicated log.
+//!
+//! The submit/commit streams are **shard-tagged** end to end:
+//! [`Cluster::submit`] feeds commands in (the receiving process routes
+//! each command to its log-group shard by KV key, so the caller never
+//! addresses shards directly), and the per-command [`Cluster::commits`]
+//! stream reports every applied log entry as a [`Commit`] carrying the
+//! [`ShardId`](esync_core::types::ShardId) it committed in —
+//! `ShardId::ZERO` for unsharded protocols. The `esync-workload` drivers
+//! measure sustained throughput and commit latency, per shard and in
+//! aggregate, from exactly this stream.
+//!
+//! Fault injection: scripted crash/restart is the simulator's job; the
+//! runtime injects message loss and delay, plus [`Cluster::kill`]
+//! (permanent node stop) paired with [`Cluster::leader_hint`] — the
+//! nodes publish their [`is_leader`](esync_core::outbox::Process::is_leader)
+//! belief after every event — so leader-churn drives can pick their
+//! victim at run time (see `tests/leader_churn.rs`).
 //!
 //! ```no_run
 //! use esync_core::paxos::session::SessionPaxos;

@@ -8,6 +8,8 @@ use esync_core::outbox::{Action, Outbox, Process};
 use esync_core::time::LocalInstant;
 use esync_core::types::{ProcessId, TimerId};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Converts elapsed wall time into this node's local-clock reading.
@@ -37,11 +39,17 @@ impl LocalClock {
 
 /// Runs one process until a [`Wire::Stop`] arrives.
 ///
+/// After every handled event the node publishes its
+/// [`Process::is_leader`] belief into `leader_flag` (cleared on exit), so
+/// the cluster can answer leader-observability queries without touching
+/// protocol state across threads.
+///
 /// # Panics
 ///
 /// Panics if the protocol requests a weak-ordering-oracle broadcast
 /// ([`Action::WabBroadcast`]): the runtime provides no external oracle.
 /// Use the *modified* B-Consensus (in-process oracle) instead.
+#[allow(clippy::too_many_arguments)]
 pub fn run_node<Proc>(
     pid: ProcessId,
     mut proc: Proc,
@@ -50,6 +58,7 @@ pub fn run_node<Proc>(
     clock: LocalClock,
     decisions: Sender<Decision>,
     commits: Sender<Commit>,
+    leader_flag: Arc<AtomicBool>,
 ) where
     Proc: Process,
     Proc::Msg: Clone,
@@ -69,6 +78,7 @@ pub fn run_node<Proc>(
         &commits,
         &mut reported,
     );
+    leader_flag.store(proc.is_leader(), Ordering::Relaxed);
 
     loop {
         // Fire all due timers first.
@@ -94,6 +104,7 @@ pub fn run_node<Proc>(
                     &mut reported,
                 );
             }
+            leader_flag.store(proc.is_leader(), Ordering::Relaxed);
             continue;
         }
         // Wait for a message or the next timer deadline.
@@ -144,7 +155,11 @@ pub fn run_node<Proc>(
                 );
             }
         }
+        leader_flag.store(proc.is_leader(), Ordering::Relaxed);
     }
+    // Dead nodes lead nothing: clear the published belief on the way out
+    // so `leader_hint` never points at a stopped thread.
+    leader_flag.store(false, Ordering::Relaxed);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -168,11 +183,12 @@ fn apply<M: Clone>(
             Action::CancelTimer { id } => {
                 timers.remove(&id);
             }
-            Action::Decide { value } => {
+            Action::Decide { value, shard } => {
                 let elapsed = transport.elapsed();
                 // Every decide is a commit (per-command, multi-instance)…
                 let _ = commits.send(Commit {
                     pid,
+                    shard,
                     value,
                     elapsed,
                 });

@@ -196,7 +196,7 @@ const RING_BUCKETS: usize = 1024;
 ///
 /// * Event payloads live in a slab with a free-list; the time structures
 ///   move only compact 24-byte keys.
-/// * Near-future events hash into a ring of [`RING_BUCKETS`] time buckets
+/// * Near-future events hash into a ring of `RING_BUCKETS` time buckets
 ///   of `bucket_width` nanoseconds each. A push is O(1); a bucket is
 ///   sorted once, when the clock reaches it.
 /// * Events beyond the ring's horizon go to a small binary-heap spill and

@@ -5,7 +5,7 @@
 
 use crate::time::SimTime;
 use esync_core::time::RealDuration;
-use esync_core::types::{ProcessId, Value};
+use esync_core::types::{ProcessId, ShardId, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -18,6 +18,9 @@ pub struct CommitRecord {
     pub at: SimTime,
     /// The applying process.
     pub pid: ProcessId,
+    /// The log-group shard the command committed in
+    /// ([`ShardId::ZERO`] for single-instance protocols).
+    pub shard: ShardId,
     /// The command.
     pub value: Value,
 }
@@ -162,7 +165,7 @@ const HIST_BUCKETS: usize = (64 - HIST_SUB_BITS as usize) * HIST_SUB as usize + 
 
 /// A fixed-bucket latency histogram in the HDR style: 32 linear
 /// sub-buckets per power-of-two magnitude, so any `u64` nanosecond value
-/// lands in one of [`HIST_BUCKETS`] buckets with ≤ ~3% relative error.
+/// lands in one of `HIST_BUCKETS` buckets with ≤ ~3% relative error.
 ///
 /// The record path is integer-only (a leading-zeros count and two shifts —
 /// no float ops, no allocation), so it can sit on the simulator's and the
@@ -392,6 +395,35 @@ impl ThroughputTimeline {
     }
 }
 
+/// Per-shard slice of a workload run (artifact schema v3): the commit
+/// feed is shard-tagged end to end, so throughput and latency attribute
+/// exactly. An unsharded run reports one entry for [`ShardId::ZERO`]
+/// whose counts and latency histograms equal the aggregate's (the
+/// *span*-derived `commits_per_sec` can differ when submissions never
+/// commit — see that field).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSummary {
+    /// The shard index.
+    pub shard: u32,
+    /// Distinct commands whose first commit landed in this shard.
+    pub committed: u64,
+    /// Extra commits of already-committed ids observed in this shard.
+    pub duplicate_commits: u64,
+    /// `committed` over the shard's own measured span: first submission
+    /// of a command this shard *committed* → the shard's last
+    /// first-commit. Commands that never commit anywhere are excluded
+    /// from every shard's span (their shard is unknowable at submission),
+    /// while they *do* open the aggregate's span — so on lossy runs this
+    /// can exceed the aggregate `commits_per_sec` even at one shard.
+    pub commits_per_sec: f64,
+    /// End-to-end commit latency of this shard's commands.
+    pub latency: HistogramSummary,
+    /// Latency of this shard's commands submitted before stabilization.
+    pub pre_ts: Option<HistogramSummary>,
+    /// Latency of this shard's commands submitted at or after it.
+    pub post_ts: Option<HistogramSummary>,
+}
+
 /// The steady-state workload summary a throughput experiment records per
 /// sweep point: commit throughput, end-to-end latency quantiles, and the
 /// pre- vs post-stabilization split.
@@ -420,6 +452,14 @@ pub struct WorkloadSummary {
     pub timeline: Vec<u64>,
     /// The timeline window width, in milliseconds.
     pub timeline_window_ms: f64,
+    /// The per-shard split (schema v3), ascending by shard index; never
+    /// empty — an unsharded run reports one [`ShardId::ZERO`] entry
+    /// mirroring the aggregate counts and latency. Absent in artifacts
+    /// written before schema v3; `#[serde(default)]` so readers built
+    /// against a full serde treat those as empty (the vendored offline
+    /// serde serializes only and ignores the attribute).
+    #[serde(default)]
+    pub per_shard: Vec<ShardSummary>,
 }
 
 /// Aggregate statistics over a set of runs (seed sweeps).

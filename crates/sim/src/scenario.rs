@@ -137,34 +137,10 @@ pub enum Arrivals {
     },
 }
 
-/// Command ids and keys are packed into the wire [`Value`] as
-/// `key << KEY_SHIFT | id`: consensus stays oblivious to contents, while
-/// generators and analyzers agree on a keyed-KV command identity without a
-/// side table. Ids are unique per run (at-least-once deduplication); keys
-/// model the KV working set (a future multi-shard router hashes them).
-pub const KEY_SHIFT: u32 = 48;
-
-/// Packs a keyed command into its wire value.
-///
-/// # Panics
-///
-/// Panics if `id` overflows the [`KEY_SHIFT`]-bit id field or `key` the
-/// remaining bits.
-pub fn kv_command(key: u64, id: u64) -> Value {
-    assert!(id < (1 << KEY_SHIFT), "command id overflows the id field");
-    assert!(key < (1 << (64 - KEY_SHIFT)), "key overflows the key field");
-    Value::new(key << KEY_SHIFT | id)
-}
-
-/// The unique command id of a wire value built by [`kv_command`].
-pub const fn kv_id(v: Value) -> u64 {
-    v.get() & ((1 << KEY_SHIFT) - 1)
-}
-
-/// The key of a wire value built by [`kv_command`].
-pub const fn kv_key(v: Value) -> u64 {
-    v.get() >> KEY_SHIFT
-}
+// The keyed-KV command encoding lives in `esync_core::types` (the shard
+// router in `esync_core::paxos::group` partitions by key); re-exported
+// here where the workload generators historically found it.
+pub use esync_core::types::{kv_command, kv_id, kv_key, KEY_SHIFT};
 
 /// A deterministic, seedable stream of recurring client submissions —
 /// the open-loop workload generator.

@@ -240,21 +240,51 @@ struct TimerSlot {
     next_pending: Option<SimTime>,
 }
 
-/// Per-process runtime envelope.
-///
-/// All hot per-process state is index-addressed: timer slots live in a
-/// small `Vec` indexed by the protocol's (tiny, constant) timer ids rather
-/// than a hash map.
+/// A fixed-capacity bitset over process indices — the structure-of-arrays
+/// home of the event loop's hottest per-process flags. One cache line
+/// covers 512 processes, so the per-event liveness check (`alive? started?`)
+/// and the completion-scan debug assertion never touch the cold
+/// `ProcHarness` (protocol state, clocks, fault history).
+#[derive(Debug, Default)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Clears all bits and resizes to cover `n` indices.
+    fn reset(&mut self, n: usize) {
+        self.words.clear();
+        self.words.resize(n.div_ceil(64), 0);
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, v: bool) {
+        let mask = 1u64 << (i % 64);
+        if v {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+}
+
+/// Per-process runtime envelope — the **cold** side of the per-process
+/// state. The hot flags (`alive`, `started`) and the decision instants
+/// live in parallel arrays on the [`World`] itself (see [`BitSet`]), so
+/// the event loop only dereferences a harness when it actually runs the
+/// process.
 #[derive(Debug)]
 struct ProcHarness<Proc> {
     proc: Proc,
     clock: DriftClock,
-    alive: bool,
-    started: bool,
     /// Timer slots, indexed by `TimerId::get()`. Protocols use single-digit
     /// constant ids, so this stays tiny and cache-resident.
     timers: Vec<TimerSlot>,
-    decided_at: Option<SimTime>,
     decided_value: Option<Value>,
     crash_times: Vec<SimTime>,
     restart_times: Vec<SimTime>,
@@ -276,6 +306,12 @@ pub struct World<P: Protocol> {
     cfg: SimConfig,
     protocol: P,
     procs: Vec<ProcHarness<P::Process>>,
+    /// Hot per-process flags as parallel bitsets (SoA): checked on every
+    /// deliver/timer/submit before the harness is touched.
+    alive: BitSet,
+    started: BitSet,
+    /// Per-process first-decision instants, parallel to `procs`.
+    decided_at: Vec<Option<SimTime>>,
     queue: EventQueue<P::Msg>,
     network: Network,
     rng: ChaCha8Rng,
@@ -313,6 +349,9 @@ impl<P: Protocol> World<P> {
             cfg,
             protocol,
             procs: Vec::new(),
+            alive: BitSet::default(),
+            started: BitSet::default(),
+            decided_at: Vec::new(),
             now: SimTime::ZERO,
             initial_values: Vec::new(),
             live_undecided: 0,
@@ -387,16 +426,17 @@ impl<P: Protocol> World<P> {
         );
         // Reuse harness shells (and their timer-slot vectors) in place.
         self.procs.truncate(n);
+        self.alive.reset(n);
+        self.started.reset(n);
+        self.decided_at.clear();
+        self.decided_at.resize(n, None);
         for (i, h) in self.procs.iter_mut().enumerate() {
             let pid = ProcessId::new(i as u32);
             h.proc = self
                 .protocol
                 .spawn(pid, &cfg.timing, self.initial_values[i]);
             h.clock = DriftClock::sample(cfg.timing.rho(), &mut self.rng);
-            h.alive = false;
-            h.started = false;
             h.timers.clear();
-            h.decided_at = None;
             h.decided_value = None;
             h.crash_times.clear();
             h.restart_times.clear();
@@ -408,10 +448,7 @@ impl<P: Protocol> World<P> {
                     .protocol
                     .spawn(pid, &cfg.timing, self.initial_values[i]),
                 clock: DriftClock::sample(cfg.timing.rho(), &mut self.rng),
-                alive: false,
-                started: false,
                 timers: Vec::with_capacity(8),
-                decided_at: None,
                 decided_value: None,
                 crash_times: Vec::new(),
                 restart_times: Vec::new(),
@@ -504,6 +541,25 @@ impl<P: Protocol> World<P> {
         self.queue.push(at, EventKind::ClientSubmit { pid, value });
     }
 
+    /// Schedules a crash at `at`, bypassing the scenario script — the
+    /// fault-injection hook for drivers that pick their victim *during*
+    /// the run (e.g. crash whichever process anchored as leader). The
+    /// paper's model allows failures only before `TS`; unlike scripted
+    /// crashes this is not validated, so callers targeting the modeled
+    /// regime must keep `at ≤ TS` themselves.
+    pub fn inject_crash(&mut self, at: SimTime, pid: ProcessId) {
+        assert!(pid.as_usize() < self.cfg.timing.n(), "unknown process");
+        self.queue.push(at, EventKind::Crash { pid });
+    }
+
+    /// Schedules a restart (or first boot, if the process never ran) at
+    /// `at`, bypassing the scenario script. Pairs with
+    /// [`World::inject_crash`] for mid-run leader-churn drives.
+    pub fn inject_restart(&mut self, at: SimTime, pid: ProcessId) {
+        assert!(pid.as_usize() < self.cfg.timing.n(), "unknown process");
+        self.queue.push(at, EventKind::Boot { pid });
+    }
+
     /// Processes events until every started, live process has decided and
     /// no boots or submissions remain pending.
     ///
@@ -545,13 +601,13 @@ impl<P: Protocol> World<P> {
 
     /// Whether the completion condition holds. O(1): both halves are
     /// maintained incrementally (`live_undecided` by the boot/crash/decide
-    /// handlers, pending control events by the queue).
+    /// handlers, pending control events by the queue). The debug cross-check
+    /// scans only the SoA flag arrays — a few cache lines even at large `n`.
     pub fn complete(&self) -> bool {
         debug_assert_eq!(
             self.live_undecided,
-            self.procs
-                .iter()
-                .filter(|h| h.alive && h.started && h.decided_at.is_none())
+            (0..self.procs.len())
+                .filter(|&i| self.alive.get(i) && self.started.get(i) && self.decided_at[i].is_none())
                 .count(),
             "live_undecided counter drifted"
         );
@@ -599,26 +655,26 @@ impl<P: Protocol> World<P> {
     }
 
     fn on_boot(&mut self, pid: ProcessId) {
-        let h = &mut self.procs[pid.as_usize()];
-        if h.alive {
+        let i = pid.as_usize();
+        if self.alive.get(i) {
             return; // duplicate boot (e.g. restart of a never-crashed pid)
         }
-        if h.crash_times.last() == Some(&self.now) {
+        if self.procs[i].crash_times.last() == Some(&self.now) {
             // A crash at the same instant wins (crashes are scheduled
             // before boots): "dead forever" processes never run.
             return;
         }
-        h.alive = true;
-        if h.decided_at.is_none() {
+        self.alive.set(i, true);
+        if self.decided_at[i].is_none() {
             self.live_undecided += 1;
         }
         let mut out = self.take_outbox(pid);
-        if !self.procs[pid.as_usize()].started {
-            self.procs[pid.as_usize()].started = true;
-            self.procs[pid.as_usize()].proc.on_start(&mut out);
+        if !self.started.get(i) {
+            self.started.set(i, true);
+            self.procs[i].proc.on_start(&mut out);
         } else {
-            self.procs[pid.as_usize()].restart_times.push(self.now);
-            self.procs[pid.as_usize()].proc.on_restart(&mut out);
+            self.procs[i].restart_times.push(self.now);
+            self.procs[i].proc.on_restart(&mut out);
         }
         self.apply_actions(pid, &mut out);
         self.put_outbox(out);
@@ -632,27 +688,25 @@ impl<P: Protocol> World<P> {
     }
 
     fn on_crash(&mut self, pid: ProcessId) {
-        let h = &mut self.procs[pid.as_usize()];
-        h.crash_times.push(self.now);
-        if !h.alive && !h.started {
+        let i = pid.as_usize();
+        self.procs[i].crash_times.push(self.now);
+        if !self.alive.get(i) && !self.started.get(i) {
             // Crash-before-start: mark started-never; nothing else to do.
             return;
         }
-        if h.alive && h.decided_at.is_none() {
+        if self.alive.get(i) && self.decided_at[i].is_none() {
             self.live_undecided -= 1;
         }
-        let h = &mut self.procs[pid.as_usize()];
-        h.alive = false;
+        self.alive.set(i, false);
         // All pending timers die with the incarnation.
-        for slot in &mut h.timers {
+        for slot in &mut self.procs[i].timers {
             slot.epoch += 1;
             slot.armed_at = None;
         }
     }
 
     fn on_deliver(&mut self, from: ProcessId, to: ProcessId, msg: MsgPayload<P::Msg>) {
-        let h = &self.procs[to.as_usize()];
-        if !h.alive || !h.started {
+        if !self.runnable(to) {
             self.msgs_dropped += 1;
             return;
         }
@@ -663,6 +717,14 @@ impl<P: Protocol> World<P> {
         drop(msg);
         self.apply_actions(to, &mut out);
         self.put_outbox(out);
+    }
+
+    /// Whether `pid` is alive and started — the per-event liveness check,
+    /// reading only the SoA bitsets.
+    #[inline]
+    fn runnable(&self, pid: ProcessId) -> bool {
+        let i = pid.as_usize();
+        self.alive.get(i) && self.started.get(i)
     }
 
     fn on_timer_fire(&mut self, pid: ProcessId, timer: TimerId, epoch: u64) {
@@ -695,8 +757,7 @@ impl<P: Protocol> World<P> {
         // `SetTimer` also pushed for), and exactly one of them may fire.
         slot.epoch += 1;
         slot.armed_at = None;
-        let h = &self.procs[pid.as_usize()];
-        if !h.alive || !h.started {
+        if !self.runnable(pid) {
             return;
         }
         let mut out = self.take_outbox(pid);
@@ -706,8 +767,7 @@ impl<P: Protocol> World<P> {
     }
 
     fn on_wab_deliver(&mut self, to: ProcessId, msg: esync_core::wab::WabMessage) {
-        let h = &self.procs[to.as_usize()];
-        if !h.alive || !h.started {
+        if !self.runnable(to) {
             return;
         }
         let mut out = self.take_outbox(to);
@@ -717,15 +777,12 @@ impl<P: Protocol> World<P> {
     }
 
     fn on_leader_announce(&mut self) {
-        let alive = self
-            .procs
-            .iter()
-            .enumerate()
-            .filter(|(_, h)| h.alive && h.started)
-            .map(|(i, _)| ProcessId::new(i as u32));
+        let alive = (0..self.procs.len())
+            .filter(|&i| self.alive.get(i) && self.started.get(i))
+            .map(|i| ProcessId::new(i as u32));
         if let Some(leader) = self.leader.announce(alive) {
             for pid in ProcessId::all(self.cfg.timing.n()) {
-                if self.procs[pid.as_usize()].alive {
+                if self.alive.get(pid.as_usize()) {
                     self.queue
                         .push(self.now, EventKind::LeaderChange { to: pid, leader });
                 }
@@ -734,8 +791,7 @@ impl<P: Protocol> World<P> {
     }
 
     fn on_leader_change(&mut self, to: ProcessId, leader: ProcessId) {
-        let h = &self.procs[to.as_usize()];
-        if !h.alive || !h.started {
+        if !self.runnable(to) {
             return;
         }
         let mut out = self.take_outbox(to);
@@ -747,8 +803,7 @@ impl<P: Protocol> World<P> {
     }
 
     fn on_client_submit(&mut self, pid: ProcessId, value: Value) {
-        let h = &self.procs[pid.as_usize()];
-        if !h.alive || !h.started {
+        if !self.runnable(pid) {
             return;
         }
         let mut out = self.take_outbox(pid);
@@ -881,17 +936,18 @@ impl<P: Protocol> World<P> {
                     slot.epoch += 1;
                     slot.armed_at = None;
                 }
-                Action::Decide { value } => {
+                Action::Decide { value, shard } => {
                     self.commits.push(CommitRecord {
                         at: self.now,
                         pid,
+                        shard,
                         value,
                     });
-                    let h = &mut self.procs[pid.as_usize()];
-                    if h.decided_at.is_none() {
-                        h.decided_at = Some(self.now);
-                        h.decided_value = Some(value);
-                        if h.alive && h.started {
+                    let i = pid.as_usize();
+                    if self.decided_at[i].is_none() {
+                        self.decided_at[i] = Some(self.now);
+                        self.procs[i].decided_value = Some(value);
+                        if self.alive.get(i) && self.started.get(i) {
                             self.live_undecided -= 1;
                         }
                     }
@@ -926,10 +982,10 @@ impl<P: Protocol> World<P> {
             ts: self.cfg.ts,
             delta: self.cfg.timing.delta(),
             end_time: self.now,
-            decided_at: self.procs.iter().map(|h| h.decided_at).collect(),
+            decided_at: self.decided_at.clone(),
             decisions: self.procs.iter().map(|h| h.decided_value).collect(),
-            alive_at_end: self.procs.iter().map(|h| h.alive).collect(),
-            started: self.procs.iter().map(|h| h.started).collect(),
+            alive_at_end: (0..self.procs.len()).map(|i| self.alive.get(i)).collect(),
+            started: (0..self.procs.len()).map(|i| self.started.get(i)).collect(),
             crashes: self.procs.iter().map(|h| h.crash_times.clone()).collect(),
             restarts: self.procs.iter().map(|h| h.restart_times.clone()).collect(),
             initial_values: self.initial_values.clone(),

@@ -1,11 +1,24 @@
 //! Latency/throughput collection from per-command commit feeds.
 
 use esync_core::time::RealDuration;
-use esync_core::types::{ProcessId, Value};
-use esync_sim::metrics::{LatencyHistogram, ThroughputTimeline, WorkloadSummary};
+use esync_core::types::{ProcessId, ShardId, Value};
+use esync_sim::metrics::{LatencyHistogram, ShardSummary, ThroughputTimeline, WorkloadSummary};
 use esync_sim::scenario::kv_id;
 use esync_sim::SimTime;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// One shard's slice of the measurements (see
+/// [`ShardSummary`]). Grown on demand as shard tags appear in the feed.
+#[derive(Debug, Default)]
+struct ShardAcc {
+    committed: u64,
+    duplicates: u64,
+    latency: LatencyHistogram,
+    pre_ts: LatencyHistogram,
+    post_ts: LatencyHistogram,
+    first_submit_ns: Option<u64>,
+    last_commit_ns: Option<u64>,
+}
 
 /// Accumulates a workload run's measurements from its submit and commit
 /// events, backend-agnostically: the simulator feeds nanoseconds of
@@ -16,6 +29,15 @@ use std::collections::{BTreeMap, BTreeSet};
 /// re-applied at the same process under a second slot (the at-least-once
 /// path across leadership changes) counts as a duplicate, while the normal
 /// one-commit-per-process fan-out does not.
+///
+/// Commits arrive shard-tagged (see
+/// [`CommitRecord::shard`](esync_sim::metrics::CommitRecord) and
+/// [`esync_runtime::Commit`](esync_runtime::cluster::Commit)); besides
+/// the aggregate, the collector keeps one accumulator per shard, so the
+/// summary reports the per-shard throughput/latency split of schema v3.
+/// A command's shard is learned at its first commit — commands that
+/// never commit count toward the aggregate's submitted/span but toward
+/// no shard (see `ShardSummary::commits_per_sec`).
 #[derive(Debug)]
 pub struct Collector {
     /// The stabilization instant splitting the pre/post histograms, if the
@@ -32,6 +54,9 @@ pub struct Collector {
     pre_ts: LatencyHistogram,
     post_ts: LatencyHistogram,
     timeline: ThroughputTimeline,
+    /// Per-shard accumulators, indexed by shard; shard 0 exists from the
+    /// first commit, higher shards as their tags appear.
+    shards: Vec<ShardAcc>,
     first_submit_ns: Option<u64>,
     last_commit_ns: Option<u64>,
 }
@@ -49,8 +74,20 @@ impl Collector {
             pre_ts: LatencyHistogram::new(),
             post_ts: LatencyHistogram::new(),
             timeline: ThroughputTimeline::new(timeline_window),
+            shards: Vec::new(),
             first_submit_ns: None,
             last_commit_ns: None,
+        }
+    }
+
+    /// Pre-sizes the per-shard accounting to at least `shards` entries
+    /// (drivers pass [`Protocol::shard_count`](esync_core::outbox::Protocol::shard_count)),
+    /// so shards that never commit — skewed keys, a dead range — still
+    /// appear as explicit zeroed [`ShardSummary`]s instead of being
+    /// silently absent.
+    pub fn reserve_shards(&mut self, shards: usize) {
+        if shards > self.shards.len() {
+            self.shards.resize_with(shards, ShardAcc::default);
         }
     }
 
@@ -63,15 +100,26 @@ impl Collector {
         }
     }
 
-    /// Registers a commit of `value` at process `pid` at `at_ns`. Returns
-    /// the command id if this is the command's **first** commit anywhere
-    /// (the closed-loop driver's cue to submit a replacement); untracked
-    /// ids are ignored.
-    pub fn on_commit(&mut self, pid: ProcessId, value: Value, at_ns: u64) -> Option<u64> {
+    /// Registers a commit of `value` in log-group shard `shard` at process
+    /// `pid` at `at_ns`. Returns the command id if this is the command's
+    /// **first** commit anywhere (the closed-loop driver's cue to submit a
+    /// replacement); untracked ids are ignored.
+    pub fn on_commit(
+        &mut self,
+        pid: ProcessId,
+        shard: ShardId,
+        value: Value,
+        at_ns: u64,
+    ) -> Option<u64> {
         let id = kv_id(value);
         let submit = *self.submit_ns.get(&id)?;
+        let s = shard.as_usize();
+        if s >= self.shards.len() {
+            self.shards.resize_with(s + 1, ShardAcc::default);
+        }
         if !self.applied.insert((pid.as_u32(), id)) {
             self.duplicates += 1;
+            self.shards[s].duplicates += 1;
         }
         if !self.committed.insert(id) {
             return None;
@@ -86,6 +134,20 @@ impl Collector {
         self.timeline.record(SimTime::from_nanos(at_ns));
         if self.last_commit_ns.is_none_or(|t| at_ns > t) {
             self.last_commit_ns = Some(at_ns);
+        }
+        let acc = &mut self.shards[s];
+        acc.committed += 1;
+        acc.latency.record(lat);
+        match self.ts_ns {
+            Some(ts) if submit < ts => acc.pre_ts.record(lat),
+            Some(_) => acc.post_ts.record(lat),
+            None => {}
+        }
+        if acc.first_submit_ns.is_none_or(|t| submit < t) {
+            acc.first_submit_ns = Some(submit);
+        }
+        if acc.last_commit_ns.is_none_or(|t| at_ns > t) {
+            acc.last_commit_ns = Some(at_ns);
         }
         Some(id)
     }
@@ -124,6 +186,42 @@ impl Collector {
                 .then(|| self.post_ts.summary()),
             timeline: self.timeline.counts().to_vec(),
             timeline_window_ms: self.timeline.window().as_millis_f64(),
+            // Schema v3 guarantees at least a shard-0 entry (mirroring
+            // the aggregate for unsharded runs), including the
+            // nothing-committed case where no commit ever grew the
+            // accumulator vector.
+            per_shard: {
+                let empty_shard0 = [ShardAcc::default()];
+                let accs: &[ShardAcc] = if self.shards.is_empty() {
+                    &empty_shard0
+                } else {
+                    &self.shards
+                };
+                accs.iter()
+                    .enumerate()
+                    .map(|(s, acc)| {
+                        let span_ns = match (acc.first_submit_ns, acc.last_commit_ns) {
+                            (Some(a), Some(b)) if b > a => b - a,
+                            _ => 0,
+                        };
+                        ShardSummary {
+                            shard: s as u32,
+                            committed: acc.committed,
+                            duplicate_commits: acc.duplicates,
+                            commits_per_sec: if span_ns > 0 {
+                                acc.committed as f64 / (span_ns as f64 / 1e9)
+                            } else {
+                                0.0
+                            },
+                            latency: acc.latency.summary(),
+                            pre_ts: (self.ts_ns.is_some() && !acc.pre_ts.is_empty())
+                                .then(|| acc.pre_ts.summary()),
+                            post_ts: (self.ts_ns.is_some() && !acc.post_ts.is_empty())
+                                .then(|| acc.post_ts.summary()),
+                        }
+                    })
+                    .collect()
+            },
         }
     }
 }
@@ -144,8 +242,8 @@ mod tests {
         let mut c = Collector::new(None, RealDuration::from_millis(10));
         let v = kv_command(3, 0);
         c.on_submit(v, 5 * MS);
-        assert_eq!(c.on_commit(pid(0), v, 9 * MS), Some(0), "first commit");
-        assert_eq!(c.on_commit(pid(1), v, 10 * MS), None, "fan-out, not first");
+        assert_eq!(c.on_commit(pid(0), ShardId::ZERO, v, 9 * MS), Some(0), "first commit");
+        assert_eq!(c.on_commit(pid(1), ShardId::ZERO, v, 10 * MS), None, "fan-out, not first");
         let s = c.summary();
         assert_eq!(s.submitted, 1);
         assert_eq!(s.committed, 1);
@@ -159,9 +257,9 @@ mod tests {
         let mut c = Collector::new(None, RealDuration::from_millis(10));
         let v = kv_command(0, 7);
         c.on_submit(v, 0);
-        c.on_commit(pid(0), v, MS);
+        c.on_commit(pid(0), ShardId::ZERO, v, MS);
         // Same process applies id 7 again (second slot): a duplicate.
-        c.on_commit(pid(0), v, 2 * MS);
+        c.on_commit(pid(0), ShardId::ZERO, v, 2 * MS);
         assert_eq!(c.summary().duplicate_commits, 1);
         assert_eq!(c.summary().committed, 1);
     }
@@ -169,7 +267,7 @@ mod tests {
     #[test]
     fn untracked_ids_are_ignored() {
         let mut c = Collector::new(None, RealDuration::from_millis(10));
-        assert_eq!(c.on_commit(pid(0), Value::new(42), MS), None);
+        assert_eq!(c.on_commit(pid(0), ShardId::ZERO, Value::new(42), MS), None);
         assert_eq!(c.summary().committed, 0);
     }
 
@@ -181,8 +279,8 @@ mod tests {
         let late = kv_command(0, 1);
         c.on_submit(early, 50 * MS);
         c.on_submit(late, 150 * MS);
-        c.on_commit(pid(0), early, 120 * MS); // submitted pre-TS
-        c.on_commit(pid(0), late, 152 * MS); // submitted post-TS
+        c.on_commit(pid(0), ShardId::ZERO, early, 120 * MS); // submitted pre-TS
+        c.on_commit(pid(0), ShardId::ZERO, late, 152 * MS); // submitted post-TS
         let s = c.summary();
         assert_eq!(s.pre_ts.as_ref().unwrap().count, 1);
         assert_eq!(s.pre_ts.as_ref().unwrap().min_ns, 70 * MS);
@@ -191,12 +289,94 @@ mod tests {
     }
 
     #[test]
+    fn per_shard_split_attributes_commits_and_duplicates() {
+        let ts = 100 * MS;
+        let mut c = Collector::new(Some(ts), RealDuration::from_millis(10));
+        let a = kv_command(0, 0); // shard 0
+        let b = kv_command(1, 1); // shard 1
+        c.on_submit(a, 0);
+        c.on_submit(b, 150 * MS);
+        c.on_commit(pid(0), ShardId::new(0), a, 10 * MS);
+        c.on_commit(pid(0), ShardId::new(1), b, 160 * MS);
+        // Shard 1 re-applies b at the same pid: a shard-1 duplicate.
+        c.on_commit(pid(0), ShardId::new(1), b, 170 * MS);
+        let s = c.summary();
+        assert_eq!(s.per_shard.len(), 2);
+        assert_eq!(s.per_shard[0].shard, 0);
+        assert_eq!(s.per_shard[0].committed, 1);
+        assert_eq!(s.per_shard[0].duplicate_commits, 0);
+        assert_eq!(s.per_shard[0].latency.count, 1);
+        assert_eq!(s.per_shard[0].pre_ts.as_ref().unwrap().count, 1);
+        assert!(s.per_shard[0].post_ts.is_none());
+        assert_eq!(s.per_shard[1].committed, 1);
+        assert_eq!(s.per_shard[1].duplicate_commits, 1);
+        assert_eq!(s.per_shard[1].post_ts.as_ref().unwrap().count, 1);
+        // Per-shard throughput uses the shard's own span.
+        assert!((s.per_shard[1].commits_per_sec - 100.0).abs() < 1e-9);
+        assert_eq!(
+            s.per_shard.iter().map(|x| x.committed).sum::<u64>(),
+            s.committed
+        );
+    }
+
+    #[test]
+    fn unsharded_runs_mirror_the_aggregate_in_shard_zero() {
+        // Counts, latency and (with every submission committing, as
+        // here) the span-derived throughput all coincide with the
+        // aggregate; lossy runs keep the count/latency mirror but not
+        // the throughput one (never-committed submissions open the
+        // aggregate span only).
+        let mut c = Collector::new(None, RealDuration::from_millis(10));
+        for id in 0..5u64 {
+            let v = kv_command(0, id);
+            c.on_submit(v, id * MS);
+            c.on_commit(pid(0), ShardId::ZERO, v, (id + 2) * MS);
+        }
+        let s = c.summary();
+        assert_eq!(s.per_shard.len(), 1);
+        assert_eq!(s.per_shard[0].committed, s.committed);
+        assert_eq!(s.per_shard[0].latency, s.latency);
+        assert!((s.per_shard[0].commits_per_sec - s.commits_per_sec).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reserved_shards_report_zeroed_entries_even_without_commits() {
+        // A trailing shard that never commits (skewed keys, dead range)
+        // must appear as an explicit zero entry, so consumers can tell
+        // "shard 2 committed nothing" from "the run had 2 shards".
+        let mut c = Collector::new(None, RealDuration::from_millis(10));
+        c.reserve_shards(3);
+        let v = kv_command(0, 0);
+        c.on_submit(v, 0);
+        c.on_commit(pid(0), ShardId::ZERO, v, MS);
+        let s = c.summary();
+        assert_eq!(s.per_shard.len(), 3);
+        assert_eq!(s.per_shard[0].committed, 1);
+        assert_eq!(s.per_shard[2].shard, 2);
+        assert_eq!(s.per_shard[2].committed, 0);
+        assert_eq!(s.per_shard[2].latency.count, 0);
+    }
+
+    #[test]
+    fn empty_run_still_reports_a_shard_zero_entry() {
+        // Schema v3: per_shard always holds at least shard 0, even when
+        // nothing committed before the horizon.
+        let c = Collector::new(Some(MS), RealDuration::from_millis(10));
+        let s = c.summary();
+        assert_eq!(s.per_shard.len(), 1);
+        assert_eq!(s.per_shard[0].shard, 0);
+        assert_eq!(s.per_shard[0].committed, 0);
+        assert_eq!(s.per_shard[0].latency.count, 0);
+        assert!(s.per_shard[0].pre_ts.is_none() && s.per_shard[0].post_ts.is_none());
+    }
+
+    #[test]
     fn throughput_over_measured_span() {
         let mut c = Collector::new(None, RealDuration::from_millis(10));
         for id in 0..10u64 {
             let v = kv_command(0, id);
             c.on_submit(v, 0);
-            c.on_commit(pid(0), v, (id + 1) * 100 * MS);
+            c.on_commit(pid(0), ShardId::ZERO, v, (id + 1) * 100 * MS);
         }
         let s = c.summary();
         // 10 commits over exactly 1 second (0 .. 1000ms).

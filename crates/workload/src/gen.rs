@@ -1,7 +1,7 @@
 //! Deterministic command generation shared by both backends.
 
 use esync_core::time::RealDuration;
-use esync_core::types::Value;
+use esync_core::types::{ProcessId, Value};
 use esync_sim::scenario::kv_command;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -11,7 +11,8 @@ use rand_chacha::ChaCha8Rng;
 /// been submitted in total.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClosedLoopSpec {
-    /// Number of logical clients; client `c` submits to process `c mod n`.
+    /// Number of logical clients; client `c` submits to process `c mod n`
+    /// (or into [`ClosedLoopSpec::targets`], if set).
     pub clients: usize,
     /// Commands each client keeps in flight.
     pub outstanding: usize,
@@ -24,6 +25,12 @@ pub struct ClosedLoopSpec {
     pub seed: u64,
     /// Window width of the commits-per-window timeline.
     pub timeline_window: RealDuration,
+    /// Submission targets: client `c` submits to `targets[c mod len]`.
+    /// `None` (the default) spreads clients over all processes
+    /// (`c mod n`). Fault drives restrict this to the replicas that stay
+    /// up — a command handed to a down process is lost at the client
+    /// boundary by design.
+    pub targets: Option<Vec<ProcessId>>,
 }
 
 impl ClosedLoopSpec {
@@ -37,6 +44,7 @@ impl ClosedLoopSpec {
             key_space: 1024,
             seed: 0,
             timeline_window: RealDuration::from_millis(50),
+            targets: None,
         }
     }
 
@@ -52,6 +60,39 @@ impl ClosedLoopSpec {
     pub fn key_space(mut self, key_space: u64) -> Self {
         self.key_space = key_space;
         self
+    }
+
+    /// Restricts submissions to `targets` (client `c` →
+    /// `targets[c mod len]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    #[must_use]
+    pub fn targets(mut self, targets: Vec<ProcessId>) -> Self {
+        assert!(!targets.is_empty(), "at least one submission target");
+        self.targets = Some(targets);
+        self
+    }
+
+    /// The process client `c` submits to, in an `n`-process system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured target is not a process of the system —
+    /// a submission to a nonexistent pid would otherwise be dropped
+    /// silently (sim) or index out of bounds (runtime), stalling the
+    /// closed loop far from the misconfiguration.
+    pub fn target_of(&self, client: u32, n: usize) -> ProcessId {
+        let pid = match &self.targets {
+            Some(t) => t[client as usize % t.len()],
+            None => ProcessId::new(client % n as u32),
+        };
+        assert!(
+            pid.as_usize() < n,
+            "submission target {pid} is not a process of this {n}-process system"
+        );
+        pid
     }
 }
 

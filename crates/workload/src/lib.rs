@@ -25,14 +25,22 @@
 //!   one commits — the model for saturation throughput.
 //!
 //! Commands are keyed KV operations packed into the wire [`Value`] by
-//! [`esync_sim::scenario::kv_command`]: a unique id (at-least-once
-//! deduplication) plus a sampled key (the working set a future multi-shard
-//! router hashes). Measurements land in
+//! [`esync_core::types::kv_command`]: a unique id (at-least-once
+//! deduplication) plus a sampled key. The drivers are generic over the
+//! log protocol — the plain [`MultiPaxos`] or the sharded
+//! [`LogGroup`](esync_core::paxos::group::LogGroup), whose
+//! [`ShardRouter`](esync_core::paxos::group::ShardRouter) partitions the
+//! key space across `S` independent shards *inside* the process, so the
+//! submitted command sequence is bit-identical across shard counts and
+//! backends. Measurements land in
 //! [`esync_sim::metrics::WorkloadSummary`]: commits/sec, p50/p99/p999
 //! commit latency from a fixed-bucket HDR-style histogram, the pre- vs
-//! post-stability split, and a commits-per-window timeline.
+//! post-stability split, a commits-per-window timeline, and — from the
+//! shard-tagged commit feeds — the per-shard split
+//! ([`esync_sim::metrics::ShardSummary`], artifact schema v3).
 //!
 //! [`Value`]: esync_core::types::Value
+//! [`MultiPaxos`]: esync_core::paxos::multi::MultiPaxos
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

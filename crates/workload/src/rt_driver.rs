@@ -11,8 +11,7 @@
 
 use crate::collect::Collector;
 use crate::gen::{ClosedLoopSpec, CommandGen};
-use esync_core::paxos::multi::MultiPaxos;
-use esync_core::types::ProcessId;
+use esync_core::outbox::Protocol;
 use esync_sim::metrics::WorkloadSummary;
 use esync_sim::scenario::{kv_id, SubmitStream};
 use esync_runtime::{Cluster, ClusterConfig, RuntimeError};
@@ -43,21 +42,28 @@ const POLL: Duration = Duration::from_millis(20);
 /// Returns [`RuntimeError::Config`] for invalid timing parameters and
 /// [`RuntimeError::Timeout`] if the deadline passes before every command
 /// commits everywhere.
-pub fn run_closed_loop(
+pub fn run_closed_loop<P>(
     cfg: ClusterConfig,
-    protocol: MultiPaxos,
+    protocol: P,
     spec: &ClosedLoopSpec,
     warmup: Duration,
     deadline: Duration,
-) -> Result<RtWorkloadOutcome, RuntimeError> {
+) -> Result<RtWorkloadOutcome, RuntimeError>
+where
+    P: Protocol,
+    P::Process: Send + 'static,
+    P::Msg: Send + Clone + 'static,
+{
     assert!(spec.clients >= 1, "at least one client");
     assert!(spec.outstanding >= 1, "at least one in-flight command");
+    let shards = protocol.shard_count();
     let cluster = Cluster::spawn(cfg, protocol)?;
     let n = cluster.n();
     std::thread::sleep(warmup);
     let mut gen = CommandGen::new(spec.seed, spec.key_space);
     let mut owner: BTreeMap<u64, u32> = BTreeMap::new();
     let mut collector = Collector::new(None, spec.timeline_window);
+    collector.reserve_shards(shards);
     let mut applied: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); n];
     for client in 0..spec.clients as u32 {
         for _ in 0..spec.outstanding {
@@ -82,7 +88,7 @@ pub fn run_closed_loop(
         };
         applied[commit.pid.as_usize()].insert(kv_id(commit.value));
         let at_ns = commit.elapsed.as_nanos() as u64;
-        if let Some(id) = collector.on_commit(commit.pid, commit.value, at_ns) {
+        if let Some(id) = collector.on_commit(commit.pid, commit.shard, commit.value, at_ns) {
             let client = owner[&id];
             submit_one(&cluster, &mut gen, &mut collector, &mut owner, client, spec);
         }
@@ -105,23 +111,35 @@ pub fn run_closed_loop(
 ///
 /// Returns [`RuntimeError::Config`] for invalid timing parameters and
 /// [`RuntimeError::Timeout`] on deadline.
-pub fn run_open_loop(
+pub fn run_open_loop<P>(
     cfg: ClusterConfig,
-    protocol: MultiPaxos,
+    protocol: P,
     stream: &SubmitStream,
     deadline: Duration,
-) -> Result<RtWorkloadOutcome, RuntimeError> {
+) -> Result<RtWorkloadOutcome, RuntimeError>
+where
+    P: Protocol,
+    P::Process: Send + 'static,
+    P::Msg: Send + Clone + 'static,
+{
+    let shards = protocol.shard_count();
     let cluster = Cluster::spawn(cfg, protocol)?;
     let n = cluster.n();
     let schedule = stream.expand(n);
     let total = schedule.len() as u64;
     let mut collector = Collector::new(None, esync_core::time::RealDuration::from_millis(50));
+    collector.reserve_shards(shards);
     let mut applied: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); n];
     let start = Instant::now();
     let drain = |collector: &mut Collector, applied: &mut Vec<BTreeSet<u64>>, wait: Duration| {
         if let Ok(commit) = cluster.commits().recv_timeout(wait) {
             applied[commit.pid.as_usize()].insert(kv_id(commit.value));
-            collector.on_commit(commit.pid, commit.value, commit.elapsed.as_nanos() as u64);
+            collector.on_commit(
+                commit.pid,
+                commit.shard,
+                commit.value,
+                commit.elapsed.as_nanos() as u64,
+            );
         }
     };
     for (at, pid, value) in &schedule {
@@ -155,26 +173,31 @@ pub fn run_open_loop(
 }
 
 /// Issues the next command for `client`, if the budget allows.
-fn submit_one(
-    cluster: &Cluster<MultiPaxos>,
+fn submit_one<P>(
+    cluster: &Cluster<P>,
     gen: &mut CommandGen,
     collector: &mut Collector,
     owner: &mut BTreeMap<u64, u32>,
     client: u32,
     spec: &ClosedLoopSpec,
-) {
+) where
+    P: Protocol,
+    P::Process: Send + 'static,
+    P::Msg: Send + Clone + 'static,
+{
     if gen.issued() >= spec.commands {
         return;
     }
     let value = gen.next_command();
     owner.insert(kv_id(value), client);
     collector.on_submit(value, cluster.elapsed().as_nanos() as u64);
-    cluster.submit(ProcessId::new(client % cluster.n() as u32), value);
+    cluster.submit(spec.target_of(client, cluster.n()), value);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use esync_core::paxos::multi::MultiPaxos;
 
     #[test]
     fn closed_loop_over_threads_commits_everywhere() {

@@ -7,8 +7,9 @@
 
 use crate::collect::Collector;
 use crate::gen::{ClosedLoopSpec, CommandGen};
-use esync_core::paxos::multi::MultiPaxos;
-use esync_core::types::ProcessId;
+use esync_core::outbox::Protocol;
+use esync_core::paxos::group::ShardedLogView;
+use esync_core::types::{ProcessId, ShardId};
 use esync_sim::metrics::WorkloadSummary;
 use esync_sim::scenario::kv_id;
 use esync_sim::{Report, SimConfig, SimTime, World};
@@ -23,26 +24,41 @@ pub struct SimWorkloadOutcome {
     pub report: Report,
     /// Simulated instant the drive stopped at.
     pub end: SimTime,
-    /// Whether every pair of processes agrees on every shared log slot —
-    /// the replicated-log safety property (single-shot `Report::agreement`
-    /// is about first decides and does not apply to steady-state logs).
+    /// Whether every pair of processes agrees on every shared log slot of
+    /// every shard — the replicated-log safety property (single-shot
+    /// `Report::agreement` is about first decides and does not apply to
+    /// steady-state logs).
     pub log_agreement: bool,
 }
 
-/// Slot-by-slot log agreement across all processes: no two processes hold
-/// different batches in the same slot.
-fn logs_agree(world: &World<MultiPaxos>) -> bool {
+/// Slot-by-slot log agreement across all processes, per shard: no two
+/// processes hold different batches in the same `(shard, slot)`. Works
+/// over any log protocol exposing [`ShardedLogView`] — the plain
+/// `MultiPaxos` log (one shard) and the sharded `LogGroup` alike.
+fn logs_agree<P>(world: &World<P>) -> bool
+where
+    P: Protocol,
+    P::Process: ShardedLogView,
+{
     let n = world.config().timing.n();
-    let mut reference: BTreeMap<u64, &[esync_core::types::Value]> = BTreeMap::new();
-    for pid in (0..n as u32).map(ProcessId::new) {
-        for (slot, batch) in world.process(pid).log().iter() {
-            match reference.entry(slot) {
-                std::collections::btree_map::Entry::Vacant(e) => {
-                    e.insert(batch);
-                }
-                std::collections::btree_map::Entry::Occupied(e) => {
-                    if *e.get() != &batch[..] {
-                        return false;
+    let shards = (0..n as u32)
+        .map(|p| world.process(ProcessId::new(p)).shard_count())
+        .max()
+        .unwrap_or(1);
+    for shard in (0..shards as u32).map(ShardId::new) {
+        let mut reference: BTreeMap<u64, &[esync_core::types::Value]> = BTreeMap::new();
+        for pid in (0..n as u32).map(ProcessId::new) {
+            let proc = world.process(pid);
+            debug_assert_eq!(proc.shard_count(), shards, "homogeneous groups");
+            for (slot, batch) in proc.shard_log(shard).iter() {
+                match reference.entry(slot) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(batch);
+                    }
+                    std::collections::btree_map::Entry::Occupied(e) => {
+                        if *e.get() != &batch[..] {
+                            return false;
+                        }
                     }
                 }
             }
@@ -61,10 +77,21 @@ fn logs_agree(world: &World<MultiPaxos>) -> bool {
 ///
 /// The pre-/post-stability split classifies a command by its *submission*
 /// instant relative to the configuration's `TS`.
-pub fn run_open_loop(cfg: SimConfig, protocol: MultiPaxos, horizon: SimTime) -> SimWorkloadOutcome {
+///
+/// Generic over the log protocol: drive a plain
+/// [`MultiPaxos`](esync_core::paxos::multi::MultiPaxos) or a sharded
+/// [`LogGroup`](esync_core::paxos::group::LogGroup) — shard routing
+/// happens inside the processes, so the submitted command sequence is
+/// bit-identical across shard counts.
+pub fn run_open_loop<P>(cfg: SimConfig, protocol: P, horizon: SimTime) -> SimWorkloadOutcome
+where
+    P: Protocol,
+    P::Process: ShardedLogView,
+{
     let n = cfg.timing.n();
     let spec_window = default_timeline_window(&cfg);
     let mut collector = Collector::new(Some(cfg.ts.as_nanos()), spec_window);
+    collector.reserve_shards(protocol.shard_count());
     // `expand` is a pure function of `(stream, n)`, so this expansion is
     // bit-identical to the one `World::new` schedules from the same
     // config — the collector scores against exactly the submissions the
@@ -77,7 +104,7 @@ pub fn run_open_loop(cfg: SimConfig, protocol: MultiPaxos, horizon: SimTime) -> 
     let mut world = World::new(cfg, protocol);
     world.run_until(horizon);
     for c in world.commits() {
-        collector.on_commit(c.pid, c.value, c.at.as_nanos());
+        collector.on_commit(c.pid, c.shard, c.value, c.at.as_nanos());
     }
     SimWorkloadOutcome {
         summary: collector.summary(),
@@ -98,28 +125,55 @@ fn default_timeline_window(cfg: &SimConfig) -> esync_core::time::RealDuration {
 /// lands, until `spec.commands` have been issued and committed — the
 /// saturation-throughput drive. `warmup` gives the log time to anchor a
 /// leader before measurement; `horizon` bounds the run.
-pub fn run_closed_loop(
+pub fn run_closed_loop<P>(
     cfg: SimConfig,
-    protocol: MultiPaxos,
+    protocol: P,
     spec: &ClosedLoopSpec,
     warmup: SimTime,
     horizon: SimTime,
-) -> SimWorkloadOutcome {
-    assert!(spec.clients >= 1, "at least one client");
-    assert!(spec.outstanding >= 1, "at least one in-flight command");
-    let n = cfg.timing.n();
-    let ts = cfg.ts.as_nanos();
-    let mut collector = Collector::new(Some(ts), spec.timeline_window);
-    let mut gen = CommandGen::new(spec.seed, spec.key_space);
-    let mut owner: BTreeMap<u64, u32> = BTreeMap::new();
+) -> SimWorkloadOutcome
+where
+    P: Protocol,
+    P::Process: ShardedLogView,
+{
     let mut world = World::new(cfg, protocol);
     world.run_until(warmup);
+    run_closed_loop_on(&mut world, spec, horizon)
+}
+
+/// [`run_closed_loop`] over a caller-prepared world: the world has
+/// already been constructed and warmed up (and may carry injected
+/// events — this is the reuse point for fault drives that pick a victim
+/// *after* observing the warm state, e.g. `tests/leader_churn.rs`
+/// crashing whichever process anchored). Exactly the canonical
+/// closed-loop drive: any future change to the loop is shared by the
+/// experiments and the fault scenarios.
+pub fn run_closed_loop_on<P>(
+    world: &mut World<P>,
+    spec: &ClosedLoopSpec,
+    horizon: SimTime,
+) -> SimWorkloadOutcome
+where
+    P: Protocol,
+    P::Process: ShardedLogView,
+{
+    assert!(spec.clients >= 1, "at least one client");
+    assert!(spec.outstanding >= 1, "at least one in-flight command");
+    let n = world.config().timing.n();
+    let ts = world.config().ts.as_nanos();
+    let mut collector = Collector::new(Some(ts), spec.timeline_window);
+    collector.reserve_shards(world.process(ProcessId::new(0)).shard_count());
+    let mut gen = CommandGen::new(spec.seed, spec.key_space);
+    let mut owner: BTreeMap<u64, u32> = BTreeMap::new();
     for client in 0..spec.clients as u32 {
         for _ in 0..spec.outstanding {
-            submit_one(&mut world, &mut gen, &mut collector, &mut owner, n, client, spec);
+            submit_one(world, &mut gen, &mut collector, &mut owner, n, client, spec);
         }
     }
-    let mut cursor = 0usize;
+    // Commits from before this drive (a caller's warmup) carry ids the
+    // collector never saw submitted, so scanning them is a no-op; start
+    // the cursor past them anyway.
+    let mut cursor = world.commits().len();
     while collector.committed() < spec.commands && world.now() < horizon {
         if !world.step() {
             break; // quiescent: nothing left that could commit
@@ -127,9 +181,9 @@ pub fn run_closed_loop(
         while cursor < world.commits().len() {
             let c = world.commits()[cursor];
             cursor += 1;
-            if let Some(id) = collector.on_commit(c.pid, c.value, c.at.as_nanos()) {
+            if let Some(id) = collector.on_commit(c.pid, c.shard, c.value, c.at.as_nanos()) {
                 let client = owner[&id];
-                submit_one(&mut world, &mut gen, &mut collector, &mut owner, n, client, spec);
+                submit_one(world, &mut gen, &mut collector, &mut owner, n, client, spec);
             }
         }
     }
@@ -137,13 +191,13 @@ pub fn run_closed_loop(
         summary: collector.summary(),
         report: world.report(),
         end: world.now(),
-        log_agreement: logs_agree(&world),
+        log_agreement: logs_agree(world),
     }
 }
 
 /// Issues the next command for `client`, if the budget allows.
-fn submit_one(
-    world: &mut World<MultiPaxos>,
+fn submit_one<P: Protocol>(
+    world: &mut World<P>,
     gen: &mut CommandGen,
     collector: &mut Collector,
     owner: &mut BTreeMap<u64, u32>,
@@ -158,12 +212,14 @@ fn submit_one(
     owner.insert(kv_id(value), client);
     let now = world.now();
     collector.on_submit(value, now.as_nanos());
-    world.submit(now, ProcessId::new(client % n as u32), value);
+    world.submit(now, spec.target_of(client, n), value);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use esync_core::paxos::group::LogGroup;
+    use esync_core::paxos::multi::MultiPaxos;
     use esync_sim::scenario::SubmitStream;
     use esync_sim::{PreStability, Scenario};
 
@@ -256,6 +312,31 @@ mod tests {
         let b = mk();
         assert_eq!(a.summary, b.summary);
         assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn closed_loop_drives_a_sharded_group() {
+        let spec = ClosedLoopSpec::new(4, 4, 80).seed(3).key_space(256);
+        let out = run_closed_loop(
+            stable_cfg(3, 2),
+            LogGroup::new(4),
+            &spec,
+            SimTime::from_millis(500),
+            SimTime::from_secs(60),
+        );
+        assert_eq!(out.summary.committed, 80);
+        assert!(out.log_agreement, "per-shard slot agreement");
+        assert_eq!(out.summary.per_shard.len(), 4, "all shards saw traffic");
+        assert_eq!(
+            out.summary.per_shard.iter().map(|s| s.committed).sum::<u64>(),
+            80,
+            "shard split partitions the commits"
+        );
+        assert!(
+            out.summary.per_shard.iter().all(|s| s.committed > 0),
+            "uniform keys reach every shard: {:?}",
+            out.summary.per_shard.iter().map(|s| s.committed).collect::<Vec<_>>()
+        );
     }
 
     #[test]

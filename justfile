@@ -21,7 +21,12 @@ exp name:
 micro:
     scripts/bench.sh micro
 
-# The replicated-log throughput workloads (closed-loop saturation W1 and
-# open-loop rate-vs-stability W2), refreshing BENCH_exp_w*.json.
+# The replicated-log throughput workloads (closed-loop saturation W1,
+# open-loop rate-vs-stability W2, shard scaling W3), refreshing
+# BENCH_exp_w*.json.
 workload:
-    scripts/bench.sh w1 w2
+    scripts/bench.sh w1 w2 w3
+
+# The sharded log-group scaling experiment only (BENCH_exp_w3_*.json).
+w3:
+    scripts/bench.sh w3

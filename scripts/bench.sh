@@ -22,6 +22,7 @@ targets=(
     exp_e10_bound_check
     exp_w1_throughput_vs_n
     exp_w2_load_vs_stability
+    exp_w3_shard_scaling
     micro_simulator
 )
 

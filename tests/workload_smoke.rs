@@ -1,9 +1,12 @@
 //! Tier-1 workload smoke: a small closed-loop drive through **both**
 //! backends — the discrete-event simulator and the threaded runtime —
 //! asserting nonzero commits and log agreement. The full sweeps live in
-//! `exp_w1`/`exp_w2`; this is the fast always-on guard that the workload
-//! subsystem stays wired end to end.
+//! `exp_w1`/`exp_w2`/`exp_w3`; this is the fast always-on guard that the
+//! workload subsystem stays wired end to end — including the sharded
+//! log-group engine, whose `S = 1` configuration must be bit-identical
+//! to the plain replicated log.
 
+use esync::core::paxos::group::LogGroup;
 use esync::core::paxos::multi::MultiPaxos;
 use esync::sim::{PreStability, SimConfig, SimTime};
 use esync::workload::gen::ClosedLoopSpec;
@@ -51,6 +54,115 @@ fn closed_loop_smoke_over_threaded_runtime() {
     assert_eq!(out.summary.committed, COMMANDS);
     assert!(out.summary.latency.count == COMMANDS);
     // Log agreement over threads: every node applied every command id.
+    let reference = &out.applied_per_node[0];
+    assert_eq!(reference.len() as u64, COMMANDS);
+    for (i, ids) in out.applied_per_node.iter().enumerate() {
+        assert_eq!(ids, reference, "node {i} applied a different command set");
+    }
+}
+
+/// The log-group acceptance criterion: with one shard, the group engine
+/// is **bit-identical** to the plain `MultiPaxos` layer — same seeds ⇒
+/// same `WorkloadSummary`, closed- and open-loop, stable and chaotic.
+/// (The simulator `Report`s differ only in the protocol name; every
+/// timing-derived number is compared through the summary.)
+#[test]
+fn log_group_s1_bit_identical_to_multipaxos() {
+    for seed in [1u64, 5, 9] {
+        let cfg = || {
+            SimConfig::builder(3)
+                .seed(seed)
+                .stability_at_millis(100)
+                .pre_stability(PreStability::chaos())
+                .build()
+                .unwrap()
+        };
+        let spec = ClosedLoopSpec::new(3, 2, COMMANDS).seed(seed).key_space(64);
+        let plain = sim_driver::run_closed_loop(
+            cfg(),
+            MultiPaxos::new().with_batching(4, 2),
+            &spec,
+            SimTime::from_millis(400),
+            SimTime::from_secs(60),
+        );
+        let grouped = sim_driver::run_closed_loop(
+            cfg(),
+            LogGroup::new(1).with_batching(4, 2),
+            &spec,
+            SimTime::from_millis(400),
+            SimTime::from_secs(60),
+        );
+        assert_eq!(
+            plain.summary, grouped.summary,
+            "seed {seed}: S=1 group diverged from the plain log"
+        );
+        assert_eq!(plain.end, grouped.end, "seed {seed}: end instants differ");
+        assert_eq!(
+            plain.report.events, grouped.report.events,
+            "seed {seed}: event counts differ"
+        );
+        assert_eq!(
+            plain.report.msgs_by_kind, grouped.report.msgs_by_kind,
+            "seed {seed}: per-kind message counts differ"
+        );
+    }
+}
+
+/// A sharded group (S = 4) drives through BOTH backends: all commands
+/// commit, per-shard logs agree across replicas, and the commit feed's
+/// shard split partitions the total.
+#[test]
+fn sharded_closed_loop_smoke_over_simulator() {
+    let cfg = SimConfig::builder(3)
+        .seed(4)
+        .stability_at_millis(0)
+        .pre_stability(PreStability::lossless())
+        .build()
+        .unwrap();
+    let spec = ClosedLoopSpec::new(4, 2, COMMANDS).seed(4).key_space(256);
+    let out = sim_driver::run_closed_loop(
+        cfg,
+        LogGroup::new(4).with_batching(2, 2),
+        &spec,
+        SimTime::from_millis(500),
+        SimTime::from_secs(60),
+    );
+    assert_eq!(out.summary.committed, COMMANDS, "all commands commit");
+    assert!(out.log_agreement, "per-shard slot agreement across replicas");
+    assert_eq!(out.summary.per_shard.len(), 4);
+    assert_eq!(
+        out.summary.per_shard.iter().map(|s| s.committed).sum::<u64>(),
+        COMMANDS,
+        "shard split partitions the commits"
+    );
+}
+
+#[test]
+fn sharded_closed_loop_smoke_over_threaded_runtime() {
+    let cfg = esync::runtime::ClusterConfig::new(3)
+        .delta(Duration::from_millis(5))
+        .seed(6);
+    let spec = ClosedLoopSpec::new(3, 2, COMMANDS).seed(6).key_space(256);
+    let out = rt_driver::run_closed_loop(
+        cfg,
+        LogGroup::new(2).with_batching(2, 2),
+        &spec,
+        Duration::from_millis(300),
+        Duration::from_secs(30),
+    )
+    .expect("sharded threaded workload completes");
+    assert_eq!(out.summary.committed, COMMANDS);
+    assert_eq!(out.summary.per_shard.len(), 2);
+    assert!(
+        out.summary.per_shard.iter().all(|s| s.committed > 0),
+        "both shards must actually commit: {:?}",
+        out.summary.per_shard.iter().map(|s| s.committed).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        out.summary.per_shard.iter().map(|s| s.committed).sum::<u64>(),
+        COMMANDS,
+        "shard split partitions the commits"
+    );
     let reference = &out.applied_per_node[0];
     assert_eq!(reference.len() as u64, COMMANDS);
     for (i, ids) in out.applied_per_node.iter().enumerate() {

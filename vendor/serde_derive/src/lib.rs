@@ -12,6 +12,11 @@
 //!
 //! Generics are intentionally unsupported (no workspace type needs them);
 //! deriving on a generic type is a compile error with a clear message.
+//! The `#[serde(...)]` helper attribute is registered, but only
+//! `#[serde(default)]` is accepted (upstream applies it on
+//! deserialization only, absent here); any other serde attribute is a
+//! compile error, since silently ignoring it would change the
+//! serialized shape relative to upstream serde.
 //! `Deserialize` is a marker impl only — nothing in the workspace parses
 //! JSON back into Rust values.
 
@@ -33,6 +38,35 @@ enum Input {
     Enum { name: String, variants: Vec<Variant> },
 }
 
+/// Rejects `#[serde(...)]` helper attributes this vendored shim does not
+/// actually implement. The only supported one is `#[serde(default)]`,
+/// which upstream serde applies on deserialization only — a no-op here,
+/// where `Deserialize` is a marker. Anything else (`rename`, `skip`,
+/// `flatten`, ...) would silently change upstream's serialized shape
+/// while this shim ignored it, so it fails the build loudly instead
+/// (matching the shim's fail-loud stance on generics).
+fn check_serde_attr(group: &proc_macro::Group) {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // not a serde helper attribute: none of our business
+    }
+    let supported = match tokens.get(1) {
+        Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            matches!(args.as_slice(),
+                [TokenTree::Ident(id)] if id.to_string() == "default")
+        }
+        _ => false,
+    };
+    assert!(
+        supported,
+        "vendored serde_derive supports only #[serde(default)] \
+         (a deserialization-side no-op); found `#[{group}]`, which the \
+         offline Serialize impl would silently ignore"
+    );
+}
+
 /// Skips attributes (`#[...]` / `#![...]`) and visibility (`pub`,
 /// `pub(crate)`, ...) at the current position.
 fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
@@ -47,7 +81,8 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
                     }
                 }
                 // The `[...]` group.
-                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    check_serde_attr(g);
                     i += 1;
                 }
             }
@@ -231,7 +266,7 @@ fn gen_named_body(fields: &[String], accessor: impl Fn(&str) -> String) -> Strin
     body
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     let (name, body) = match &parsed {
@@ -305,7 +340,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     out.parse().expect("generated Serialize impl parses")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     let name = match &parsed {

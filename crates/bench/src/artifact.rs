@@ -119,6 +119,13 @@ pub struct SweepSummary {
     pub delay_after_ts_delta: Option<DelayQuantiles>,
     /// Total messages across the sweep.
     pub msgs_sent_total: u64,
+    /// (v4) Total messages across the sweep, split by protocol message
+    /// kind (`"1a"`, `"1b"`, `"2a"`, `"2b"`, `"forward"`, `"decided"`,
+    /// …) as `[kind, count]` pairs in ascending kind order. The message
+    /// *composition* is what the session-sharing experiment (`exp_w4`)
+    /// quantifies — idle-period traffic is 1a/1b, load traffic 2a/2b —
+    /// so artifacts carry the split, not just the total.
+    pub msgs_by_kind: Vec<(String, u64)>,
     /// Total events across the sweep.
     pub events_total: u64,
     /// Per-seed outcomes.
@@ -143,6 +150,12 @@ impl SweepSummary {
     ) -> SweepSummary {
         let records: Vec<SweepRecord> = reports.iter().map(SweepRecord::from_report).collect();
         let wall_secs = wall.as_secs_f64();
+        let mut by_kind: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for r in reports {
+            for (k, v) in &r.msgs_by_kind {
+                *by_kind.entry(k.clone()).or_insert(0) += v;
+            }
+        }
         SweepSummary {
             label: label.to_string(),
             protocol: reports.first().map(|r| r.protocol.clone()),
@@ -159,6 +172,7 @@ impl SweepSummary {
                 records.iter().filter_map(|r| r.delay_after_ts_delta),
             ),
             msgs_sent_total: records.iter().map(|r| r.msgs_sent).sum(),
+            msgs_by_kind: by_kind.into_iter().collect(),
             events_total: records.iter().map(|r| r.events).sum(),
             records,
             extra: Vec::new(),
@@ -184,8 +198,10 @@ impl SweepSummary {
 /// The artifact schema version this crate writes (see
 /// `crates/bench/README.md`); v2 added the per-sweep `workload` field,
 /// v3 the per-shard split (`workload.per_shard[]`) of the sharded
-/// log-group experiments.
-pub const SCHEMA_VERSION: u32 = 3;
+/// log-group experiments, v4 the per-sweep `msgs_by_kind` totals that
+/// the session-sharing experiment (`exp_w4`) reads its idle-traffic
+/// composition from.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// A whole experiment's artifact: every sweep it ran, plus context.
 #[derive(Debug, Clone, Serialize)]
@@ -276,7 +292,8 @@ mod tests {
         ));
         let json = serde_json::to_string(&a).unwrap();
         assert!(json.contains("\"experiment\":\"exp_test\""));
-        assert!(json.contains("\"schema_version\":3"));
+        assert!(json.contains("\"schema_version\":4"));
+        assert!(json.contains("\"msgs_by_kind\""));
         assert!(json.contains("\"runs_per_sec\""));
         assert!(json.contains("\"workload\":null"));
     }

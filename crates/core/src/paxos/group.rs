@@ -1,65 +1,296 @@
-//! Sharded log groups: one process = `S` independent replicated logs.
+//! Sharded log groups with a **group-level shared session**: one process
+//! = `S` independent replicated logs anchored by **one** ballot.
 //!
 //! The paper's post-stabilization bound is **per consensus instance**:
 //! once the system stabilizes, each instance decides within two message
 //! delays, independently of every other instance. Aggregate throughput
-//! should therefore scale with the number of *independent* logs a
-//! cluster runs — the classic multi-shard parallel-commit construction
-//! (and the sharded analogue of synchronized-round results showing
-//! parallel independent opinion processes converge faster than one
-//! serialized process). This module is that construction:
+//! therefore scales with the number of *independent* logs a cluster runs
+//! — the classic multi-shard parallel-commit construction. But the
+//! paper's §4 economy ("phase 1 is executed in advance for all instances
+//! of the algorithm") is *per session*, and running one session **per
+//! shard** multiplies the idle-period message rate by `S`: `S` session
+//! timers, `S` ε-retransmission streams, `S` separate 1a/1b exchanges on
+//! every re-election — and `S` shard leaders free to scatter across
+//! processes. This module applies the phase-1-in-advance trick **across
+//! shards**:
 //!
-//! * A [`LogGroup`] spawns, per process, a group of `S`
-//!   [`MultiPaxosProcess`] shards — the engine-facing instance type the
-//!   single-log layer already exposes through the sans-IO [`Process`]
-//!   trait, reused here unchanged. Each shard runs its own anchoring,
-//!   session timer, ε-retransmission and proposal pipeline.
-//! * Every wire message is tagged with its [`ShardId`] ([`GroupMsg`]),
-//!   and every timer id is offset by the shard
-//!   ([`LogGroupProcess::group_timer`]), so drivers — the simulator's
-//!   `World` and the threaded runtime's `Cluster`/node loop — dispatch on
-//!   the shard tag without knowing the group's internals.
-//! * Client commands are routed by their KV key through a pluggable
-//!   [`ShardRouter`] (default: `kv_key(value) % S`), and every commit is
-//!   tagged with its shard via
+//! * A [`LogGroup`] spawns, per process, a group of `S` *externally
+//!   driven* [`MultiPaxosProcess`] shards
+//!   ([`MultiPaxos::spawn_driven`]): each shard keeps its own log, slot
+//!   pipeline, batching and admission dedup, but arms no timers and runs
+//!   no phase 1 of its own.
+//! * The group owns **one ballot, one session timer, one ε tick**. Phase
+//!   1 is a single [`GroupMsg::G1a`]/[`GroupMsg::G1b`] exchange whose 1b
+//!   payload is a [`GroupPromise`] aggregating *every* shard's
+//!   highest-accepted votes; the quorum anchors all `S` shards at once
+//!   ([`MultiPaxosProcess::drive_anchor`]). Idle-period traffic is
+//!   therefore independent of `S` (experiment W4 measures this), and a
+//!   leadership change is **one group event**: killing the group anchor
+//!   drops exactly one anchor and one re-election recovers all shards —
+//!   shard leaders can no longer scatter across processes.
+//! * Below phase 1, every wire message is shard-tagged
+//!   ([`GroupMsg::Shard`]) and every commit carries its [`ShardId`] via
 //!   [`Outbox::decide_in_shard`](crate::outbox::Outbox::decide_in_shard),
-//!   so per-command commit feeds carry the shard end to end.
+//!   so drivers and metrics attribute throughput per shard end to end.
+//! * Client commands are routed by their KV key through a pluggable
+//!   [`ShardRouter`] (default: `kv_key(value) % S`).
 //!
-//! **`S = 1` is bit-identical to the plain [`MultiPaxos`] layer**: shard
-//! 0's timer ids map to themselves, the router sends every key to shard
-//! 0, and the action stream per event is the inner stream with each
-//! message wrapped — the workload smoke suite asserts equal
-//! `WorkloadSummary`s seed for seed.
+//! **`S = 1` is bit-identical to the plain [`MultiPaxos`] layer**: the
+//! group's session machinery is the single log's session machinery
+//! hoisted up one level — same timer ids, same suppression and gating
+//! rules, same action order per event, with `G1a`/`G1b` standing in for
+//! `M1a`/`M1b` one for one — so the workload smoke suite asserts equal
+//! `WorkloadSummary`s, event counts and per-kind message counts seed for
+//! seed.
 //!
-//! Shards are independent by design: there is **no cross-shard ordering**.
-//! The group exposes a merged committed-prefix view
+//! Shards are independent by design: there is **no cross-shard
+//! ordering**. The group exposes a merged committed-prefix view
 //! ([`LogGroupProcess::merged_prefix`]) that interleaves the shards'
 //! all-chosen prefixes deterministically by `(slot, shard)`; applications
 //! needing cross-shard transactions must layer them above (each key's
 //! history is totally ordered by its shard's log, as in any range-sharded
 //! store).
 
+use crate::ballot::{Ballot, Session};
 use crate::config::TimingConfig;
 use crate::outbox::{Action, Outbox, Process, Protocol};
-use crate::paxos::multi::{Batch, MultiMsg, MultiPaxos, MultiPaxosProcess};
+use crate::paxos::multi::{
+    batch_of, Batch, BatchVote, MultiMsg, MultiPaxos, MultiPaxosProcess, SlotVote,
+};
 use crate::paxos::slotlog::SlotMap;
+use crate::quorum::QuorumTracker;
+use crate::time::LocalInstant;
 use crate::types::{kv_key, ProcessId, TimerId, Value};
+use std::collections::BTreeMap;
+use std::fmt;
 
+pub use crate::paxos::multi::{TIMER_EPSILON, TIMER_SESSION};
 pub use crate::types::ShardId;
 
-/// Timer ids each shard uses (the session timer and the ε tick); the
-/// group maps shard `s`'s inner timer `t` to id `s · TIMERS_PER_SHARD + t`.
-pub const TIMERS_PER_SHARD: u32 = 2;
+/// One shard's highest-accepted vote in one slot, in wire form: the batch
+/// is an owned `Vec` (not the in-memory `Arc`-shared [`Batch`]) so the
+/// promise has a self-contained representation with a byte-exact codec
+/// ([`GroupPromise::encode`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromisedVote {
+    /// The log slot voted in.
+    pub slot: u64,
+    /// The ballot of the vote (the shard's last vote in this slot).
+    pub bal: Ballot,
+    /// The batch voted for.
+    pub values: Vec<Value>,
+}
 
-/// A shard-tagged wire message: the single-log layer's [`MultiMsg`] plus
-/// the [`ShardId`] it belongs to. Drivers treat the tag as opaque; the
-/// receiving group dispatches on it.
+/// The phase-1b payload of a group-level session: for each shard of the
+/// promising process, every slot it has ever voted in with its last
+/// (highest-ballot) vote. One `GroupPromise` replaces the `S` separate
+/// per-shard `M1b`s of a per-shard-session design; the ballot owner folds
+/// a majority of promises into per-shard best-vote maps
+/// ([`GroupPromise::fold_into`]) and anchors all shards from them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GroupPromise {
+    /// Per-shard vote reports, indexed by shard; `shards.len()` is the
+    /// promising process's shard count.
+    pub shards: Vec<Vec<PromisedVote>>,
+}
+
+/// A [`GroupPromise`] byte string failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromiseDecodeError {
+    /// Byte offset at which decoding failed.
+    pub at: usize,
+    /// The field being read when the input ran out or went inconsistent.
+    pub what: &'static str,
+}
+
+impl fmt::Display for PromiseDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid GroupPromise encoding: {} at byte {}", self.what, self.at)
+    }
+}
+
+impl std::error::Error for PromiseDecodeError {}
+
+impl GroupPromise {
+    /// Builds the promise of a group: every shard's
+    /// [`MultiPaxosProcess::slot_votes`], in shard order.
+    pub fn of_shards(shards: &[MultiPaxosProcess]) -> GroupPromise {
+        GroupPromise {
+            shards: shards
+                .iter()
+                .map(|p| {
+                    p.slot_votes()
+                        .into_iter()
+                        .map(|sv: SlotVote| PromisedVote {
+                            slot: sv.slot,
+                            bal: sv.vote.bal,
+                            values: sv.vote.batch.to_vec(),
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Folds this promise into per-shard best-vote maps (one map per
+    /// shard of the folding group): for every reported slot, the
+    /// highest-ballot vote across every promise folded so far wins — the
+    /// leader's phase-1b value-selection rule, per shard. Reports for
+    /// shards beyond `best.len()` are ignored (heterogeneous shard counts
+    /// are outside the model).
+    pub fn fold_into(&self, best: &mut [BTreeMap<u64, BatchVote>]) {
+        debug_assert!(
+            self.shards.len() <= best.len(),
+            "promise reports more shards than the group runs"
+        );
+        for (per_shard, votes) in best.iter_mut().zip(self.shards.iter()) {
+            for v in votes {
+                // The shared phase-1b value-selection rule (highest
+                // ballot wins per slot) — the same code path the single
+                // log's 1b quorum runs, so the two layers cannot drift.
+                crate::paxos::multi::fold_best_vote(per_shard, v.slot, v.bal, || {
+                    batch_of(v.values.iter().copied())
+                });
+            }
+        }
+    }
+
+    /// Encodes the promise as a self-contained byte string: all fields as
+    /// little-endian `u64`s, length-prefixed at every level
+    /// (`[S] ([votes] ([slot][bal][len] [values…])…)…`). The in-memory
+    /// protocol passes promises by value; this codec is the wire form a
+    /// byte-oriented transport would ship, and
+    /// [`GroupPromise::decode`] round-trips it exactly.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let push = |out: &mut Vec<u8>, x: u64| out.extend_from_slice(&x.to_le_bytes());
+        push(&mut out, self.shards.len() as u64);
+        for votes in &self.shards {
+            push(&mut out, votes.len() as u64);
+            for v in votes {
+                push(&mut out, v.slot);
+                push(&mut out, v.bal.get());
+                push(&mut out, v.values.len() as u64);
+                for val in &v.values {
+                    push(&mut out, val.get());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a byte string produced by [`GroupPromise::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PromiseDecodeError`] if the input is truncated, carries
+    /// trailing bytes, or declares lengths its byte budget cannot hold.
+    pub fn decode(bytes: &[u8]) -> Result<GroupPromise, PromiseDecodeError> {
+        struct Reader<'a> {
+            bytes: &'a [u8],
+            at: usize,
+        }
+        impl Reader<'_> {
+            fn u64(&mut self, what: &'static str) -> Result<u64, PromiseDecodeError> {
+                let end = self.at.checked_add(8).filter(|e| *e <= self.bytes.len());
+                let Some(end) = end else {
+                    return Err(PromiseDecodeError { at: self.at, what });
+                };
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&self.bytes[self.at..end]);
+                self.at = end;
+                Ok(u64::from_le_bytes(buf))
+            }
+            /// A declared element count, sanity-bounded by the remaining
+            /// byte budget (each element is at least `min_bytes`), so a
+            /// corrupt length cannot trigger a huge allocation.
+            fn len(&mut self, min_bytes: usize, what: &'static str) -> Result<usize, PromiseDecodeError> {
+                let at = self.at;
+                let n = self.u64(what)?;
+                let budget = (self.bytes.len() - self.at) / min_bytes.max(1);
+                if n > budget as u64 {
+                    return Err(PromiseDecodeError { at, what });
+                }
+                Ok(n as usize)
+            }
+        }
+        let mut r = Reader { bytes, at: 0 };
+        let shard_count = r.len(8, "shard count")?;
+        let mut shards = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let vote_count = r.len(24, "vote count")?;
+            let mut votes = Vec::with_capacity(vote_count);
+            for _ in 0..vote_count {
+                let slot = r.u64("slot")?;
+                let bal = Ballot::new(r.u64("ballot")?);
+                let value_count = r.len(8, "value count")?;
+                let mut values = Vec::with_capacity(value_count);
+                for _ in 0..value_count {
+                    values.push(Value::new(r.u64("value")?));
+                }
+                votes.push(PromisedVote { slot, bal, values });
+            }
+            shards.push(votes);
+        }
+        if r.at != bytes.len() {
+            return Err(PromiseDecodeError {
+                at: r.at,
+                what: "trailing bytes",
+            });
+        }
+        Ok(GroupPromise { shards })
+    }
+}
+
+/// A group-session wire message. Phase 1 is group-level (`G1a`/`G1b`,
+/// one exchange for all shards); everything below it is shard-tagged
+/// (`Shard`), and the receiving group dispatches on the tag.
 #[derive(Debug, Clone, PartialEq)]
-pub struct GroupMsg {
-    /// The shard this message belongs to.
-    pub shard: ShardId,
-    /// The single-log payload.
-    pub msg: MultiMsg,
+pub enum GroupMsg {
+    /// Group-level phase 1a: one ballot opening phase 1 for **every**
+    /// shard of the sender's group at once.
+    G1a {
+        /// The group ballot being started (or re-announced on ε ticks).
+        mbal: Ballot,
+    },
+    /// Group-level phase 1b: one promise carrying every shard's votes.
+    G1b {
+        /// The joined group ballot.
+        mbal: Ballot,
+        /// Per-shard highest-accepted votes of the promising process.
+        promise: GroupPromise,
+    },
+    /// A shard-tagged single-log message (2a, 2b, forward, decided — the
+    /// per-slot machinery below the shared phase 1).
+    Shard {
+        /// The shard this message belongs to.
+        shard: ShardId,
+        /// The single-log payload.
+        msg: MultiMsg,
+    },
+}
+
+impl GroupMsg {
+    /// The group ballot carried by this message, if any (shard-tagged
+    /// `Forward`/`LogDecided` carry none).
+    pub fn ballot(&self) -> Option<Ballot> {
+        match self {
+            GroupMsg::G1a { mbal } | GroupMsg::G1b { mbal, .. } => Some(*mbal),
+            GroupMsg::Shard { msg, .. } => msg.ballot(),
+        }
+    }
+
+    /// A short static label for message-count metrics. Group phase-1
+    /// messages share the single-log labels ("1a"/"1b"): one `G1a` is the
+    /// session's one 1a however many shards it anchors — which is exactly
+    /// the amortization experiment W4 counts.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GroupMsg::G1a { .. } => "1a",
+            GroupMsg::G1b { .. } => "1b",
+            GroupMsg::Shard { msg, .. } => msg.kind(),
+        }
+    }
 }
 
 /// How client commands map onto shards, by KV key (see
@@ -114,7 +345,8 @@ impl ShardRouter {
 }
 
 /// Protocol factory for a sharded log group: `S` independent
-/// [`MultiPaxos`] instances per process, shard-routed by KV key.
+/// [`MultiPaxos`] logs per process, shard-routed by KV key, anchored
+/// together by one group-level session.
 #[derive(Debug, Clone)]
 pub struct LogGroup {
     inner: MultiPaxos,
@@ -190,29 +422,73 @@ impl Protocol for LogGroup {
         // Per-kind metrics aggregate across shards (the shard split is
         // the commit feed's job), so the labels match the single-log
         // layer's and artifacts stay comparable across S.
-        msg.msg.kind()
+        msg.kind()
     }
 
     fn shard_count(&self) -> usize {
         self.shards
     }
 
-    fn spawn(&self, id: ProcessId, cfg: &TimingConfig, initial: Value) -> LogGroupProcess {
+    fn spawn(&self, id: ProcessId, cfg: &TimingConfig, _initial: Value) -> LogGroupProcess {
         LogGroupProcess {
             id,
+            cfg: *cfg,
+            mbal: Ballot::initial(id),
             shards: (0..self.shards)
-                .map(|_| self.inner.spawn(id, cfg, initial))
+                .map(|_| self.inner.spawn_driven(id, cfg))
                 .collect(),
             router: self.router.clone(),
             scratch: Outbox::default(),
+            p1b: None,
+            anchored: None,
+            session_heard: QuorumTracker::new(cfg.n()),
+            timer_expired: false,
+            last_p1a2a: None,
         }
     }
 }
 
-/// One process's group of shard state machines.
+/// Leader-side aggregation of group promises: **one** quorum tracker for
+/// the whole group, one best-vote map per shard. The group analogue of
+/// the single log's per-election 1b quorum — short-lived, rebuilt per
+/// ballot attempt.
+#[derive(Debug, Clone)]
+struct Group1bQuorum {
+    bal: Ballot,
+    tracker: QuorumTracker,
+    /// Best (highest-ballot) reported vote per slot, per shard.
+    best: Vec<BTreeMap<u64, BatchVote>>,
+}
+
+impl Group1bQuorum {
+    fn new(bal: Ballot, n: usize, shards: usize) -> Self {
+        Group1bQuorum {
+            bal,
+            tracker: QuorumTracker::new(n),
+            best: vec![BTreeMap::new(); shards],
+        }
+    }
+
+    /// Returns `true` when the majority threshold is crossed by this call.
+    fn record(&mut self, from: ProcessId, promise: &GroupPromise) -> bool {
+        let before = self.tracker.reached();
+        if !self.tracker.insert(from) {
+            return false;
+        }
+        promise.fold_into(&mut self.best);
+        !before && self.tracker.reached()
+    }
+}
+
+/// One process's group of shard state machines plus the **shared
+/// session**: one ballot, one session timer, one ε tick, one phase-1
+/// exchange anchoring all shards at once.
 #[derive(Debug, Clone)]
 pub struct LogGroupProcess {
     id: ProcessId,
+    cfg: TimingConfig,
+    /// The group ballot — every shard's ballot, kept in sync.
+    mbal: Ballot,
     shards: Vec<MultiPaxosProcess>,
     router: ShardRouter,
     /// Reused inner outbox: shard handlers emit untagged actions into it,
@@ -220,6 +496,19 @@ pub struct LogGroupProcess {
     /// outbox — one buffer for the process's lifetime, no per-event
     /// allocation.
     scratch: Outbox<MultiMsg>,
+    /// The in-flight group-promise quorum for a ballot we started.
+    p1b: Option<Group1bQuorum>,
+    /// The group ballot we are anchored at (shared phase 1 complete for
+    /// all shards).
+    anchored: Option<Ballot>,
+    /// Processes heard from with a message of our current session
+    /// (Start Phase 1 condition (ii)), group-wide.
+    session_heard: QuorumTracker,
+    /// Whether the (single) session timer has expired in this session.
+    timer_expired: bool,
+    /// Instant of our last 1a or 2a send — any shard's 2a counts, so one
+    /// busy shard keeps the whole group's ε retransmission quiet.
+    last_p1a2a: Option<LocalInstant>,
 }
 
 impl LogGroupProcess {
@@ -242,18 +531,28 @@ impl LogGroupProcess {
         self.router.route(kv_key(value), self.shards.len())
     }
 
-    /// The driver-facing timer id of shard `shard`'s inner timer `t`.
-    /// The encoding is only injective while every inner timer id is below
-    /// [`TIMERS_PER_SHARD`] — a larger id would silently alias another
-    /// shard's timer space, so it is rejected here (the single encode
-    /// site) rather than corrupting a neighbor shard's state machine.
-    pub fn group_timer(shard: ShardId, t: TimerId) -> TimerId {
-        assert!(
-            t.get() < TIMERS_PER_SHARD,
-            "inner timer {t} does not fit the {TIMERS_PER_SHARD}-per-shard encoding \
-             (bump TIMERS_PER_SHARD alongside the inner protocol's timers)"
-        );
-        TimerId::new(shard.get() * TIMERS_PER_SHARD + t.get())
+    /// The group's current ballot (every shard runs at this ballot).
+    pub fn mbal(&self) -> Ballot {
+        self.mbal
+    }
+
+    /// The group's current session.
+    pub fn session(&self) -> Session {
+        self.mbal.session(self.cfg.n())
+    }
+
+    /// Whether this process is the anchored group leader: the shared
+    /// phase 1 completed at its ballot, so **all** shards propose with a
+    /// single 2a/2b round trip. The group-level analogue of
+    /// [`MultiPaxosProcess::is_anchored`].
+    pub fn is_anchored(&self) -> bool {
+        self.anchored == Some(self.mbal) && self.mbal.owner(self.cfg.n()) == self.id
+    }
+
+    /// This group's phase-1b payload: every shard's highest-accepted
+    /// votes, aggregated into one promise.
+    pub fn promise(&self) -> GroupPromise {
+        GroupPromise::of_shards(&self.shards)
     }
 
     /// The merged committed-prefix view: every entry of every shard's
@@ -284,10 +583,96 @@ impl LogGroupProcess {
             .collect()
     }
 
+    fn broadcast_g1a(&mut self, out: &mut Outbox<GroupMsg>) {
+        out.broadcast(GroupMsg::G1a { mbal: self.mbal });
+        self.last_p1a2a = Some(out.now());
+    }
+
+    fn enter_session(&mut self, announce: bool, out: &mut Outbox<GroupMsg>) {
+        self.session_heard.clear();
+        self.timer_expired = false;
+        out.set_timer(TIMER_SESSION, self.cfg.session_timer_local());
+        if announce {
+            self.broadcast_g1a(out);
+        }
+    }
+
+    /// Raises every shard's ballot to the group's — the fan-out half of a
+    /// group adopt/start: shards anchored at a lower ballot unanchor
+    /// (requeueing their unchosen proposals) in the same step, so
+    /// unanchoring is always a group event.
+    fn sync_shards(&mut self, b: Ballot) {
+        for s in &mut self.shards {
+            s.drive_ballot(b);
+        }
+    }
+
+    /// Adopts a higher group ballot seen in a `G1a` or shard-tagged 2a;
+    /// enters its session if that is higher than ours. Mirrors the single
+    /// log's adopt, with the unanchor fanned out to every shard.
+    fn adopt(&mut self, b: Ballot, out: &mut Outbox<GroupMsg>) {
+        debug_assert!(b > self.mbal);
+        let old_session = self.session();
+        self.mbal = b;
+        if self.p1b.as_ref().is_some_and(|q| q.bal < b) {
+            self.p1b = None;
+        }
+        if self.anchored.is_some_and(|ab| ab < b) {
+            self.anchored = None;
+        }
+        self.sync_shards(b);
+        if b.session(self.cfg.n()) > old_session {
+            self.enter_session(true, out);
+        }
+    }
+
+    /// The paper's **Start Phase 1**, once for the whole group.
+    fn start_phase1(&mut self, out: &mut Outbox<GroupMsg>) {
+        let next = self.mbal.next_session(self.id, self.cfg.n());
+        self.mbal = next;
+        self.p1b = Some(Group1bQuorum::new(next, self.cfg.n(), self.shards.len()));
+        self.anchored = None;
+        self.sync_shards(next);
+        self.enter_session(false, out);
+        self.broadcast_g1a(out);
+    }
+
+    fn try_start_phase1(&mut self, out: &mut Outbox<GroupMsg>) {
+        if !self.timer_expired {
+            return;
+        }
+        // An anchored group leader has nothing to gain from a fresh
+        // session: its shared phase 1 already covers every slot of every
+        // shard.
+        if self.is_anchored() {
+            return;
+        }
+        if self.session() == Session::ZERO || self.session_heard.reached() {
+            self.start_phase1(out);
+        }
+    }
+
+    /// Becomes the anchored group leader: fold the promise quorum's
+    /// per-shard best votes into each shard's anchor — re-completions and
+    /// pending flush per shard, in shard order.
+    fn anchor(&mut self, out: &mut Outbox<GroupMsg>) {
+        let q = self.p1b.take().expect("anchor follows a promise quorum");
+        debug_assert_eq!(q.bal, self.mbal);
+        self.anchored = Some(q.bal);
+        let bal = q.bal;
+        for (s, best) in q.best.iter().enumerate() {
+            self.dispatch(ShardId::new(s as u32), out, |p, o| {
+                p.drive_anchor(bal, best, o);
+            });
+        }
+    }
+
     /// Runs one shard handler and re-tags its actions for the driver:
-    /// messages gain the shard tag, timers the shard offset, and decides
-    /// the shard id. Action order is preserved exactly — with `S = 1`
-    /// the emitted stream is the inner stream, message for message.
+    /// messages gain the shard tag and decides the shard id. Action order
+    /// is preserved exactly — with `S = 1` the emitted stream is the
+    /// inner stream, message for message. A shard's 2a broadcast also
+    /// stamps the group's idle clock, exactly as the single log's
+    /// `propose` does.
     fn dispatch(
         &mut self,
         shard: ShardId,
@@ -299,13 +684,17 @@ impl LogGroupProcess {
         f(&mut self.shards[shard.as_usize()], &mut inner);
         for action in inner.drain_iter() {
             match action {
-                Action::Send { to, msg } => out.send(to, GroupMsg { shard, msg }),
-                Action::Broadcast { msg } => out.broadcast(GroupMsg { shard, msg }),
-                Action::SetTimer { id, after } => {
-                    out.set_timer(Self::group_timer(shard, id), after);
+                Action::Send { to, msg } => out.send(to, GroupMsg::Shard { shard, msg }),
+                Action::Broadcast { msg } => {
+                    if matches!(msg, MultiMsg::M2a { .. }) {
+                        // Leader traffic for the whole group: one busy
+                        // shard suppresses the group's ε 1a.
+                        self.last_p1a2a = Some(out.now());
+                    }
+                    out.broadcast(GroupMsg::Shard { shard, msg });
                 }
-                Action::CancelTimer { id } => {
-                    out.cancel_timer(Self::group_timer(shard, id));
+                Action::SetTimer { .. } | Action::CancelTimer { .. } => {
+                    debug_assert!(false, "driven shards own no timers");
                 }
                 // The inner layer decides in shard zero; the group knows
                 // which shard actually ran.
@@ -329,36 +718,130 @@ impl Process for LogGroupProcess {
     }
 
     fn on_start(&mut self, out: &mut Outbox<GroupMsg>) {
-        for shard in self.all_shards().collect::<Vec<_>>() {
-            self.dispatch(shard, out, |p, o| p.on_start(o));
-        }
+        out.set_timer(TIMER_SESSION, self.cfg.session_timer_local());
+        out.set_timer(TIMER_EPSILON, self.cfg.epsilon_timer_local());
+        self.broadcast_g1a(out);
     }
 
     fn on_message(&mut self, from: ProcessId, msg: &GroupMsg, out: &mut Outbox<GroupMsg>) {
-        let shard = msg.shard;
-        if shard.as_usize() >= self.shards.len() {
-            // A tag this group does not know (mixed-S deployments are
-            // outside the model): drop rather than corrupt a live shard.
-            debug_assert!(false, "message for unknown shard {shard}");
-            return;
+        match msg {
+            GroupMsg::G1a { mbal } => {
+                let mbal = *mbal;
+                if mbal > self.mbal {
+                    self.adopt(mbal, out);
+                }
+                if mbal == self.mbal {
+                    // One promise answers for every shard (and re-answers
+                    // on duplicates: the original may have been lost
+                    // before TS).
+                    let promise = self.promise();
+                    out.send(mbal.owner(self.cfg.n()), GroupMsg::G1b { mbal, promise });
+                }
+            }
+            GroupMsg::G1b { mbal, promise } => {
+                if *mbal == self.mbal {
+                    if let Some(q) = self.p1b.as_mut() {
+                        if q.bal == *mbal && q.record(from, promise) {
+                            self.anchor(out);
+                        }
+                    }
+                }
+            }
+            GroupMsg::Shard { shard, msg } => {
+                let shard = *shard;
+                if shard.as_usize() >= self.shards.len() {
+                    // A tag this group does not know (mixed-S deployments
+                    // are outside the model): drop rather than corrupt a
+                    // live shard.
+                    debug_assert!(false, "message for unknown shard {shard}");
+                    return;
+                }
+                if matches!(msg, MultiMsg::M1a { .. } | MultiMsg::M1b { .. }) {
+                    // Phase 1 is group-level; per-shard 1a/1b are not part
+                    // of this protocol.
+                    debug_assert!(false, "per-shard phase-1 message under a group session");
+                    return;
+                }
+                // A higher-ballot 2a is a leadership claim over the whole
+                // group (ballots are group-level): adopt *before* the
+                // shard votes — the same place the single log adopts
+                // inside its 2a arm — so the shard always sees its own
+                // (synced) ballot.
+                if let MultiMsg::M2a { mbal, .. } = msg {
+                    if *mbal > self.mbal {
+                        self.adopt(*mbal, out);
+                    }
+                }
+                self.dispatch(shard, out, |p, o| p.on_message(from, msg, o));
+            }
         }
-        self.dispatch(shard, out, |p, o| p.on_message(from, &msg.msg, o));
+        // Group-level session bookkeeping, mirroring the single log
+        // (suppression: traffic from the group ballot's owner proves the
+        // leader is alive and defers our takeover).
+        if let Some(b) = msg.ballot() {
+            if b == self.mbal && from == b.owner(self.cfg.n()) && from != self.id {
+                self.timer_expired = false;
+                out.set_timer(TIMER_SESSION, self.cfg.session_timer_local());
+            }
+            if b.session(self.cfg.n()) == self.session() {
+                self.session_heard.insert(from);
+            }
+        }
+        self.try_start_phase1(out);
     }
 
     fn on_timer(&mut self, timer: TimerId, out: &mut Outbox<GroupMsg>) {
-        let shard = ShardId::new(timer.get() / TIMERS_PER_SHARD);
-        let inner = TimerId::new(timer.get() % TIMERS_PER_SHARD);
-        if shard.as_usize() >= self.shards.len() {
-            debug_assert!(false, "timer for unknown shard {shard}");
-            return;
+        match timer {
+            TIMER_SESSION => {
+                self.timer_expired = true;
+                self.try_start_phase1(out);
+            }
+            TIMER_EPSILON => {
+                out.set_timer(TIMER_EPSILON, self.cfg.epsilon_timer_local());
+                let idle = match self.last_p1a2a {
+                    None => true,
+                    Some(t) => out.now().saturating_since(t) >= self.cfg.epsilon_timer_local(),
+                };
+                if idle {
+                    if self.is_anchored() {
+                        // Re-propose in-flight slots (recovery) across all
+                        // shards, or — when every shard's pipeline is
+                        // empty — re-announce the group ballot with ONE
+                        // 1a, independent of S. This is the idle-period
+                        // amortization: a per-shard-session design sends
+                        // S of these every ε.
+                        if self.shards.iter().any(|s| s.has_live_proposals()) {
+                            for shard in self.all_shards().collect::<Vec<_>>() {
+                                self.dispatch(shard, out, |p, o| p.drive_repropose(o));
+                            }
+                        } else {
+                            self.broadcast_g1a(out);
+                        }
+                    } else {
+                        self.broadcast_g1a(out);
+                        // Re-forward every shard's held commands toward
+                        // the presumed group leader (commits prune them,
+                        // terminating the retry).
+                        let owner = self.mbal.owner(self.cfg.n());
+                        if owner != self.id {
+                            for shard in self.all_shards().collect::<Vec<_>>() {
+                                self.dispatch(shard, out, |p, o| p.drive_reforward(owner, o));
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
         }
-        self.dispatch(shard, out, |p, o| p.on_timer(inner, o));
     }
 
     fn on_restart(&mut self, out: &mut Outbox<GroupMsg>) {
-        for shard in self.all_shards().collect::<Vec<_>>() {
-            self.dispatch(shard, out, |p, o| p.on_restart(o));
-        }
+        // Shard state survived (stable storage); the group's timers did
+        // not. One re-arm + one announcement for the whole group.
+        self.timer_expired = false;
+        out.set_timer(TIMER_SESSION, self.cfg.session_timer_local());
+        out.set_timer(TIMER_EPSILON, self.cfg.epsilon_timer_local());
+        self.broadcast_g1a(out);
     }
 
     fn on_client(&mut self, value: Value, out: &mut Outbox<GroupMsg>) {
@@ -372,10 +855,11 @@ impl Process for LogGroupProcess {
         self.shards[0].decision()
     }
 
-    /// Leading any shard counts: crash-the-leader scenarios target the
-    /// process that holds anchored pipelines.
+    /// Group-level leadership: the shared phase 1 completed at our
+    /// ballot. Exactly one process can anchor a group — crash-the-leader
+    /// scenarios kill ONE anchor and all `S` shards re-elect together.
     fn is_leader(&self) -> bool {
-        self.shards.iter().any(|p| p.is_leader())
+        self.is_anchored()
     }
 }
 
@@ -420,7 +904,7 @@ impl ShardedLogView for LogGroupProcess {
 mod tests {
     use super::*;
     use crate::ballot::Ballot;
-    use crate::paxos::multi::{batch_of, SlotVote};
+    use crate::paxos::multi::batch_of;
     use crate::time::LocalInstant;
     use crate::types::kv_command;
 
@@ -436,28 +920,24 @@ mod tests {
         LogGroup::new(shards).spawn(ProcessId::new(id), &cfg(n), Value::new(0))
     }
 
-    /// Anchors shard `s` of `p` (id 1 of 3) on ballot 4 by feeding the
-    /// shard-tagged 1b quorum.
-    fn anchor_shard(p: &mut LogGroupProcess, s: u32, o: &mut Outbox<GroupMsg>) {
-        p.on_timer(
-            TimerId::new(s * TIMERS_PER_SHARD), // shard s's session timer
-            o,
-        );
+    /// Anchors the whole group of `p` (id 1 of 3) on ballot 4 by feeding
+    /// the session timer and a quorum of (empty) group promises.
+    fn anchor_group(p: &mut LogGroupProcess, o: &mut Outbox<GroupMsg>) -> Ballot {
+        p.on_timer(TIMER_SESSION, o);
         o.drain();
+        let b = Ballot::new(4);
         for from in [0u32, 2] {
             p.on_message(
                 ProcessId::new(from),
-                &GroupMsg {
-                    shard: ShardId::new(s),
-                    msg: MultiMsg::M1b {
-                        mbal: Ballot::new(4),
-                        votes: vec![],
-                    },
+                &GroupMsg::G1b {
+                    mbal: b,
+                    promise: GroupPromise::default(),
                 },
                 o,
             );
         }
         o.drain();
+        b
     }
 
     #[test]
@@ -498,45 +978,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "per-shard encoding")]
-    fn oversized_inner_timer_id_rejected_at_encode() {
-        // An inner timer id at or above TIMERS_PER_SHARD would alias a
-        // neighbor shard's timer space; the encode site must reject it
-        // loudly instead of silently driving the wrong shard.
-        let _ = LogGroupProcess::group_timer(ShardId::ZERO, TimerId::new(TIMERS_PER_SHARD));
-    }
-
-    #[test]
-    fn start_arms_every_shards_timers() {
+    fn start_arms_one_timer_pair_regardless_of_shards() {
+        // THE tentpole property at the action level: S shards share one
+        // session timer and one ε tick — booting an S=3 group emits
+        // exactly the two timers a plain log would, not 2·S.
         let mut p = spawn(3, 3, 1);
         let mut o = out();
         p.on_start(&mut o);
-        let timers: Vec<u32> = o
-            .drain()
+        let acts = o.drain();
+        let timers: Vec<u32> = acts
             .iter()
             .filter_map(|a| match a {
                 Action::SetTimer { id, .. } => Some(id.get()),
                 _ => None,
             })
             .collect();
-        // Shard s arms session (2s) and ε (2s+1).
-        assert_eq!(timers, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(timers, vec![TIMER_SESSION.get(), TIMER_EPSILON.get()]);
+        // And ONE group 1a, not one per shard.
+        let one_as = acts
+            .iter()
+            .filter(|a| matches!(a, Action::Broadcast { msg: GroupMsg::G1a { .. } }))
+            .count();
+        assert_eq!(one_as, 1, "one ballot announcement for all shards");
     }
 
     #[test]
-    fn with_one_shard_timer_and_message_tags_are_identity() {
-        let mut p = spawn(1, 3, 1);
+    fn one_promise_quorum_anchors_every_shard() {
+        let mut p = spawn(4, 3, 1);
         let mut o = out();
         p.on_start(&mut o);
-        let acts = o.drain();
-        assert!(acts.iter().any(|a| matches!(
-            a,
-            Action::SetTimer { id, .. } if id.get() == 0
-        )));
-        assert!(acts.iter().any(|a| matches!(
-            a,
-            Action::Broadcast { msg: GroupMsg { shard: ShardId::ZERO, msg: MultiMsg::M1a { .. } } }
-        )));
+        o.drain();
+        anchor_group(&mut p, &mut o);
+        assert!(p.is_anchored(), "group anchored");
+        assert!(p.is_leader());
+        for s in 0..4u32 {
+            assert!(
+                p.shard(ShardId::new(s)).is_anchored(),
+                "shard {s} anchored by the shared phase 1"
+            );
+        }
     }
 
     #[test]
@@ -545,9 +1025,7 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        anchor_shard(&mut p, 0, &mut o);
-        anchor_shard(&mut p, 1, &mut o);
-        assert!(p.is_leader());
+        let b = anchor_group(&mut p, &mut o);
         // key 3 → shard 1 under modulo-2.
         let v = kv_command(3, 7);
         assert_eq!(p.shard_of(v), ShardId::new(1));
@@ -555,17 +1033,17 @@ mod tests {
         let acts = o.drain();
         assert!(acts.iter().any(|a| matches!(
             a,
-            Action::Broadcast { msg: GroupMsg { shard, msg: MultiMsg::M2a { slot: 0, .. } } }
+            Action::Broadcast { msg: GroupMsg::Shard { shard, msg: MultiMsg::M2a { slot: 0, .. } } }
                 if *shard == ShardId::new(1)
         )));
         // Commit shard 1's slot 0: the decide carries shard 1.
         for from in [0u32, 2] {
             p.on_message(
                 ProcessId::new(from),
-                &GroupMsg {
+                &GroupMsg::Shard {
                     shard: ShardId::new(1),
                     msg: MultiMsg::M2b {
-                        mbal: Ballot::new(4),
+                        mbal: b,
                         slot: 0,
                         batch: batch_of([v]),
                     },
@@ -582,38 +1060,265 @@ mod tests {
     }
 
     #[test]
-    fn shards_are_independent_instances() {
+    fn higher_ballot_unanchors_the_whole_group() {
+        // Unanchoring is a group event: one higher-ballot claim drops
+        // every shard's anchor at once.
+        let mut p = spawn(3, 3, 1);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        anchor_group(&mut p, &mut o);
+        assert!(p.is_anchored());
+        p.on_message(
+            ProcessId::new(2),
+            &GroupMsg::G1a { mbal: Ballot::new(8) }, // session 2, owner p2
+            &mut o,
+        );
+        o.drain();
+        assert!(!p.is_anchored());
+        assert_eq!(p.mbal(), Ballot::new(8));
+        for s in 0..3u32 {
+            assert!(!p.shard(ShardId::new(s)).is_anchored(), "shard {s} unanchored");
+            assert_eq!(p.shard(ShardId::new(s)).mbal(), Ballot::new(8), "ballots sync");
+        }
+    }
+
+    #[test]
+    fn unanchoring_requeues_unchosen_proposals_of_every_shard() {
         let mut p = spawn(2, 3, 1);
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        anchor_shard(&mut p, 0, &mut o);
-        assert!(p.shard(ShardId::ZERO).is_anchored());
-        assert!(!p.shard(ShardId::new(1)).is_anchored(), "per-shard anchoring");
-        // A higher ballot on shard 1 does not unanchor shard 0.
-        p.on_message(
-            ProcessId::new(2),
-            &GroupMsg {
-                shard: ShardId::new(1),
-                msg: MultiMsg::M1a { mbal: Ballot::new(8) },
-            },
-            &mut o,
-        );
-        assert!(p.shard(ShardId::ZERO).is_anchored());
-        assert_eq!(p.shard(ShardId::new(1)).mbal(), Ballot::new(8));
+        anchor_group(&mut p, &mut o);
+        // One in-flight command per shard (keys 0 and 1 under modulo-2).
+        p.on_client(kv_command(0, 10), &mut o);
+        p.on_client(kv_command(1, 11), &mut o);
+        o.drain();
+        p.on_message(ProcessId::new(2), &GroupMsg::G1a { mbal: Ballot::new(8) }, &mut o);
+        o.drain();
+        assert_eq!(p.shard(ShardId::ZERO).pending_len(), 1, "shard 0 requeued");
+        assert_eq!(p.shard(ShardId::new(1)).pending_len(), 1, "shard 1 requeued");
     }
 
     #[test]
-    fn shard_timers_fire_the_right_shard() {
-        let mut p = spawn(2, 5, 1);
+    fn shard_2a_with_higher_ballot_adopts_at_group_level() {
+        let mut p = spawn(2, 3, 1);
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        // Shard 1's session timer (id 2) expires; shard 0 is untouched.
-        let s0 = p.shard(ShardId::ZERO).session();
-        p.on_timer(TimerId::new(TIMERS_PER_SHARD), &mut o);
-        assert_eq!(p.shard(ShardId::ZERO).session(), s0);
-        assert_ne!(p.shard(ShardId::new(1)).session(), s0);
+        anchor_group(&mut p, &mut o);
+        // A competing leader's 2a on shard 0 carries ballot 8: the WHOLE
+        // group adopts (and shard 0 votes under the new ballot).
+        p.on_message(
+            ProcessId::new(2),
+            &GroupMsg::Shard {
+                shard: ShardId::ZERO,
+                msg: MultiMsg::M2a {
+                    mbal: Ballot::new(8),
+                    slot: 0,
+                    batch: batch_of([Value::new(9)]),
+                },
+            },
+            &mut o,
+        );
+        let acts = o.drain();
+        assert_eq!(p.mbal(), Ballot::new(8));
+        assert!(!p.is_anchored());
+        assert_eq!(p.shard(ShardId::new(1)).mbal(), Ballot::new(8), "both shards adopt");
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: GroupMsg::Shard { shard: ShardId::ZERO, msg: MultiMsg::M2b { slot: 0, .. } } }
+        )), "shard 0 voted under the adopted ballot");
+    }
+
+    #[test]
+    fn promise_carries_every_shards_votes() {
+        let mut p = spawn(2, 3, 0);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        // Shard 1 accepts a 2a in slot 3.
+        p.on_message(
+            ProcessId::new(1),
+            &GroupMsg::Shard {
+                shard: ShardId::new(1),
+                msg: MultiMsg::M2a {
+                    mbal: Ballot::new(4),
+                    slot: 3,
+                    batch: batch_of([Value::new(7)]),
+                },
+            },
+            &mut o,
+        );
+        o.drain();
+        let promise = p.promise();
+        assert_eq!(promise.shards.len(), 2);
+        assert!(promise.shards[0].is_empty(), "shard 0 never voted");
+        assert_eq!(
+            promise.shards[1],
+            vec![PromisedVote {
+                slot: 3,
+                bal: Ballot::new(4),
+                values: vec![Value::new(7)],
+            }]
+        );
+    }
+
+    #[test]
+    fn g1a_is_answered_with_one_promise_for_all_shards() {
+        let mut p = spawn(4, 3, 0);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        p.on_message(ProcessId::new(1), &GroupMsg::G1a { mbal: Ballot::new(4) }, &mut o);
+        let acts = o.drain();
+        let promises: Vec<_> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg: GroupMsg::G1b { mbal, promise } } => {
+                    Some((*to, *mbal, promise.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(promises.len(), 1, "ONE 1b for four shards");
+        let (to, mbal, promise) = &promises[0];
+        assert_eq!(*to, ProcessId::new(1), "1b goes to the ballot owner");
+        assert_eq!(*mbal, Ballot::new(4));
+        assert_eq!(promise.shards.len(), 4);
+    }
+
+    #[test]
+    fn anchoring_recompletes_reported_slots_per_shard() {
+        let mut p = spawn(2, 3, 1);
+        let mut o = out();
+        p.on_start(&mut o);
+        p.on_timer(TIMER_SESSION, &mut o);
+        o.drain();
+        // p0's promise reports an old vote in shard 1, slot 7.
+        let reported = GroupPromise {
+            shards: vec![
+                vec![],
+                vec![PromisedVote {
+                    slot: 7,
+                    bal: Ballot::new(1),
+                    values: vec![Value::new(70)],
+                }],
+            ],
+        };
+        p.on_message(
+            ProcessId::new(0),
+            &GroupMsg::G1b { mbal: Ballot::new(4), promise: reported },
+            &mut o,
+        );
+        p.on_message(
+            ProcessId::new(2),
+            &GroupMsg::G1b { mbal: Ballot::new(4), promise: GroupPromise::default() },
+            &mut o,
+        );
+        let acts = o.drain();
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: GroupMsg::Shard { shard, msg: MultiMsg::M2a { slot: 7, .. } } }
+                if *shard == ShardId::new(1)
+        )), "shard 1 re-completes the reported slot");
+        assert!(p.is_anchored());
+        // Fresh proposals on shard 1 land past the re-completed slot.
+        let v = kv_command(1, 9); // key 1 → shard 1
+        p.on_client(v, &mut o);
+        assert!(o.drain().iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: GroupMsg::Shard { shard, msg: MultiMsg::M2a { slot: 8, .. } } }
+                if *shard == ShardId::new(1)
+        )));
+    }
+
+    #[test]
+    fn promise_fold_keeps_highest_ballot_vote_per_slot() {
+        let mut best = vec![BTreeMap::new()];
+        GroupPromise {
+            shards: vec![vec![PromisedVote {
+                slot: 0,
+                bal: Ballot::new(2),
+                values: vec![Value::new(20)],
+            }]],
+        }
+        .fold_into(&mut best);
+        GroupPromise {
+            shards: vec![vec![
+                PromisedVote { slot: 0, bal: Ballot::new(5), values: vec![Value::new(50)] },
+                PromisedVote { slot: 1, bal: Ballot::new(1), values: vec![Value::new(11)] },
+            ]],
+        }
+        .fold_into(&mut best);
+        GroupPromise {
+            shards: vec![vec![PromisedVote {
+                slot: 0,
+                bal: Ballot::new(3),
+                values: vec![Value::new(30)],
+            }]],
+        }
+        .fold_into(&mut best);
+        assert_eq!(best[0][&0].bal, Ballot::new(5), "highest ballot wins slot 0");
+        assert_eq!(&*best[0][&0].batch, &[Value::new(50)]);
+        assert_eq!(&*best[0][&1].batch, &[Value::new(11)]);
+    }
+
+    #[test]
+    fn promise_codec_roundtrips() {
+        let p = GroupPromise {
+            shards: vec![
+                vec![],
+                vec![
+                    PromisedVote { slot: 3, bal: Ballot::new(4), values: vec![Value::new(7), Value::new(8)] },
+                    PromisedVote { slot: 9, bal: Ballot::new(1), values: vec![] },
+                ],
+            ],
+        };
+        let bytes = p.encode();
+        assert_eq!(GroupPromise::decode(&bytes).unwrap(), p);
+        assert_eq!(GroupPromise::decode(&GroupPromise::default().encode()).unwrap(), GroupPromise::default());
+    }
+
+    #[test]
+    fn promise_codec_rejects_corrupt_input() {
+        let p = GroupPromise {
+            shards: vec![vec![PromisedVote { slot: 1, bal: Ballot::new(2), values: vec![Value::new(3)] }]],
+        };
+        let bytes = p.encode();
+        assert!(GroupPromise::decode(&bytes[..bytes.len() - 1]).is_err(), "truncated");
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(GroupPromise::decode(&trailing).is_err(), "trailing bytes");
+        // A declared length far beyond the byte budget must not allocate.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(GroupPromise::decode(&huge).is_err(), "absurd shard count");
+        assert!(GroupPromise::decode(&bytes[..3]).is_err(), "short header");
+    }
+
+    #[test]
+    fn suppression_group_leader_traffic_defers_takeover() {
+        // Follower p2 adopts leader p1's ballot 4; leader traffic on ANY
+        // layer (here a shard 2a) resets the single group session timer.
+        let mut p = spawn(2, 3, 2);
+        let mut o = out();
+        p.on_start(&mut o);
+        p.on_message(ProcessId::new(1), &GroupMsg::G1a { mbal: Ballot::new(4) }, &mut o);
+        o.drain();
+        p.on_message(
+            ProcessId::new(1),
+            &GroupMsg::Shard {
+                shard: ShardId::new(1),
+                msg: MultiMsg::M2a { mbal: Ballot::new(4), slot: 0, batch: batch_of([Value::new(9)]) },
+            },
+            &mut o,
+        );
+        let acts = o.drain();
+        assert!(
+            acts.iter().any(|a| matches!(a, Action::SetTimer { id, .. } if *id == TIMER_SESSION)),
+            "leader liveness re-arms the group session timer"
+        );
     }
 
     #[test]
@@ -625,7 +1330,7 @@ mod tests {
         let learn = |p: &mut LogGroupProcess, s: u32, slot: u64, id: u64, o: &mut Outbox<GroupMsg>| {
             p.on_message(
                 ProcessId::new(2),
-                &GroupMsg {
+                &GroupMsg::Shard {
                     shard: ShardId::new(s),
                     msg: MultiMsg::LogDecided {
                         slot,
@@ -667,44 +1372,84 @@ mod tests {
     }
 
     #[test]
-    fn anchoring_recompletes_only_the_reported_shard() {
+    fn idle_epsilon_tick_sends_one_1a_for_all_shards() {
+        // The W4 claim at the unit level: an anchored, idle S=4 group's ε
+        // tick emits exactly ONE 1a broadcast (plus its re-arm), not four.
+        let mut p = spawn(4, 3, 1);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        anchor_group(&mut p, &mut o);
+        let later = LocalInstant::ZERO + cfg(3).epsilon_timer_local() * 4;
+        let mut o2 = Outbox::new(later);
+        p.on_timer(TIMER_EPSILON, &mut o2);
+        let acts = o2.drain();
+        let one_as = acts
+            .iter()
+            .filter(|a| matches!(a, Action::Broadcast { msg: GroupMsg::G1a { .. } }))
+            .count();
+        assert_eq!(one_as, 1, "S-independent idle traffic");
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::SetTimer { id, .. } if *id == TIMER_EPSILON)));
+    }
+
+    #[test]
+    fn idle_epsilon_tick_reproposes_inflight_slots_instead() {
         let mut p = spawn(2, 3, 1);
         let mut o = out();
         p.on_start(&mut o);
-        p.on_timer(TimerId::new(0), &mut o); // shard 0 session timer
         o.drain();
-        // Shard 0's 1b reports an old vote in slot 7.
-        p.on_message(
-            ProcessId::new(0),
-            &GroupMsg {
-                shard: ShardId::ZERO,
-                msg: MultiMsg::M1b {
-                    mbal: Ballot::new(4),
-                    votes: vec![SlotVote {
-                        slot: 7,
-                        vote: crate::paxos::multi::BatchVote {
-                            bal: Ballot::new(1),
-                            batch: batch_of([Value::new(70)]),
-                        },
-                    }],
-                },
-            },
-            &mut o,
-        );
-        p.on_message(
-            ProcessId::new(2),
-            &GroupMsg {
-                shard: ShardId::ZERO,
-                msg: MultiMsg::M1b { mbal: Ballot::new(4), votes: vec![] },
-            },
-            &mut o,
-        );
-        let acts = o.drain();
+        anchor_group(&mut p, &mut o);
+        p.on_client(kv_command(0, 5), &mut o); // shard 0, in flight
+        o.drain();
+        let later = LocalInstant::ZERO + cfg(3).epsilon_timer_local() * 4;
+        let mut o2 = Outbox::new(later);
+        p.on_timer(TIMER_EPSILON, &mut o2);
+        let acts = o2.drain();
         assert!(acts.iter().any(|a| matches!(
             a,
-            Action::Broadcast { msg: GroupMsg { shard: ShardId::ZERO, msg: MultiMsg::M2a { slot: 7, .. } } }
-        )));
-        assert!(p.shard(ShardId::ZERO).is_anchored());
-        assert!(!p.shard(ShardId::new(1)).is_anchored());
+            Action::Broadcast { msg: GroupMsg::Shard { shard: ShardId::ZERO, msg: MultiMsg::M2a { slot: 0, .. } } }
+        )), "in-flight slot re-proposed");
+        assert!(
+            !acts.iter().any(|a| matches!(a, Action::Broadcast { msg: GroupMsg::G1a { .. } })),
+            "recovery 2a replaces the 1a re-announcement"
+        );
+    }
+
+    #[test]
+    fn unanchored_epsilon_tick_reforwards_every_shards_pending() {
+        // Follower p2 holds one command per shard; an idle ε tick retries
+        // both toward the presumed group leader p1 after ONE group 1a.
+        let mut p = spawn(2, 3, 2);
+        let mut o = out();
+        p.on_start(&mut o);
+        p.on_message(ProcessId::new(1), &GroupMsg::G1a { mbal: Ballot::new(4) }, &mut o);
+        p.on_client(kv_command(0, 6), &mut o);
+        p.on_client(kv_command(1, 7), &mut o);
+        o.drain();
+        let later = LocalInstant::ZERO + cfg(3).epsilon_timer_local() * 4;
+        let mut o2 = Outbox::new(later);
+        p.on_timer(TIMER_EPSILON, &mut o2);
+        let acts = o2.drain();
+        for (shard, id) in [(0u32, 6u64), (1, 7)] {
+            assert!(acts.iter().any(|a| matches!(
+                a,
+                Action::Send { to, msg: GroupMsg::Shard { shard: s, msg: MultiMsg::Forward { value } } }
+                    if *to == ProcessId::new(1) && s.get() == shard && crate::types::kv_id(*value) == id
+            )), "shard {shard} command {id} re-forwarded");
+        }
+    }
+
+    #[test]
+    fn session_gating_applies_to_the_group() {
+        let mut p = spawn(2, 5, 1);
+        let mut o = out();
+        p.on_start(&mut o);
+        p.on_timer(TIMER_SESSION, &mut o); // session 0 -> 1 (exempt)
+        o.drain();
+        assert_eq!(p.session(), Session::new(1));
+        p.on_timer(TIMER_SESSION, &mut o);
+        assert_eq!(p.session(), Session::new(1), "gated without majority");
     }
 }

@@ -152,6 +152,28 @@ impl MultiMsg {
     }
 }
 
+/// The leader's phase-1b **value-selection rule**, per slot: a reported
+/// vote replaces the current best iff its ballot is strictly higher.
+/// One implementation shared by the single log's 1b quorum and the
+/// group promise fold ([`crate::paxos::group::GroupPromise::fold_into`])
+/// so the two layers can never select different values for the same
+/// reported votes. `batch` is built lazily, so callers converting from
+/// wire form allocate only when the vote actually wins.
+pub(crate) fn fold_best_vote(
+    best: &mut std::collections::BTreeMap<u64, BatchVote>,
+    slot: u64,
+    bal: Ballot,
+    batch: impl FnOnce() -> Batch,
+) {
+    let better = match best.get(&slot) {
+        None => true,
+        Some(b) => bal > b.bal,
+    };
+    if better {
+        best.insert(slot, BatchVote { bal, batch: batch() });
+    }
+}
+
 /// Leader-side phase-1b aggregation across all slots.
 ///
 /// `best` stays a `BTreeMap`: this is a short-lived per-election
@@ -182,13 +204,7 @@ impl Multi1bQuorum {
             return false;
         }
         for sv in votes {
-            let better = match self.best.get(&sv.slot) {
-                None => true,
-                Some(b) => sv.vote.bal > b.bal,
-            };
-            if better {
-                self.best.insert(sv.slot, sv.vote.clone());
-            }
+            fold_best_vote(&mut self.best, sv.slot, sv.vote.bal, || sv.vote.batch.clone());
         }
         !before && self.tracker.reached()
     }
@@ -290,6 +306,23 @@ impl MultiPaxos {
     }
 }
 
+impl MultiPaxos {
+    /// Spawns a process whose session machinery is **externally driven**:
+    /// a [log-group](crate::paxos::group) shard. A driven process arms no
+    /// timers, never broadcasts a 1a, never starts phase 1 on its own, and
+    /// becomes anchored only through [`MultiPaxosProcess::drive_anchor`] —
+    /// the group runs one shared phase 1 (one ballot, one session timer)
+    /// on behalf of all its shards and drives each shard's anchor from the
+    /// folded group promise. Everything below phase 1 — the slot pipeline,
+    /// batching, admission dedup, 2a/2b voting, commit bookkeeping — is
+    /// the ordinary in-band machinery, unchanged.
+    pub fn spawn_driven(&self, id: ProcessId, cfg: &TimingConfig) -> MultiPaxosProcess {
+        let mut p = self.spawn(id, cfg, Value::new(0));
+        p.driven = true;
+        p
+    }
+}
+
 impl Protocol for MultiPaxos {
     type Msg = MultiMsg;
     type Process = MultiPaxosProcess;
@@ -322,6 +355,7 @@ impl Protocol for MultiPaxos {
             session_heard: QuorumTracker::new(cfg.n()),
             timer_expired: false,
             last_p1a2a: None,
+            driven: false,
         }
     }
 }
@@ -377,6 +411,11 @@ pub struct MultiPaxosProcess {
     session_heard: QuorumTracker,
     timer_expired: bool,
     last_p1a2a: Option<LocalInstant>,
+    /// Whether phase 1 is externally driven (a log-group shard, spawned
+    /// via [`MultiPaxos::spawn_driven`]): the group owns the ballot, the
+    /// session timer, the ε tick and every 1a/1b exchange; this process
+    /// only votes, proposes under a driven anchor, and keeps its log.
+    driven: bool,
 }
 
 impl MultiPaxosProcess {
@@ -475,7 +514,9 @@ impl MultiPaxosProcess {
         if self.anchored.is_some_and(|ab| ab < b) {
             self.unanchor();
         }
-        if b.session(self.cfg.n()) > old_session {
+        // A driven shard adopts silently: session entry (timer reset, 1a
+        // announcement) is the group's job, done once for all shards.
+        if !self.driven && b.session(self.cfg.n()) > old_session {
             self.enter_session(true, out);
         }
     }
@@ -490,7 +531,7 @@ impl MultiPaxosProcess {
     }
 
     fn try_start_phase1(&mut self, out: &mut Outbox<MultiMsg>) {
-        if !self.timer_expired {
+        if self.driven || !self.timer_expired {
             return;
         }
         // An anchored leader has nothing to gain from a fresh session: its
@@ -521,19 +562,30 @@ impl MultiPaxosProcess {
         let q = self.p1b.take().expect("anchor follows a 1b quorum");
         debug_assert_eq!(q.bal, self.mbal);
         self.anchored = Some(q.bal);
+        self.complete_phase1(&q.best, out);
+    }
+
+    /// The anchoring tail shared by the in-band [`Self::anchor`] and the
+    /// externally driven [`Self::drive_anchor`]: given the highest
+    /// reported vote per slot (folded across a 1b quorum), re-complete
+    /// every reported slot under the current ballot and flush pending
+    /// commands into fresh slots.
+    fn complete_phase1(
+        &mut self,
+        best: &std::collections::BTreeMap<u64, BatchVote>,
+        out: &mut Outbox<MultiMsg>,
+    ) {
         // Fresh slots start past both the reported votes and our own
         // log's high-water mark (entries can be learned via `LogDecided`
         // without any 1b report covering them).
-        self.next_slot = q
-            .best
+        self.next_slot = best
             .keys()
             .next_back()
             .map_or(0, |m| m + 1)
             .max(self.log.max_slot().map_or(0, |m| m + 1));
         // Re-completions bypass the pipeline window: safety requires every
         // reported slot to finish under the new ballot regardless of load.
-        let to_recomplete: Vec<(u64, Batch)> = q
-            .best
+        let to_recomplete: Vec<(u64, Batch)> = best
             .iter()
             .map(|(s, v)| (*s, v.batch.clone()))
             .collect();
@@ -554,6 +606,89 @@ impl MultiPaxosProcess {
             self.pending.retain(|v| !covered.contains(v));
         }
         self.drain_pending(out);
+    }
+
+    /// Every slot this process has ever voted in, with its last vote —
+    /// the phase-1b payload. Shared by the in-band `M1b` reply and the
+    /// [group promise](crate::paxos::group::GroupPromise) aggregation.
+    pub fn slot_votes(&self) -> Vec<SlotVote> {
+        self.accepted
+            .iter()
+            .map(|(slot, vote)| SlotVote {
+                slot,
+                vote: vote.clone(),
+            })
+            .collect()
+    }
+
+    /// Externally driven ballot adoption (log-group shards): raises this
+    /// shard's ballot to the group's, dropping leadership state if it was
+    /// anchored at a lower ballot — the per-shard half of a **group
+    /// unanchor event**. Emits nothing: the group owns every
+    /// session-level side effect (timer resets, 1a announcements).
+    pub fn drive_ballot(&mut self, b: Ballot) {
+        debug_assert!(self.driven, "drive_ballot is for externally driven shards");
+        if b <= self.mbal {
+            return;
+        }
+        self.mbal = b;
+        if self.p1b.as_ref().is_some_and(|q| q.bal < b) {
+            self.p1b = None;
+        }
+        if self.anchored.is_some_and(|ab| ab < b) {
+            self.unanchor();
+        }
+    }
+
+    /// Externally driven anchoring: the group's shared phase 1 completed
+    /// at ballot `b`, and `best` holds this shard's highest-ballot
+    /// reported vote per slot, folded across the group-promise quorum.
+    /// Exactly the in-band anchoring with the quorum supplied from
+    /// outside: reported slots re-complete under `b`, covered requeues
+    /// are pruned, pending commands drain into fresh slots.
+    pub fn drive_anchor(
+        &mut self,
+        b: Ballot,
+        best: &std::collections::BTreeMap<u64, BatchVote>,
+        out: &mut Outbox<MultiMsg>,
+    ) {
+        debug_assert!(self.driven, "drive_anchor is for externally driven shards");
+        debug_assert!(b >= self.mbal, "anchors never move the ballot backwards");
+        self.mbal = b;
+        self.anchored = Some(b);
+        self.complete_phase1(best, out);
+    }
+
+    /// Whether any proposed-but-unchosen slot is in flight (the live
+    /// pipeline the ε tick re-proposes).
+    pub fn has_live_proposals(&self) -> bool {
+        !self.proposals.is_empty()
+    }
+
+    /// Externally driven ε-retransmission for an anchored shard:
+    /// re-proposes every in-flight (proposed-but-unchosen) slot, exactly
+    /// the recovery half of the in-band ε tick. The group falls back to a
+    /// single group-level 1a when no shard has live proposals.
+    pub fn drive_repropose(&mut self, out: &mut Outbox<MultiMsg>) {
+        debug_assert!(self.driven, "drive_repropose is for externally driven shards");
+        let undecided: Vec<(u64, Batch)> = self
+            .proposals
+            .iter()
+            .map(|(s, b)| (*s, b.clone()))
+            .collect();
+        for (slot, batch) in undecided {
+            self.propose(slot, batch, out);
+        }
+    }
+
+    /// Externally driven ε re-forward: retries every held command toward
+    /// the group leader `owner` — the per-shard half of the group's
+    /// unanchored ε tick (the group checks `owner != self` once).
+    pub fn drive_reforward(&mut self, owner: ProcessId, out: &mut Outbox<MultiMsg>) {
+        debug_assert!(self.driven, "drive_reforward is for externally driven shards");
+        for v in &self.pending {
+            out.send(owner, MultiMsg::Forward { value: *v });
+        }
     }
 
     /// Admits a command to the held set, idempotently: a value this
@@ -645,6 +780,9 @@ impl Process for MultiPaxosProcess {
     }
 
     fn on_start(&mut self, out: &mut Outbox<MultiMsg>) {
+        if self.driven {
+            return; // the group boots the session once for all shards
+        }
         out.set_timer(TIMER_SESSION, self.cfg.session_timer_local());
         out.set_timer(TIMER_EPSILON, self.cfg.epsilon_timer_local());
         self.broadcast_m1a(out);
@@ -653,19 +791,18 @@ impl Process for MultiPaxosProcess {
     fn on_message(&mut self, from: ProcessId, msg: &MultiMsg, out: &mut Outbox<MultiMsg>) {
         match msg {
             MultiMsg::M1a { mbal } => {
+                // Phase 1 of a driven shard is group-level; a per-shard 1a
+                // is not part of that protocol and is dropped.
+                if self.driven {
+                    debug_assert!(false, "per-shard 1a under a group session");
+                    return;
+                }
                 let mbal = *mbal;
                 if mbal > self.mbal {
                     self.adopt(mbal, out);
                 }
                 if mbal == self.mbal {
-                    let votes: Vec<SlotVote> = self
-                        .accepted
-                        .iter()
-                        .map(|(slot, vote)| SlotVote {
-                            slot,
-                            vote: vote.clone(),
-                        })
-                        .collect();
+                    let votes = self.slot_votes();
                     out.send(mbal.owner(self.cfg.n()), MultiMsg::M1b { mbal, votes });
                 }
             }
@@ -731,6 +868,12 @@ impl Process for MultiPaxosProcess {
                 self.choose(*slot, batch.clone(), out);
             }
         }
+        if self.driven {
+            // Suppression, session-heard bookkeeping and Start Phase 1
+            // are group-level concerns; the group does them once per
+            // delivered message.
+            return;
+        }
         if let Some(b) = msg.ballot() {
             // Leader-liveness suppression (the paper's "appropriate
             // acknowledgement messages"): a message from the owner of our
@@ -752,6 +895,10 @@ impl Process for MultiPaxosProcess {
     }
 
     fn on_timer(&mut self, timer: TimerId, out: &mut Outbox<MultiMsg>) {
+        if self.driven {
+            debug_assert!(false, "driven shards own no timers");
+            return;
+        }
         match timer {
             TIMER_SESSION => {
                 self.timer_expired = true;
@@ -804,6 +951,9 @@ impl Process for MultiPaxosProcess {
     }
 
     fn on_restart(&mut self, out: &mut Outbox<MultiMsg>) {
+        if self.driven {
+            return; // the group re-arms and re-announces for all shards
+        }
         self.timer_expired = false;
         out.set_timer(TIMER_SESSION, self.cfg.session_timer_local());
         out.set_timer(TIMER_EPSILON, self.cfg.epsilon_timer_local());

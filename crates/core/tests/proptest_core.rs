@@ -322,3 +322,109 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    /// A `GroupPromise` round-trip — built from arbitrarily interleaved
+    /// per-shard 2a acceptances at several processes, encoded to bytes,
+    /// decoded, and folded into a fresh election's per-shard anchor maps
+    /// — preserves each shard's highest-accepted vote for every slot,
+    /// whatever the interleaving and whatever order the promises fold in.
+    #[test]
+    fn group_promise_roundtrip_preserves_highest_accepted(
+        shards in 1usize..5,
+        // (process, shard, slot, ballot) acceptance events, arbitrary
+        // order; the batch is a function of (slot, ballot), matching the
+        // one-batch-per-(slot, ballot) invariant a correct leader keeps.
+        events in proptest::collection::vec((0u32..3, 0u32..8, 0u64..16, 0u64..40), 0..120),
+    ) {
+        use esync_core::outbox::{Outbox, Process, Protocol};
+        use esync_core::paxos::group::{GroupMsg, GroupPromise, LogGroup, ShardId};
+        use esync_core::paxos::multi::{batch_of, MultiMsg};
+        use std::collections::BTreeMap;
+
+        let n = 3usize;
+        let cfg = TimingConfig::for_n_processes(n).unwrap();
+        let proto = LogGroup::new(shards);
+        let mut procs: Vec<_> = (0..n as u32)
+            .map(|i| proto.spawn(ProcessId::new(i), &cfg, Value::new(0)))
+            .collect();
+        // Model: per process, its current (group) ballot and the last
+        // vote it accepted per (shard, slot). A 2a is accepted iff its
+        // ballot is at least the process's current one, which then rises.
+        let mut cur: Vec<Ballot> =
+            (0..n as u32).map(|i| Ballot::initial(ProcessId::new(i))).collect();
+        let mut accepted: Vec<BTreeMap<(u32, u64), (Ballot, Value)>> =
+            vec![BTreeMap::new(); n];
+        let mut o = Outbox::new(LocalInstant::ZERO);
+        for (p, s, slot, bal_raw) in events {
+            let p = p as usize;
+            let shard = s % shards as u32;
+            let bal = Ballot::new(bal_raw);
+            let value = Value::new(slot * 1000 + bal_raw);
+            procs[p].on_message(
+                ProcessId::new(2),
+                &GroupMsg::Shard {
+                    shard: ShardId::new(shard),
+                    msg: MultiMsg::M2a { mbal: bal, slot, batch: batch_of([value]) },
+                },
+                &mut o,
+            );
+            o.drain();
+            if bal >= cur[p] {
+                cur[p] = bal;
+                accepted[p].insert((shard, slot), (bal, value));
+            }
+        }
+
+        // Per process: the promise reports exactly the accepted votes,
+        // and survives the byte codec unchanged.
+        let mut best: Vec<std::collections::BTreeMap<u64, esync_core::paxos::multi::BatchVote>> =
+            vec![BTreeMap::new(); shards];
+        for (p, proc) in procs.iter().enumerate() {
+            let promise = proc.promise();
+            prop_assert_eq!(promise.shards.len(), shards);
+            let decoded = GroupPromise::decode(&promise.encode())
+                .expect("own encoding decodes");
+            prop_assert_eq!(&decoded, &promise, "codec round-trip changed the promise");
+            for (s, votes) in decoded.shards.iter().enumerate() {
+                let expect: Vec<(u64, Ballot, Value)> = accepted[p]
+                    .iter()
+                    .filter(|((sh, _), _)| *sh == s as u32)
+                    .map(|((_, slot), (bal, v))| (*slot, *bal, *v))
+                    .collect();
+                let got: Vec<(u64, Ballot, Value)> = votes
+                    .iter()
+                    .map(|v| {
+                        prop_assert_eq!(v.values.len(), 1);
+                        Ok((v.slot, v.bal, v.values[0]))
+                    })
+                    .collect::<Result<_, _>>()?;
+                prop_assert_eq!(got, expect, "p{} shard {} promise mismatch", p, s);
+            }
+            decoded.fold_into(&mut best);
+        }
+
+        // Folded across all promises: the highest-ballot vote per
+        // (shard, slot) anywhere wins — the value a new group leader
+        // re-completes that slot with.
+        for (s, folded) in best.iter().enumerate() {
+            let mut expect: BTreeMap<u64, (Ballot, Value)> = BTreeMap::new();
+            for acc in &accepted {
+                for ((sh, slot), (bal, v)) in acc {
+                    if *sh == s as u32 {
+                        let better = expect.get(slot).is_none_or(|(b, _)| bal > b);
+                        if better {
+                            expect.insert(*slot, (*bal, *v));
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(folded.len(), expect.len(), "shard {} slot set", s);
+            for (slot, (bal, v)) in expect {
+                let got = &folded[&slot];
+                prop_assert_eq!(got.bal, bal, "shard {} slot {} ballot", s, slot);
+                prop_assert_eq!(&*got.batch, &[v][..], "shard {} slot {} value", s, slot);
+            }
+        }
+    }
+}

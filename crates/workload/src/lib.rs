@@ -37,7 +37,7 @@
 //! commit latency from a fixed-bucket HDR-style histogram, the pre- vs
 //! post-stability split, a commits-per-window timeline, and — from the
 //! shard-tagged commit feeds — the per-shard split
-//! ([`esync_sim::metrics::ShardSummary`], artifact schema v3).
+//! ([`esync_sim::metrics::ShardSummary`], artifact schema v3+).
 //!
 //! [`Value`]: esync_core::types::Value
 //! [`MultiPaxos`]: esync_core::paxos::multi::MultiPaxos

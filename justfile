@@ -22,11 +22,16 @@ micro:
     scripts/bench.sh micro
 
 # The replicated-log throughput workloads (closed-loop saturation W1,
-# open-loop rate-vs-stability W2, shard scaling W3), refreshing
-# BENCH_exp_w*.json.
+# open-loop rate-vs-stability W2, shard scaling W3, session sharing W4),
+# refreshing BENCH_exp_w*.json.
 workload:
-    scripts/bench.sh w1 w2 w3
+    scripts/bench.sh w1 w2 w3 w4
 
 # The sharded log-group scaling experiment only (BENCH_exp_w3_*.json).
 w3:
     scripts/bench.sh w3
+
+# The group-session sharing experiment only (BENCH_exp_w4_*.json):
+# idle-period message rate and re-anchor latency vs shard count.
+w4:
+    scripts/bench.sh w4

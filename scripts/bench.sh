@@ -23,6 +23,7 @@ targets=(
     exp_w1_throughput_vs_n
     exp_w2_load_vs_stability
     exp_w3_shard_scaling
+    exp_w4_session_sharing
     micro_simulator
 )
 

@@ -12,6 +12,7 @@
 //! in-protocol retry path this test pins down.
 
 use esync::core::outbox::Process;
+use esync::core::paxos::group::{LogGroup, ShardId};
 use esync::core::paxos::multi::MultiPaxos;
 use esync::core::types::ProcessId;
 use esync::sim::scenario::kv_id;
@@ -117,6 +118,116 @@ fn crashing_the_anchored_leader_mid_closed_loop_completes_on_the_simulator() {
         .map(kv_id)
         .collect();
     assert!(!reference.is_empty());
+}
+
+/// Leader churn **under sharding** (the ROADMAP open item, closed by the
+/// group-level session): with `S = 4` shards per process there is exactly
+/// ONE group anchor — every shard's leadership lives and dies with it —
+/// so killing that process drops one anchor and one re-election recovers
+/// all four shards at once. The test pins down (a) that the anchor
+/// really is group-level (all shards anchored at the same process, none
+/// anywhere else), (b) 100% completion across the churn with the usual
+/// duplicate bound, and (c) that throughput *recovers*: commits keep
+/// landing after the crash, and a new process ends the run holding all
+/// four shard anchors.
+#[test]
+fn crashing_the_group_anchor_with_four_shards_recovers_all_shards_at_once() {
+    const SHARDS: usize = 4;
+    let cfg = SimConfig::builder(N)
+        .seed(23)
+        .stability_at_millis(0)
+        .pre_stability(PreStability::lossless())
+        .max_time(SimTime::from_secs(300))
+        .build()
+        .unwrap();
+    let mut world = World::new(cfg, LogGroup::new(SHARDS).with_batching(2, 4));
+
+    // Warm up until a group leader anchors.
+    let warmup_limit = SimTime::from_secs(5);
+    while world.now() < warmup_limit
+        && !(0..N).any(|i| world.process(ProcessId::new(i as u32)).is_leader())
+    {
+        assert!(world.step(), "quiescent before any group anchor");
+    }
+    let leader = (0..N)
+        .map(|i| ProcessId::new(i as u32))
+        .find(|p| world.process(*p).is_leader())
+        .expect("a group leader anchored during warmup");
+    // The anchor is group-level: the leader holds EVERY shard, and no
+    // other process holds any — shard leaders cannot scatter.
+    for s in (0..SHARDS as u32).map(ShardId::new) {
+        assert!(
+            world.process(leader).shard(s).is_anchored(),
+            "shard {s} not anchored at the group leader"
+        );
+    }
+    for p in (0..N as u32).map(ProcessId::new).filter(|p| *p != leader) {
+        assert!(
+            !world.process(p).is_leader(),
+            "{p} claims leadership besides the group anchor"
+        );
+    }
+
+    let crash_at = world.now() + esync::core::time::RealDuration::from_millis(30);
+    let restart_at = crash_at + esync::core::time::RealDuration::from_millis(400);
+    world.inject_crash(crash_at, leader);
+    world.inject_restart(restart_at, leader);
+
+    let targets: Vec<ProcessId> = (0..N as u32)
+        .map(ProcessId::new)
+        .filter(|p| *p != leader)
+        .collect();
+    let spec = ClosedLoopSpec::new(CLIENTS as usize, OUTSTANDING, COMMANDS)
+        .seed(19)
+        .key_space(KEYS)
+        .targets(targets);
+    let out = sim_driver::run_closed_loop_on(&mut world, &spec, SimTime::from_secs(120));
+
+    assert!(out.log_agreement, "per-shard logs diverged across the churn");
+    assert_eq!(
+        out.report.crashes[leader.as_usize()].len(),
+        1,
+        "the injected anchor crash must fire mid-drive"
+    );
+    assert_eq!(
+        out.summary.committed, COMMANDS,
+        "every command must commit across the ONE group re-election \
+         (stalled at {} of {COMMANDS})",
+        out.summary.committed
+    );
+    assert!(
+        out.summary.duplicate_commits <= DUP_BOUND,
+        "duplicate rate unbounded: {} > {DUP_BOUND}",
+        out.summary.duplicate_commits
+    );
+    // Throughput recovered: commits kept landing AFTER the anchor died.
+    let after_crash = world
+        .commits()
+        .iter()
+        .filter(|c| c.at > crash_at)
+        .count();
+    assert!(
+        after_crash > 0,
+        "no commit landed after the group anchor crashed"
+    );
+    // Every shard saw traffic, and the split partitions the total.
+    assert_eq!(out.summary.per_shard.len(), SHARDS);
+    assert_eq!(
+        out.summary.per_shard.iter().map(|s| s.committed).sum::<u64>(),
+        COMMANDS
+    );
+    // A new process holds ALL the shard anchors (one re-election, not S).
+    let new_leader = (0..N as u32)
+        .map(ProcessId::new)
+        .find(|p| world.process(*p).is_leader())
+        .expect("a new group anchor after the churn");
+    assert_ne!(new_leader, leader, "the dead anchor cannot lead");
+    for s in (0..SHARDS as u32).map(ShardId::new) {
+        assert!(
+            world.process(new_leader).shard(s).is_anchored(),
+            "shard {s} not re-anchored at the new group leader"
+        );
+    }
 }
 
 #[test]

@@ -117,6 +117,61 @@ fn bench_protocol_step(c: &mut Criterion) {
     });
 }
 
+/// Promise truncation (the ROADMAP "promise size" item): building the
+/// phase-1b reply of a replicated-log acceptor with 4096 chosen slots
+/// and a small in-flight window. The **caught-up** caller (prefix equal
+/// to the reporter's — the steady-state ε re-announcement case) costs
+/// `O(window)`; the **cold** caller (prefix 0 — a restarted process's
+/// full catch-up) pays the full `O(log length)` the old untruncated
+/// promise paid on *every* reply. The delta between these two entries is
+/// the truncation win.
+fn bench_promise_truncation(c: &mut Criterion) {
+    use esync_core::paxos::multi::{batch_of, MultiMsg, MultiPaxos};
+
+    let cfg = TimingConfig::for_n_processes(3).unwrap();
+    let build = || {
+        let mut p = MultiPaxos::new().spawn(ProcessId::new(0), &cfg, Value::new(0));
+        let mut out: Outbox<MultiMsg> = Outbox::new(LocalInstant::ZERO);
+        p.on_start(&mut out);
+        out.drain();
+        // 4096 chosen slots (learned decisions), plus an in-flight window
+        // of 4 accepted-but-unchosen votes above the prefix.
+        for slot in 0..4096u64 {
+            p.on_message(
+                ProcessId::new(1),
+                &MultiMsg::LogDecided {
+                    slot,
+                    batch: batch_of([Value::new(slot)]),
+                },
+                &mut out,
+            );
+            out.drain();
+        }
+        for slot in 4097..=4100u64 {
+            p.on_message(
+                ProcessId::new(1),
+                &MultiMsg::M2a {
+                    mbal: Ballot::new(4),
+                    slot,
+                    batch: batch_of([Value::new(slot)]),
+                },
+                &mut out,
+            );
+            out.drain();
+        }
+        p
+    };
+    c.bench_function("promise_reply_log4096_caught_up_caller", |b| {
+        let p = build();
+        let prefix = p.chosen_prefix();
+        b.iter(|| black_box(p.vote_report(prefix).votes.len()));
+    });
+    c.bench_function("promise_reply_log4096_cold_caller", |b| {
+        let p = build();
+        b.iter(|| black_box(p.vote_report(0).chosen.len()));
+    });
+}
+
 /// The phase-2b tally: the current-ballot cache vs the `BTreeMap` fallback
 /// — the delta between these two is the fast path's win (a stable run is
 /// ~100% current-ballot hits).
@@ -234,7 +289,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_end_to_end, bench_log_group_workload, bench_chaos_run,
-              bench_protocol_step, bench_decision_tracker, bench_event_queue,
-              bench_sweep
+              bench_protocol_step, bench_promise_truncation,
+              bench_decision_tracker, bench_event_queue, bench_sweep
 }
 criterion_main!(benches);

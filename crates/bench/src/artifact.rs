@@ -200,8 +200,10 @@ impl SweepSummary {
 /// v3 the per-shard split (`workload.per_shard[]`) of the sharded
 /// log-group experiments, v4 the per-sweep `msgs_by_kind` totals that
 /// the session-sharing experiment (`exp_w4`) reads its idle-traffic
-/// composition from.
-pub const SCHEMA_VERSION: u32 = 4;
+/// composition from, v5 the imbalance observability (`submitted`/
+/// `admitted` per shard and the `shard_imbalance` ratio) that the
+/// rebalancing experiment (`exp_w5`) reads.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// A whole experiment's artifact: every sweep it ran, plus context.
 #[derive(Debug, Clone, Serialize)]
@@ -292,7 +294,7 @@ mod tests {
         ));
         let json = serde_json::to_string(&a).unwrap();
         assert!(json.contains("\"experiment\":\"exp_test\""));
-        assert!(json.contains("\"schema_version\":4"));
+        assert!(json.contains("\"schema_version\":5"));
         assert!(json.contains("\"msgs_by_kind\""));
         assert!(json.contains("\"runs_per_sec\""));
         assert!(json.contains("\"workload\":null"));

@@ -67,6 +67,21 @@ pub enum Action<M> {
     },
 }
 
+/// Per-shard load counters a log process exposes for observability (see
+/// [`Process::shard_load`]): how many commands the router handed the
+/// shard, and how many were fresh admissions after retry dedup. The
+/// imbalance instrumentation of the workload layer (artifact schema v5)
+/// and the live rebalancer's trigger both read these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardLoad {
+    /// Commands dispatched to the shard (client submissions plus
+    /// forwards, before dedup — retries count, which is the point:
+    /// retry pressure is load).
+    pub submitted: u64,
+    /// Commands freshly admitted by the shard (after retry dedup).
+    pub admitted: u64,
+}
+
 /// Collects the [`Action`]s emitted while handling one event, and exposes
 /// the process's current local-clock reading.
 #[derive(Debug, Clone)]
@@ -229,6 +244,24 @@ pub trait Process {
     /// Single-shot protocols keep the default `false`.
     fn is_leader(&self) -> bool {
         false
+    }
+
+    /// The shard-router epoch this process has applied (see
+    /// `esync_core::paxos::group::rebalance`): bumped once per committed
+    /// boundary move, `0` when the process never rebalanced or the
+    /// protocol has no router. Observability only — tests assert epoch
+    /// agreement across processes, drivers record it in artifacts.
+    fn router_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Per-shard load counters (see [`ShardLoad`]). Protocols without
+    /// per-shard admission keep the default zeros; drivers sum these
+    /// across processes into the per-shard `submitted`/`admitted` fields
+    /// of artifact schema v5.
+    fn shard_load(&self, shard: ShardId) -> ShardLoad {
+        let _ = shard;
+        ShardLoad::default()
     }
 }
 

@@ -130,6 +130,38 @@ impl AdmittedSet {
             });
     }
 
+    /// Removes and returns every entry matching `pred` (which sees the
+    /// value and its chosen slot, `None` = admitted but unchosen), as
+    /// `(value, chosen_slot)` pairs. The shard-handoff path of the
+    /// log-group rebalancer:
+    /// when a key range moves to another shard, its dedup entries move
+    /// with it — unchosen values are re-admitted at the new owner,
+    /// chosen ones become the group-level "moved" answers — so retry
+    /// dedup survives the migration.
+    pub fn take_matching(
+        &mut self,
+        mut pred: impl FnMut(Value, Option<u64>) -> bool,
+    ) -> Vec<(Value, Option<u64>)> {
+        let matching: Vec<Value> = self
+            .entries
+            .iter()
+            .filter(|(v, status)| pred(**v, **status))
+            .map(|(v, _)| *v)
+            .collect();
+        matching
+            .into_iter()
+            .map(|v| {
+                let status = self.entries.remove(&v).expect("key just listed");
+                (v, status)
+            })
+            .collect()
+    }
+
+    /// The configured compaction window, in slots.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
     /// Entries currently held (for bound assertions in tests).
     pub fn len(&self) -> usize {
         self.entries.len()

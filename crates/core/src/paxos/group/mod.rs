@@ -50,12 +50,26 @@
 //! needing cross-shard transactions must layer them above (each key's
 //! history is totally ordered by its shard's log, as in any range-sharded
 //! store).
+//!
+//! Range routers can additionally **rebalance live**: the
+//! [`rebalance`] submodule gives the group anchor a load-aware
+//! key-handoff protocol (freeze → drain → router-epoch bump through
+//! shard 0's log → re-forward) that moves range boundaries while the
+//! group serves traffic. Enable it with [`LogGroup::with_rebalancing`];
+//! disabled (the default), no rebalancing code path touches the message
+//! stream.
+
+pub mod rebalance;
 
 use crate::ballot::{Ballot, Session};
 use crate::config::TimingConfig;
 use crate::outbox::{Action, Outbox, Process, Protocol};
+use crate::paxos::admitted::Admitted;
 use crate::paxos::multi::{
     batch_of, Batch, BatchVote, MultiMsg, MultiPaxos, MultiPaxosProcess, SlotVote,
+};
+use rebalance::{
+    is_ctrl_value, owner_of, Migration, RebalanceConfig, Rebalancer, RouterUpdate,
 };
 use crate::paxos::slotlog::SlotMap;
 use crate::quorum::QuorumTracker;
@@ -81,17 +95,37 @@ pub struct PromisedVote {
     pub values: Vec<Value>,
 }
 
+/// One shard's slice of a [`GroupPromise`]: the wire form of the plain
+/// layer's truncated [`VoteReport`](crate::paxos::multi::VoteReport) —
+/// the reporter's all-chosen prefix, the chosen entries the 1a caller is
+/// missing, and the live votes at or above the reporter's prefix.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardPromise {
+    /// The reporting shard's all-chosen log prefix (slots below it are
+    /// final — the new leader must not propose fresh batches there).
+    pub prefix: u64,
+    /// Chosen entries at or above the caller's prefix, as
+    /// `(slot, values)` (final; the caller's catch-up material).
+    pub chosen: Vec<(u64, Vec<Value>)>,
+    /// Live votes at or above the reporter's prefix, for slots not
+    /// chosen at the reporter.
+    pub votes: Vec<PromisedVote>,
+}
+
 /// The phase-1b payload of a group-level session: for each shard of the
-/// promising process, every slot it has ever voted in with its last
-/// (highest-ballot) vote. One `GroupPromise` replaces the `S` separate
-/// per-shard `M1b`s of a per-shard-session design; the ballot owner folds
-/// a majority of promises into per-shard best-vote maps
-/// ([`GroupPromise::fold_into`]) and anchors all shards from them.
+/// promising process, its truncated vote report (chosen catch-up entries
+/// plus live votes — see [`ShardPromise`]). One `GroupPromise` replaces
+/// the `S` separate per-shard `M1b`s of a per-shard-session design; the
+/// ballot owner folds a majority of promises into per-shard chosen and
+/// best-vote maps ([`GroupPromise::fold_into`]) and anchors all shards
+/// from them. Reports are truncated at the all-chosen prefix, so the
+/// promise re-sent on every ε re-announcement is `O(in-flight window)`
+/// per shard, not `O(log length)`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct GroupPromise {
-    /// Per-shard vote reports, indexed by shard; `shards.len()` is the
+    /// Per-shard reports, indexed by shard; `shards.len()` is the
     /// promising process's shard count.
-    pub shards: Vec<Vec<PromisedVote>>,
+    pub shards: Vec<ShardPromise>,
 }
 
 /// A [`GroupPromise`] byte string failed to decode.
@@ -113,42 +147,72 @@ impl std::error::Error for PromiseDecodeError {}
 
 impl GroupPromise {
     /// Builds the promise of a group: every shard's
-    /// [`MultiPaxosProcess::slot_votes`], in shard order.
-    pub fn of_shards(shards: &[MultiPaxosProcess]) -> GroupPromise {
+    /// [`MultiPaxosProcess::vote_report`] relative to the 1a caller's
+    /// per-shard prefixes, in shard order. A caller prefix beyond
+    /// `prefixes.len()` (heterogeneous shard counts are outside the
+    /// model) is treated as zero — the full-catch-up reply.
+    pub fn of_shards(shards: &[MultiPaxosProcess], prefixes: &[u64]) -> GroupPromise {
         GroupPromise {
             shards: shards
                 .iter()
-                .map(|p| {
-                    p.slot_votes()
-                        .into_iter()
-                        .map(|sv: SlotVote| PromisedVote {
-                            slot: sv.slot,
-                            bal: sv.vote.bal,
-                            values: sv.vote.batch.to_vec(),
-                        })
-                        .collect()
+                .enumerate()
+                .map(|(s, p)| {
+                    let caller = prefixes.get(s).copied().unwrap_or(0);
+                    let report = p.vote_report(caller);
+                    ShardPromise {
+                        prefix: report.prefix,
+                        chosen: report
+                            .chosen
+                            .into_iter()
+                            .map(|(slot, batch)| (slot, batch.to_vec()))
+                            .collect(),
+                        votes: report
+                            .votes
+                            .into_iter()
+                            .map(|sv: SlotVote| PromisedVote {
+                                slot: sv.slot,
+                                bal: sv.vote.bal,
+                                values: sv.vote.batch.to_vec(),
+                            })
+                            .collect(),
+                    }
                 })
                 .collect(),
         }
     }
 
-    /// Folds this promise into per-shard best-vote maps (one map per
-    /// shard of the folding group): for every reported slot, the
-    /// highest-ballot vote across every promise folded so far wins — the
-    /// leader's phase-1b value-selection rule, per shard. Reports for
-    /// shards beyond `best.len()` are ignored (heterogeneous shard counts
-    /// are outside the model).
-    pub fn fold_into(&self, best: &mut [BTreeMap<u64, BatchVote>]) {
+    /// Folds this promise into per-shard chosen and best-vote maps (one
+    /// pair per shard of the folding group): chosen entries are final
+    /// (first report wins — identical by agreement), and for every voted
+    /// slot the highest-ballot vote across every promise folded so far
+    /// wins — the leader's phase-1b value-selection rule, per shard.
+    /// Reports for shards beyond `best.len()` are ignored (heterogeneous
+    /// shard counts are outside the model).
+    pub fn fold_into(
+        &self,
+        chosen: &mut [BTreeMap<u64, Batch>],
+        best: &mut [BTreeMap<u64, BatchVote>],
+    ) {
         debug_assert!(
             self.shards.len() <= best.len(),
             "promise reports more shards than the group runs"
         );
-        for (per_shard, votes) in best.iter_mut().zip(self.shards.iter()) {
-            for v in votes {
+        debug_assert_eq!(chosen.len(), best.len());
+        for ((per_chosen, per_best), report) in chosen
+            .iter_mut()
+            .zip(best.iter_mut())
+            .zip(self.shards.iter())
+        {
+            for (slot, values) in &report.chosen {
+                per_chosen
+                    .entry(*slot)
+                    .or_insert_with(|| batch_of(values.iter().copied()));
+            }
+            for v in &report.votes {
                 // The shared phase-1b value-selection rule (highest
                 // ballot wins per slot) — the same code path the single
                 // log's 1b quorum runs, so the two layers cannot drift.
-                crate::paxos::multi::fold_best_vote(per_shard, v.slot, v.bal, || {
+                crate::paxos::multi::fold_best_vote(per_best, v.slot, v.bal, || {
                     batch_of(v.values.iter().copied())
                 });
             }
@@ -157,17 +221,27 @@ impl GroupPromise {
 
     /// Encodes the promise as a self-contained byte string: all fields as
     /// little-endian `u64`s, length-prefixed at every level
-    /// (`[S] ([votes] ([slot][bal][len] [values…])…)…`). The in-memory
-    /// protocol passes promises by value; this codec is the wire form a
-    /// byte-oriented transport would ship, and
-    /// [`GroupPromise::decode`] round-trips it exactly.
+    /// (`[S] ([prefix][chosen] ([slot][len][values…])… [votes]
+    /// ([slot][bal][len][values…])…)…`). The in-memory protocol passes
+    /// promises by value; this codec is the wire form a byte-oriented
+    /// transport would ship, and [`GroupPromise::decode`] round-trips it
+    /// exactly.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         let push = |out: &mut Vec<u8>, x: u64| out.extend_from_slice(&x.to_le_bytes());
         push(&mut out, self.shards.len() as u64);
-        for votes in &self.shards {
-            push(&mut out, votes.len() as u64);
-            for v in votes {
+        for report in &self.shards {
+            push(&mut out, report.prefix);
+            push(&mut out, report.chosen.len() as u64);
+            for (slot, values) in &report.chosen {
+                push(&mut out, *slot);
+                push(&mut out, values.len() as u64);
+                for val in values {
+                    push(&mut out, val.get());
+                }
+            }
+            push(&mut out, report.votes.len() as u64);
+            for v in &report.votes {
                 push(&mut out, v.slot);
                 push(&mut out, v.bal.get());
                 push(&mut out, v.values.len() as u64);
@@ -218,6 +292,18 @@ impl GroupPromise {
         let shard_count = r.len(8, "shard count")?;
         let mut shards = Vec::with_capacity(shard_count);
         for _ in 0..shard_count {
+            let prefix = r.u64("prefix")?;
+            let chosen_count = r.len(16, "chosen count")?;
+            let mut chosen = Vec::with_capacity(chosen_count);
+            for _ in 0..chosen_count {
+                let slot = r.u64("chosen slot")?;
+                let value_count = r.len(8, "chosen value count")?;
+                let mut values = Vec::with_capacity(value_count);
+                for _ in 0..value_count {
+                    values.push(Value::new(r.u64("chosen value")?));
+                }
+                chosen.push((slot, values));
+            }
             let vote_count = r.len(24, "vote count")?;
             let mut votes = Vec::with_capacity(vote_count);
             for _ in 0..vote_count {
@@ -230,7 +316,11 @@ impl GroupPromise {
                 }
                 votes.push(PromisedVote { slot, bal, values });
             }
-            shards.push(votes);
+            shards.push(ShardPromise {
+                prefix,
+                chosen,
+                votes,
+            });
         }
         if r.at != bytes.len() {
             return Err(PromiseDecodeError {
@@ -252,12 +342,17 @@ pub enum GroupMsg {
     G1a {
         /// The group ballot being started (or re-announced on ε ticks).
         mbal: Ballot,
+        /// The caller's per-shard all-chosen prefixes: repliers truncate
+        /// each shard's report at the matching prefix (the group analogue
+        /// of [`MultiMsg::M1a`]'s `prefix`).
+        prefixes: Vec<u64>,
     },
-    /// Group-level phase 1b: one promise carrying every shard's votes.
+    /// Group-level phase 1b: one promise carrying every shard's
+    /// truncated report.
     G1b {
         /// The joined group ballot.
         mbal: Ballot,
-        /// Per-shard highest-accepted votes of the promising process.
+        /// Per-shard truncated reports of the promising process.
         promise: GroupPromise,
     },
     /// A shard-tagged single-log message (2a, 2b, forward, decided — the
@@ -268,15 +363,29 @@ pub enum GroupMsg {
         /// The single-log payload.
         msg: MultiMsg,
     },
+    /// A router-epoch switch announcement (live rebalancing): broadcast
+    /// by an anchor when a committed [`RouterUpdate`] control entry
+    /// applies, so followers whose shard-0 catch-up lags switch
+    /// boundaries in `O(δ)`. Advisory — the control entry in shard 0's
+    /// log is the authoritative, totally ordered switch point — and
+    /// applied idempotently in epoch order. Never sent while the router
+    /// is balanced (or rebalancing is disabled): a balanced group's
+    /// message stream is bit-identical to the static-router engine's.
+    Reroute {
+        /// The epoch bump being announced (see [`RouterUpdate::encode`]
+        /// for the byte form a wire transport would ship).
+        update: RouterUpdate,
+    },
 }
 
 impl GroupMsg {
     /// The group ballot carried by this message, if any (shard-tagged
-    /// `Forward`/`LogDecided` carry none).
+    /// `Forward`/`LogDecided` and `Reroute` carry none).
     pub fn ballot(&self) -> Option<Ballot> {
         match self {
-            GroupMsg::G1a { mbal } | GroupMsg::G1b { mbal, .. } => Some(*mbal),
+            GroupMsg::G1a { mbal, .. } | GroupMsg::G1b { mbal, .. } => Some(*mbal),
             GroupMsg::Shard { msg, .. } => msg.ballot(),
+            GroupMsg::Reroute { .. } => None,
         }
     }
 
@@ -289,6 +398,7 @@ impl GroupMsg {
             GroupMsg::G1a { .. } => "1a",
             GroupMsg::G1b { .. } => "1b",
             GroupMsg::Shard { msg, .. } => msg.kind(),
+            GroupMsg::Reroute { .. } => "reroute",
         }
     }
 }
@@ -352,6 +462,7 @@ pub struct LogGroup {
     inner: MultiPaxos,
     shards: usize,
     router: ShardRouter,
+    rebalance: Option<RebalanceConfig>,
 }
 
 impl LogGroup {
@@ -367,6 +478,7 @@ impl LogGroup {
             inner: MultiPaxos::new(),
             shards,
             router: ShardRouter::Modulo,
+            rebalance: None,
         }
     }
 
@@ -396,6 +508,27 @@ impl LogGroup {
     pub fn with_router(mut self, router: ShardRouter) -> Self {
         router.validate(self.shards);
         self.router = router;
+        self
+    }
+
+    /// Enables live shard rebalancing (see [`rebalance`]): the group
+    /// anchor observes per-shard routed load and migrates range
+    /// boundaries through the key-handoff protocol when the imbalance
+    /// crosses `cfg.threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the router is a [`ShardRouter::Range`] (modulo
+    /// routing has no boundaries to move) over at least two shards —
+    /// call [`LogGroup::with_router`] first.
+    #[must_use]
+    pub fn with_rebalancing(mut self, cfg: RebalanceConfig) -> Self {
+        assert!(
+            matches!(self.router, ShardRouter::Range(_)),
+            "rebalancing moves Range boundaries; set a Range router first"
+        );
+        assert!(self.shards >= 2, "rebalancing needs at least two shards");
+        self.rebalance = Some(cfg);
         self
     }
 
@@ -444,19 +577,29 @@ impl Protocol for LogGroup {
             session_heard: QuorumTracker::new(cfg.n()),
             timer_expired: false,
             last_p1a2a: None,
+            epoch: 0,
+            ctrl_scan: 0,
+            rebalance: self.rebalance.clone().map(Rebalancer::new),
+            frozen: Vec::new(),
+            moved: BTreeMap::new(),
         }
     }
 }
 
 /// Leader-side aggregation of group promises: **one** quorum tracker for
-/// the whole group, one best-vote map per shard. The group analogue of
-/// the single log's per-election 1b quorum — short-lived, rebuilt per
-/// ballot attempt.
+/// the whole group, one chosen map and one best-vote map per shard. The
+/// group analogue of the single log's per-election 1b quorum —
+/// short-lived, rebuilt per ballot attempt.
 #[derive(Debug, Clone)]
 struct Group1bQuorum {
     bal: Ballot,
     tracker: QuorumTracker,
-    /// Best (highest-ballot) reported vote per slot, per shard.
+    /// Highest reported prefix per shard — each shard's `next_slot`
+    /// floor (see `Multi1bQuorum::max_prefix`).
+    prefixes: Vec<u64>,
+    /// Chosen entries reported by the quorum, per shard (final).
+    chosen: Vec<BTreeMap<u64, Batch>>,
+    /// Best (highest-ballot) reported live vote per slot, per shard.
     best: Vec<BTreeMap<u64, BatchVote>>,
 }
 
@@ -465,6 +608,8 @@ impl Group1bQuorum {
         Group1bQuorum {
             bal,
             tracker: QuorumTracker::new(n),
+            prefixes: vec![0; shards],
+            chosen: vec![BTreeMap::new(); shards],
             best: vec![BTreeMap::new(); shards],
         }
     }
@@ -475,7 +620,10 @@ impl Group1bQuorum {
         if !self.tracker.insert(from) {
             return false;
         }
-        promise.fold_into(&mut self.best);
+        for (floor, report) in self.prefixes.iter_mut().zip(promise.shards.iter()) {
+            *floor = (*floor).max(report.prefix);
+        }
+        promise.fold_into(&mut self.chosen, &mut self.best);
         !before && self.tracker.reached()
     }
 }
@@ -509,6 +657,31 @@ pub struct LogGroupProcess {
     /// Instant of our last 1a or 2a send — any shard's 2a counts, so one
     /// busy shard keeps the whole group's ε retransmission quiet.
     last_p1a2a: Option<LocalInstant>,
+    /// The router epoch this process has applied: bumped once per
+    /// committed boundary move, in shard-0 slot order, identically at
+    /// every process.
+    epoch: u64,
+    /// The next shard-0 slot to scan for control entries (always at or
+    /// below shard 0's all-chosen prefix; each slot is scanned once).
+    ctrl_scan: u64,
+    /// Live-rebalancing machinery ([`LogGroup::with_rebalancing`]);
+    /// `None` keeps every rebalance code path off the message stream.
+    rebalance: Option<Rebalancer>,
+    /// Commands frozen mid-migration at the anchor: admissions of moving
+    /// keys buffered between the freeze and the epoch switch, flushed
+    /// through the new routing when the switch applies (or the old one
+    /// if the migration aborts).
+    frozen: Vec<Value>,
+    /// Moved-command answers: commands chosen in a pre-move shard,
+    /// mapped to `(old_shard, slot)` so a retry arriving after the move
+    /// is answered with its `LogDecided` instead of committing a second
+    /// time in the new owner. Kept across epochs and pruned by exactly
+    /// the shards' own admitted-window rule (an entry lives while its
+    /// slot is within the window of its old shard's all-chosen prefix),
+    /// so retry dedup across migrations is as strong as without them;
+    /// only retries older than the window fall back to the documented
+    /// at-least-once contract.
+    moved: BTreeMap<Value, (ShardId, u64)>,
 }
 
 impl LogGroupProcess {
@@ -549,10 +722,11 @@ impl LogGroupProcess {
         self.anchored == Some(self.mbal) && self.mbal.owner(self.cfg.n()) == self.id
     }
 
-    /// This group's phase-1b payload: every shard's highest-accepted
-    /// votes, aggregated into one promise.
-    pub fn promise(&self) -> GroupPromise {
-        GroupPromise::of_shards(&self.shards)
+    /// This group's phase-1b payload relative to the 1a caller's
+    /// per-shard prefixes: every shard's truncated report, aggregated
+    /// into one promise.
+    pub fn promise(&self, caller_prefixes: &[u64]) -> GroupPromise {
+        GroupPromise::of_shards(&self.shards, caller_prefixes)
     }
 
     /// The merged committed-prefix view: every entry of every shard's
@@ -583,8 +757,18 @@ impl LogGroupProcess {
             .collect()
     }
 
+    /// The group's current router epoch (0 until the first committed
+    /// boundary move).
+    pub fn router_epoch(&self) -> u64 {
+        self.epoch
+    }
+
     fn broadcast_g1a(&mut self, out: &mut Outbox<GroupMsg>) {
-        out.broadcast(GroupMsg::G1a { mbal: self.mbal });
+        let prefixes = self.shards.iter().map(|s| s.chosen_prefix()).collect();
+        out.broadcast(GroupMsg::G1a {
+            mbal: self.mbal,
+            prefixes,
+        });
         self.last_p1a2a = Some(out.now());
     }
 
@@ -617,10 +801,21 @@ impl LogGroupProcess {
         if self.p1b.as_ref().is_some_and(|q| q.bal < b) {
             self.p1b = None;
         }
-        if self.anchored.is_some_and(|ab| ab < b) {
+        let unanchored = self.anchored.is_some_and(|ab| ab < b);
+        if unanchored {
             self.anchored = None;
         }
         self.sync_shards(b);
+        if unanchored {
+            // An anchor lost mid-migration aborts it — after the shards
+            // synced to the new ballot, so frozen commands re-enter
+            // through the still-current routing as *held* commands and
+            // forward to the new presumed leader (not as proposals under
+            // the dying ballot). The control entry, if already proposed,
+            // either dies with our ballot or is revived by a later phase
+            // 1 and applies epoch-ordered at every process — both safe.
+            self.abort_migration(out);
+        }
         if b.session(self.cfg.n()) > old_session {
             self.enter_session(true, out);
         }
@@ -653,16 +848,18 @@ impl LogGroupProcess {
     }
 
     /// Becomes the anchored group leader: fold the promise quorum's
-    /// per-shard best votes into each shard's anchor — re-completions and
-    /// pending flush per shard, in shard order.
+    /// per-shard chosen entries and best votes into each shard's anchor —
+    /// catch-up, re-completions and pending flush per shard, in shard
+    /// order.
     fn anchor(&mut self, out: &mut Outbox<GroupMsg>) {
         let q = self.p1b.take().expect("anchor follows a promise quorum");
         debug_assert_eq!(q.bal, self.mbal);
         self.anchored = Some(q.bal);
         let bal = q.bal;
-        for (s, best) in q.best.iter().enumerate() {
+        for (s, (chosen, best)) in q.chosen.iter().zip(q.best.iter()).enumerate() {
+            let floor = q.prefixes[s];
             self.dispatch(ShardId::new(s as u32), out, |p, o| {
-                p.drive_anchor(bal, best, o);
+                p.drive_anchor(bal, floor, chosen, best, o);
             });
         }
     }
@@ -697,8 +894,16 @@ impl LogGroupProcess {
                     debug_assert!(false, "driven shards own no timers");
                 }
                 // The inner layer decides in shard zero; the group knows
-                // which shard actually ran.
-                Action::Decide { value, .. } => out.decide_in_shard(shard, value),
+                // which shard actually ran. Control values (router-epoch
+                // entries, possible only with rebalancing enabled) are
+                // protocol metadata: they commit like any entry but are
+                // never surfaced as client commands — the epoch switch
+                // happens in the shard-0 prefix walk (`scan_ctrl`).
+                Action::Decide { value, .. } => {
+                    if self.rebalance.is_none() || !is_ctrl_value(value) {
+                        out.decide_in_shard(shard, value);
+                    }
+                }
                 Action::WabBroadcast { msg } => out.wab_broadcast(msg),
             }
         }
@@ -707,6 +912,349 @@ impl LogGroupProcess {
 
     fn all_shards(&self) -> impl Iterator<Item = ShardId> {
         (0..self.shards.len() as u32).map(ShardId::new)
+    }
+
+    // ---- live rebalancing (every method below is a no-op, and every
+    // call site gated, when `self.rebalance` is `None`) ----
+
+    /// Admits a client command or a forwarded retry through the group's
+    /// **current** routing. With rebalancing enabled this is the single
+    /// choke point the handoff protocol guards: moved-command retries
+    /// are answered from the old owner's log, and admissions of keys
+    /// mid-migration are frozen instead of entering the old owner. A
+    /// `Forward`'s incoming shard tag is deliberately ignored — a
+    /// follower still on the previous epoch must not smuggle a moving
+    /// key into its old shard.
+    fn admit_value(&mut self, from: Option<ProcessId>, value: Value, out: &mut Outbox<GroupMsg>) {
+        let key = kv_key(value);
+        let target = self.shard_of(value);
+        if self.rebalance.is_some() {
+            debug_assert!(
+                !is_ctrl_value(value),
+                "client keys must stay below the reserved control key"
+            );
+            // A retry of a command whose key moved after it committed:
+            // answer with the old owner's chosen entry so the retry loop
+            // terminates (the new owner's admitted set has never seen
+            // it — without this it would commit twice).
+            if let Some((shard, slot)) = self.moved.get(&value).copied() {
+                if let Some(from) = from {
+                    let batch = self.shards[shard.as_usize()]
+                        .log_entry(slot)
+                        .expect("moved answers point at chosen entries")
+                        .clone();
+                    out.send(
+                        from,
+                        GroupMsg::Shard {
+                            shard,
+                            msg: MultiMsg::LogDecided { slot, batch },
+                        },
+                    );
+                }
+                // Answered at the group level, but still load on the
+                // key's (new) span: the v5 counters and the trigger
+                // must see migration-era retry pressure.
+                self.shards[target.as_usize()].drive_note_submitted();
+                self.note_routed(key, out);
+                return;
+            }
+            // Mid-migration: a key whose owner is about to change is
+            // frozen (buffered at the group) unless the current owner
+            // already committed it — then the shard's own Forward arm
+            // answers with the `LogDecided`, which is exactly the
+            // dispatch below.
+            let migrating = self.rebalance.as_ref().and_then(|r| r.migration.as_ref());
+            if let Some(mig) = migrating {
+                let bounds = match &self.router {
+                    ShardRouter::Range(b) => b,
+                    ShardRouter::Modulo => unreachable!("rebalancing requires a Range router"),
+                };
+                let moves = owner_of(bounds, key) != owner_of(&mig.update.boundaries, key);
+                let chosen_here = matches!(
+                    self.shards[target.as_usize()].admitted_status(value),
+                    Some(Admitted::Chosen(_))
+                );
+                if moves && !chosen_here {
+                    self.frozen.push(value);
+                    // The eventual flush dispatches (and counts) the
+                    // command; feed only the trigger's key statistics
+                    // here so migration-era arrivals keep shaping the
+                    // next boundary computation.
+                    self.note_routed(key, out);
+                    return;
+                }
+            }
+        }
+        self.dispatch(target, out, |p, o| match from {
+            Some(from) => p.on_message(from, &MultiMsg::Forward { value }, o),
+            None => p.on_client(value, o),
+        });
+        self.note_routed(key, out);
+    }
+
+    /// Requests a migration to `bounds` explicitly — the operator/test
+    /// hook, running exactly the load-triggered key-handoff protocol
+    /// (freeze → drain → epoch bump → re-forward). Returns `false`
+    /// (doing nothing) unless rebalancing is enabled, this process is
+    /// the anchored group leader, no migration is already in flight, and
+    /// `bounds` is a valid, *different* boundary vector.
+    pub fn request_rebalance(&mut self, bounds: Vec<u64>, out: &mut Outbox<GroupMsg>) -> bool {
+        if self.rebalance.is_none() || !self.is_anchored() {
+            return false;
+        }
+        if self
+            .rebalance
+            .as_ref()
+            .is_some_and(|r| r.migration.is_some())
+        {
+            return false;
+        }
+        let valid = bounds.len() == self.shards.len() - 1
+            && bounds.windows(2).all(|w| w[0] < w[1])
+            && match &self.router {
+                ShardRouter::Range(cur) => *cur != bounds,
+                ShardRouter::Modulo => false,
+            };
+        if !valid {
+            return false;
+        }
+        self.start_migration(bounds, out);
+        true
+    }
+
+    /// Records one routed command at the anchor and runs the imbalance
+    /// trigger; a crossing starts a migration.
+    fn note_routed(&mut self, key: u64, out: &mut Outbox<GroupMsg>) {
+        if self.rebalance.is_none() || !self.is_anchored() {
+            return;
+        }
+        let rb = self.rebalance.as_mut().expect("checked above");
+        rb.note(key);
+        if rb.migration.is_some() {
+            return;
+        }
+        if let Some(bounds) = rb.check(&self.router, self.shards.len()) {
+            self.start_migration(bounds, out);
+        }
+    }
+
+    /// **Freeze**: opens a migration to `bounds`. Pending (admitted but
+    /// unproposed) commands on moving keys are pulled out of their old
+    /// owner shards into the frozen buffer — their admitted entries move
+    /// with them, so they re-admit cleanly at the new owner — and the
+    /// drain begins.
+    fn start_migration(&mut self, bounds: Vec<u64>, out: &mut Outbox<GroupMsg>) {
+        let update = RouterUpdate {
+            epoch: self.epoch + 1,
+            boundaries: bounds,
+        };
+        let old = match &self.router {
+            ShardRouter::Range(b) => b.clone(),
+            ShardRouter::Modulo => unreachable!("rebalancing requires a Range router"),
+        };
+        for shard in &mut self.shards {
+            let unchosen = shard.drive_extract_pending(|v| {
+                let k = kv_key(v);
+                !is_ctrl_value(v) && owner_of(&old, k) != owner_of(&update.boundaries, k)
+            });
+            self.frozen.extend(unchosen);
+        }
+        self.rebalance
+            .as_mut()
+            .expect("migrations start only with rebalancing enabled")
+            .migration = Some(Migration { update, ctrl: None });
+        self.maybe_commit_migration(out);
+    }
+
+    /// **Drain → commit**: once no shard's in-flight proposals reference
+    /// a moving key, the control batch is proposed into shard 0's log.
+    fn maybe_commit_migration(&mut self, out: &mut Outbox<GroupMsg>) {
+        if !self.is_anchored() {
+            return;
+        }
+        let Some(mig) = self
+            .rebalance
+            .as_ref()
+            .and_then(|r| r.migration.as_ref())
+        else {
+            return;
+        };
+        if mig.ctrl.is_some() {
+            return;
+        }
+        let old = match &self.router {
+            ShardRouter::Range(b) => b.clone(),
+            ShardRouter::Modulo => unreachable!("rebalancing requires a Range router"),
+        };
+        let new = mig.update.boundaries.clone();
+        let update = mig.update.clone();
+        let drained = !self.shards.iter().any(|s| {
+            s.has_proposal_matching(|v| {
+                let k = kv_key(v);
+                !is_ctrl_value(v) && owner_of(&old, k) != owner_of(&new, k)
+            })
+        });
+        if !drained {
+            return;
+        }
+        let batch = batch_of(update.encode_values());
+        let stored = batch.clone();
+        let mut slot = 0;
+        self.dispatch(ShardId::ZERO, out, |p, o| {
+            slot = p.drive_propose_batch(batch, o);
+        });
+        if let Some(m) = self
+            .rebalance
+            .as_mut()
+            .and_then(|r| r.migration.as_mut())
+        {
+            m.ctrl = Some((slot, stored));
+        }
+    }
+
+    /// Aborts an in-flight migration (anchor lost, or the control slot
+    /// stolen by a competing leader): frozen commands re-enter through
+    /// the still-current routing.
+    fn abort_migration(&mut self, out: &mut Outbox<GroupMsg>) {
+        let had_migration = self
+            .rebalance
+            .as_mut()
+            .map(|r| r.migration.take().is_some())
+            .unwrap_or(false);
+        if !had_migration && self.frozen.is_empty() {
+            return;
+        }
+        let frozen = std::mem::take(&mut self.frozen);
+        for v in frozen {
+            self.admit_value(None, v, out);
+        }
+    }
+
+    /// The per-event rebalance bookkeeping: walk shard 0's prefix for
+    /// committed control entries, detect a stolen control slot, and
+    /// re-try the drain. One cheap branch when rebalancing is disabled
+    /// or idle.
+    fn rebalance_tick(&mut self, out: &mut Outbox<GroupMsg>) {
+        if self.rebalance.is_none() {
+            return;
+        }
+        self.scan_ctrl(out);
+        // A control slot filled by a competing leader's batch means our
+        // bump will never commit there: abort (a revived copy may still
+        // commit later — the epoch-ordered apply handles it).
+        let stolen = self
+            .rebalance
+            .as_ref()
+            .and_then(|r| r.migration.as_ref())
+            .and_then(|m| m.ctrl.as_ref())
+            .is_some_and(|(slot, batch)| {
+                self.shards[0]
+                    .log_entry(*slot)
+                    .is_some_and(|chosen| chosen != batch)
+            });
+        if stolen {
+            self.abort_migration(out);
+        }
+        self.maybe_commit_migration(out);
+    }
+
+    /// Applies committed control entries in shard-0 **slot order** as the
+    /// all-chosen prefix advances — the total order that makes every
+    /// process switch boundaries at the same slot, whatever the delivery
+    /// interleaving. Each slot is scanned exactly once per process.
+    fn scan_ctrl(&mut self, out: &mut Outbox<GroupMsg>) {
+        loop {
+            let prefix = self.shards[0].chosen_prefix();
+            if self.ctrl_scan >= prefix {
+                return;
+            }
+            let slot = self.ctrl_scan;
+            self.ctrl_scan += 1;
+            let update = self.shards[0].log_entry(slot).and_then(|batch| {
+                batch
+                    .first()
+                    .copied()
+                    .filter(|v| is_ctrl_value(*v))
+                    .and_then(|_| RouterUpdate::decode_values(batch))
+            });
+            if let Some(update) = update {
+                // Epoch-ordered application: the first epoch `e + 1`
+                // entry in slot order wins; duplicates (a revived control
+                // batch recommitted after an abort) are skipped.
+                if update.epoch == self.epoch + 1 {
+                    self.apply_update(update, out);
+                }
+            }
+        }
+    }
+
+    /// **Switch + re-forward**: installs the new boundaries and migrates
+    /// the moving keys' local state — identically at every process, so
+    /// the switch is deterministic cluster-wide. An applying anchor also
+    /// broadcasts the update ([`GroupMsg::Reroute`]) so lagging
+    /// followers switch without waiting for shard-0 catch-up.
+    fn apply_update(&mut self, update: RouterUpdate, out: &mut Outbox<GroupMsg>) {
+        debug_assert!(update.epoch > self.epoch);
+        // The codecs validate shape and ordering but cannot know the
+        // shard count: an update whose arity does not fit this group
+        // (a corrupted Reroute, or a mixed-S deployment outside the
+        // model) must never install a router that maps keys to
+        // nonexistent shards.
+        if update.boundaries.len() != self.shards.len() - 1
+            || !update.boundaries.windows(2).all(|w| w[0] < w[1])
+        {
+            debug_assert!(false, "router update does not fit this group");
+            return;
+        }
+        let old = match &self.router {
+            ShardRouter::Range(b) => b.clone(),
+            ShardRouter::Modulo => unreachable!("rebalancing requires a Range router"),
+        };
+        let new = update.boundaries.clone();
+        self.epoch = update.epoch;
+        self.router = ShardRouter::Range(new.clone());
+        // Migrate held state: per shard, pull out every moving key's
+        // pending commands and admitted entries. Unchosen values
+        // re-enter through the new routing; chosen ones join the moved
+        // answers (pruned below by the admitted-window rule).
+        let mut reinject: Vec<Value> = Vec::new();
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let (unchosen, chosen) = shard.drive_extract_matching(|v| {
+                let k = kv_key(v);
+                !is_ctrl_value(v) && owner_of(&old, k) == s && owner_of(&new, k) != s
+            });
+            reinject.extend(unchosen);
+            for (v, slot) in chosen {
+                self.moved.insert(v, (ShardId::new(s as u32), slot));
+            }
+        }
+        // Prune moved answers exactly as the shards' admitted sets would
+        // have: keep an entry while its slot is within the admitted
+        // window of its old shard's all-chosen prefix. Bounds the map at
+        // one window per shard however many migrations run.
+        self.moved.retain(|_, (shard, slot)| {
+            let p = &self.shards[shard.as_usize()];
+            *slot + p.admitted_window() >= p.chosen_prefix()
+        });
+        // This epoch's migration (ours or a competitor's that beat it in
+        // slot order) is done; the frozen buffer flushes through the new
+        // routing together with the extracted pending commands.
+        if let Some(rb) = self.rebalance.as_mut() {
+            if rb
+                .migration
+                .as_ref()
+                .is_some_and(|m| m.update.epoch <= update.epoch)
+            {
+                rb.migration = None;
+            }
+        }
+        reinject.extend(std::mem::take(&mut self.frozen));
+        for v in reinject {
+            self.admit_value(None, v, out);
+        }
+        if self.is_anchored() {
+            out.broadcast(GroupMsg::Reroute { update });
+        }
     }
 }
 
@@ -725,7 +1273,7 @@ impl Process for LogGroupProcess {
 
     fn on_message(&mut self, from: ProcessId, msg: &GroupMsg, out: &mut Outbox<GroupMsg>) {
         match msg {
-            GroupMsg::G1a { mbal } => {
+            GroupMsg::G1a { mbal, prefixes } => {
                 let mbal = *mbal;
                 if mbal > self.mbal {
                     self.adopt(mbal, out);
@@ -733,8 +1281,8 @@ impl Process for LogGroupProcess {
                 if mbal == self.mbal {
                     // One promise answers for every shard (and re-answers
                     // on duplicates: the original may have been lost
-                    // before TS).
-                    let promise = self.promise();
+                    // before TS), truncated at the caller's prefixes.
+                    let promise = self.promise(prefixes);
                     out.send(mbal.owner(self.cfg.n()), GroupMsg::G1b { mbal, promise });
                 }
             }
@@ -772,9 +1320,31 @@ impl Process for LogGroupProcess {
                         self.adopt(*mbal, out);
                     }
                 }
-                self.dispatch(shard, out, |p, o| p.on_message(from, msg, o));
+                match msg {
+                    // With live rebalancing, forwards route by the
+                    // receiver's epoch, not the sender's stale tag (and
+                    // pass through the moved/frozen guards).
+                    MultiMsg::Forward { value } if self.rebalance.is_some() => {
+                        self.admit_value(Some(from), *value, out);
+                    }
+                    _ => self.dispatch(shard, out, |p, o| p.on_message(from, msg, o)),
+                }
+            }
+            GroupMsg::Reroute { update } => {
+                // Advisory fast path for lagging followers — including a
+                // process restarted across several migrations: the
+                // sender applied `update` in shard-0 slot order, so its
+                // epoch → boundary mapping is authoritative and a
+                // *forward jump* lands on the same final state (only the
+                // skipped epochs' moved-answer maps are lost, which
+                // degrades to the documented at-least-once contract).
+                // The log walk later skips the applied epochs.
+                if self.rebalance.is_some() && update.epoch > self.epoch {
+                    self.apply_update(update.clone(), out);
+                }
             }
         }
+        self.rebalance_tick(out);
         // Group-level session bookkeeping, mirroring the single log
         // (suppression: traffic from the group ballot's owner proves the
         // leader is alive and defers our takeover).
@@ -817,6 +1387,22 @@ impl Process for LogGroupProcess {
                         } else {
                             self.broadcast_g1a(out);
                         }
+                        // A rebalanced group's epoch is re-announced too,
+                        // so a process that was down across a migration
+                        // (missing both the control entry's LogDecided
+                        // and the one-shot Reroute) re-converges within
+                        // ε. Never-rebalanced groups (epoch 0) add zero
+                        // messages — the balanced-run bit-identity.
+                        if self.epoch > 0 {
+                            if let ShardRouter::Range(bounds) = &self.router {
+                                out.broadcast(GroupMsg::Reroute {
+                                    update: RouterUpdate {
+                                        epoch: self.epoch,
+                                        boundaries: bounds.clone(),
+                                    },
+                                });
+                            }
+                        }
                     } else {
                         self.broadcast_g1a(out);
                         // Re-forward every shard's held commands toward
@@ -833,6 +1419,7 @@ impl Process for LogGroupProcess {
             }
             _ => {}
         }
+        self.rebalance_tick(out);
     }
 
     fn on_restart(&mut self, out: &mut Outbox<GroupMsg>) {
@@ -845,8 +1432,8 @@ impl Process for LogGroupProcess {
     }
 
     fn on_client(&mut self, value: Value, out: &mut Outbox<GroupMsg>) {
-        let shard = self.shard_of(value);
-        self.dispatch(shard, out, |p, o| p.on_client(value, o));
+        self.admit_value(None, value, out);
+        self.rebalance_tick(out);
     }
 
     /// The single-shot interface reads shard 0 (with `S = 1`, exactly the
@@ -860,6 +1447,18 @@ impl Process for LogGroupProcess {
     /// scenarios kill ONE anchor and all `S` shards re-elect together.
     fn is_leader(&self) -> bool {
         self.is_anchored()
+    }
+
+    /// The applied router epoch (see [`rebalance`]); tests assert it
+    /// agrees across processes after a migration.
+    fn router_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Per-shard load counters, straight from each shard's admission
+    /// machinery.
+    fn shard_load(&self, shard: ShardId) -> crate::outbox::ShardLoad {
+        crate::outbox::Process::shard_load(&self.shards[shard.as_usize()], ShardId::ZERO)
     }
 }
 
@@ -1071,7 +1670,7 @@ mod tests {
         assert!(p.is_anchored());
         p.on_message(
             ProcessId::new(2),
-            &GroupMsg::G1a { mbal: Ballot::new(8) }, // session 2, owner p2
+            &GroupMsg::G1a { mbal: Ballot::new(8), prefixes: vec![] }, // session 2, owner p2
             &mut o,
         );
         o.drain();
@@ -1094,7 +1693,7 @@ mod tests {
         p.on_client(kv_command(0, 10), &mut o);
         p.on_client(kv_command(1, 11), &mut o);
         o.drain();
-        p.on_message(ProcessId::new(2), &GroupMsg::G1a { mbal: Ballot::new(8) }, &mut o);
+        p.on_message(ProcessId::new(2), &GroupMsg::G1a { mbal: Ballot::new(8), prefixes: vec![] }, &mut o);
         o.drain();
         assert_eq!(p.shard(ShardId::ZERO).pending_len(), 1, "shard 0 requeued");
         assert_eq!(p.shard(ShardId::new(1)).pending_len(), 1, "shard 1 requeued");
@@ -1151,16 +1750,21 @@ mod tests {
             &mut o,
         );
         o.drain();
-        let promise = p.promise();
+        let promise = p.promise(&[0, 0]);
         assert_eq!(promise.shards.len(), 2);
-        assert!(promise.shards[0].is_empty(), "shard 0 never voted");
+        assert!(promise.shards[0].votes.is_empty(), "shard 0 never voted");
+        assert!(promise.shards[0].chosen.is_empty(), "shard 0 chose nothing");
         assert_eq!(
             promise.shards[1],
-            vec![PromisedVote {
-                slot: 3,
-                bal: Ballot::new(4),
-                values: vec![Value::new(7)],
-            }]
+            ShardPromise {
+                prefix: 0,
+                chosen: vec![],
+                votes: vec![PromisedVote {
+                    slot: 3,
+                    bal: Ballot::new(4),
+                    values: vec![Value::new(7)],
+                }],
+            }
         );
     }
 
@@ -1170,7 +1774,7 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         o.drain();
-        p.on_message(ProcessId::new(1), &GroupMsg::G1a { mbal: Ballot::new(4) }, &mut o);
+        p.on_message(ProcessId::new(1), &GroupMsg::G1a { mbal: Ballot::new(4), prefixes: vec![] }, &mut o);
         let acts = o.drain();
         let promises: Vec<_> = acts
             .iter()
@@ -1198,12 +1802,16 @@ mod tests {
         // p0's promise reports an old vote in shard 1, slot 7.
         let reported = GroupPromise {
             shards: vec![
-                vec![],
-                vec![PromisedVote {
-                    slot: 7,
-                    bal: Ballot::new(1),
-                    values: vec![Value::new(70)],
-                }],
+                ShardPromise::default(),
+                ShardPromise {
+                    prefix: 0,
+                    chosen: vec![],
+                    votes: vec![PromisedVote {
+                        slot: 7,
+                        bal: Ballot::new(1),
+                        values: vec![Value::new(70)],
+                    }],
+                },
             ],
         };
         p.on_message(
@@ -1233,46 +1841,85 @@ mod tests {
         )));
     }
 
+    /// A promise whose only shard carries `votes` (no chosen entries,
+    /// prefix 0).
+    fn votes_promise(votes: Vec<PromisedVote>) -> GroupPromise {
+        GroupPromise {
+            shards: vec![ShardPromise {
+                prefix: 0,
+                chosen: vec![],
+                votes,
+            }],
+        }
+    }
+
     #[test]
     fn promise_fold_keeps_highest_ballot_vote_per_slot() {
+        let mut chosen = vec![BTreeMap::new()];
         let mut best = vec![BTreeMap::new()];
-        GroupPromise {
-            shards: vec![vec![PromisedVote {
-                slot: 0,
-                bal: Ballot::new(2),
-                values: vec![Value::new(20)],
-            }]],
-        }
-        .fold_into(&mut best);
-        GroupPromise {
-            shards: vec![vec![
-                PromisedVote { slot: 0, bal: Ballot::new(5), values: vec![Value::new(50)] },
-                PromisedVote { slot: 1, bal: Ballot::new(1), values: vec![Value::new(11)] },
-            ]],
-        }
-        .fold_into(&mut best);
-        GroupPromise {
-            shards: vec![vec![PromisedVote {
-                slot: 0,
-                bal: Ballot::new(3),
-                values: vec![Value::new(30)],
-            }]],
-        }
-        .fold_into(&mut best);
+        votes_promise(vec![PromisedVote {
+            slot: 0,
+            bal: Ballot::new(2),
+            values: vec![Value::new(20)],
+        }])
+        .fold_into(&mut chosen, &mut best);
+        votes_promise(vec![
+            PromisedVote { slot: 0, bal: Ballot::new(5), values: vec![Value::new(50)] },
+            PromisedVote { slot: 1, bal: Ballot::new(1), values: vec![Value::new(11)] },
+        ])
+        .fold_into(&mut chosen, &mut best);
+        votes_promise(vec![PromisedVote {
+            slot: 0,
+            bal: Ballot::new(3),
+            values: vec![Value::new(30)],
+        }])
+        .fold_into(&mut chosen, &mut best);
         assert_eq!(best[0][&0].bal, Ballot::new(5), "highest ballot wins slot 0");
         assert_eq!(&*best[0][&0].batch, &[Value::new(50)]);
         assert_eq!(&*best[0][&1].batch, &[Value::new(11)]);
+        assert!(chosen[0].is_empty(), "no chosen entries reported");
+    }
+
+    #[test]
+    fn promise_fold_collects_chosen_entries_first_writer_wins() {
+        let mut chosen = vec![BTreeMap::new()];
+        let mut best = vec![BTreeMap::new()];
+        GroupPromise {
+            shards: vec![ShardPromise {
+                prefix: 2,
+                chosen: vec![(0, vec![Value::new(5)]), (1, vec![Value::new(6)])],
+                votes: vec![],
+            }],
+        }
+        .fold_into(&mut chosen, &mut best);
+        // A second (identical, by agreement) report does not overwrite.
+        GroupPromise {
+            shards: vec![ShardPromise {
+                prefix: 1,
+                chosen: vec![(0, vec![Value::new(5)])],
+                votes: vec![],
+            }],
+        }
+        .fold_into(&mut chosen, &mut best);
+        assert_eq!(chosen[0].len(), 2);
+        assert_eq!(&*chosen[0][&0], &[Value::new(5)]);
+        assert_eq!(&*chosen[0][&1], &[Value::new(6)]);
+        assert!(best[0].is_empty());
     }
 
     #[test]
     fn promise_codec_roundtrips() {
         let p = GroupPromise {
             shards: vec![
-                vec![],
-                vec![
-                    PromisedVote { slot: 3, bal: Ballot::new(4), values: vec![Value::new(7), Value::new(8)] },
-                    PromisedVote { slot: 9, bal: Ballot::new(1), values: vec![] },
-                ],
+                ShardPromise::default(),
+                ShardPromise {
+                    prefix: 2,
+                    chosen: vec![(0, vec![Value::new(40)]), (1, vec![])],
+                    votes: vec![
+                        PromisedVote { slot: 3, bal: Ballot::new(4), values: vec![Value::new(7), Value::new(8)] },
+                        PromisedVote { slot: 9, bal: Ballot::new(1), values: vec![] },
+                    ],
+                },
             ],
         };
         let bytes = p.encode();
@@ -1283,7 +1930,11 @@ mod tests {
     #[test]
     fn promise_codec_rejects_corrupt_input() {
         let p = GroupPromise {
-            shards: vec![vec![PromisedVote { slot: 1, bal: Ballot::new(2), values: vec![Value::new(3)] }]],
+            shards: vec![ShardPromise {
+                prefix: 1,
+                chosen: vec![(0, vec![Value::new(9)])],
+                votes: vec![PromisedVote { slot: 1, bal: Ballot::new(2), values: vec![Value::new(3)] }],
+            }],
         };
         let bytes = p.encode();
         assert!(GroupPromise::decode(&bytes[..bytes.len() - 1]).is_err(), "truncated");
@@ -1304,7 +1955,7 @@ mod tests {
         let mut p = spawn(2, 3, 2);
         let mut o = out();
         p.on_start(&mut o);
-        p.on_message(ProcessId::new(1), &GroupMsg::G1a { mbal: Ballot::new(4) }, &mut o);
+        p.on_message(ProcessId::new(1), &GroupMsg::G1a { mbal: Ballot::new(4), prefixes: vec![] }, &mut o);
         o.drain();
         p.on_message(
             ProcessId::new(1),
@@ -1424,7 +2075,7 @@ mod tests {
         let mut p = spawn(2, 3, 2);
         let mut o = out();
         p.on_start(&mut o);
-        p.on_message(ProcessId::new(1), &GroupMsg::G1a { mbal: Ballot::new(4) }, &mut o);
+        p.on_message(ProcessId::new(1), &GroupMsg::G1a { mbal: Ballot::new(4), prefixes: vec![] }, &mut o);
         p.on_client(kv_command(0, 6), &mut o);
         p.on_client(kv_command(1, 7), &mut o);
         o.drain();
@@ -1439,6 +2090,308 @@ mod tests {
                     if *to == ProcessId::new(1) && s.get() == shard && crate::types::kv_id(*value) == id
             )), "shard {shard} command {id} re-forwarded");
         }
+    }
+
+    // ---- live rebalancing (the key-handoff protocol) ----
+
+    use rebalance::RebalanceConfig;
+
+    /// A rebalancing-enabled group over `Range(bounds)`.
+    fn spawn_rb(shards: usize, n: usize, id: u32, bounds: Vec<u64>) -> LogGroupProcess {
+        LogGroup::new(shards)
+            .with_router(ShardRouter::Range(bounds))
+            .with_rebalancing(RebalanceConfig::default())
+            .spawn(ProcessId::new(id), &cfg(n), Value::new(0))
+    }
+
+    /// Feeds the 2b majority choosing `batch` in `(shard, slot)`.
+    fn commit_slot(
+        p: &mut LogGroupProcess,
+        b: Ballot,
+        shard: u32,
+        slot: u64,
+        batch: &Batch,
+        o: &mut Outbox<GroupMsg>,
+    ) {
+        for from in [0u32, 2] {
+            p.on_message(
+                ProcessId::new(from),
+                &GroupMsg::Shard {
+                    shard: ShardId::new(shard),
+                    msg: MultiMsg::M2b {
+                        mbal: b,
+                        slot,
+                        batch: batch.clone(),
+                    },
+                },
+                o,
+            );
+        }
+    }
+
+    /// The batch of the first 2a broadcast for `(shard, slot)` among
+    /// `acts`, if any.
+    fn proposed_batch(acts: &[Action<GroupMsg>], shard: u32, slot: u64) -> Option<Batch> {
+        acts.iter().find_map(|a| match a {
+            Action::Broadcast {
+                msg: GroupMsg::Shard { shard: s, msg: MultiMsg::M2a { slot: sl, batch, .. } },
+            } if s.get() == shard && *sl == slot => Some(batch.clone()),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn handoff_freezes_drains_commits_and_reroutes() {
+        // Anchor p1 of 3 over two shards split at key 8, with one
+        // in-flight command on the span that is about to move.
+        let mut p = spawn_rb(2, 3, 1, vec![8]);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        let b = anchor_group(&mut p, &mut o);
+        let inflight = kv_command(2, 100); // key 2: shard 0 under [8]
+        p.on_client(inflight, &mut o);
+        let acts = o.drain();
+        let slot0 = proposed_batch(&acts, 0, 0).expect("key 2 proposed in shard 0");
+        // Move keys < 8 ≥ 2 to shard 1: key 2's owner changes.
+        assert!(p.request_rebalance(vec![2], &mut o), "migration accepted");
+        assert!(
+            o.drain().is_empty(),
+            "freeze + drain emit nothing while the span is in flight"
+        );
+        // A new admission on the moving span is frozen, not proposed.
+        let frozen = kv_command(2, 101);
+        p.on_client(frozen, &mut o);
+        assert!(
+            !o.drain().iter().any(|a| matches!(a, Action::Broadcast { .. })),
+            "moving-key admission must freeze during the migration"
+        );
+        // The in-flight slot commits -> drained -> the control batch is
+        // proposed into shard 0's next slot.
+        commit_slot(&mut p, b, 0, 0, &slot0, &mut o);
+        let acts = o.drain();
+        let ctrl = proposed_batch(&acts, 0, 1).expect("control batch proposed after drain");
+        assert!(rebalance::is_ctrl_value(ctrl[0]), "slot 1 holds the epoch bump");
+        assert_eq!(p.router_epoch(), 0, "not applied before the commit");
+        // The control entry commits: the epoch applies at the anchor.
+        commit_slot(&mut p, b, 0, 1, &ctrl, &mut o);
+        let acts = o.drain();
+        assert_eq!(p.router_epoch(), 1);
+        assert_eq!(p.shard_of(kv_command(2, 999)), ShardId::new(1), "key 2 re-homed");
+        assert!(
+            proposed_batch(&acts, 1, 0).is_some_and(|batch| batch.contains(&frozen)),
+            "frozen command flushed into the NEW owner shard"
+        );
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                Action::Broadcast { msg: GroupMsg::Reroute { update } } if update.epoch == 1
+            )),
+            "the applying anchor announces the switch"
+        );
+        assert!(
+            !acts.iter().any(|a| matches!(
+                a,
+                Action::Decide { value, .. } if rebalance::is_ctrl_value(*value)
+            )),
+            "control values never surface as commits"
+        );
+    }
+
+    #[test]
+    fn moved_commands_are_answered_from_the_old_shard() {
+        let mut p = spawn_rb(2, 3, 1, vec![8]);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        let b = anchor_group(&mut p, &mut o);
+        // Key 2 commits in shard 0, then its span moves to shard 1.
+        let v = kv_command(2, 100);
+        p.on_client(v, &mut o);
+        let slot0 = proposed_batch(&o.drain(), 0, 0).expect("proposed");
+        commit_slot(&mut p, b, 0, 0, &slot0, &mut o);
+        o.drain();
+        assert!(p.request_rebalance(vec![2], &mut o));
+        let ctrl = proposed_batch(&o.drain(), 0, 1).expect("nothing in flight: commits at once");
+        commit_slot(&mut p, b, 0, 1, &ctrl, &mut o);
+        o.drain();
+        assert_eq!(p.router_epoch(), 1);
+        // A retry of the moved command is answered with its chosen entry
+        // from the OLD shard — not admitted into the new one.
+        p.on_message(ProcessId::new(2), &GroupMsg::Shard {
+            shard: ShardId::new(1),
+            msg: MultiMsg::Forward { value: v },
+        }, &mut o);
+        let acts = o.drain();
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                Action::Send { to, msg: GroupMsg::Shard { shard: s, msg: MultiMsg::LogDecided { slot: 0, .. } } }
+                    if *to == ProcessId::new(2) && s.get() == 0
+            )),
+            "retry answered from the pre-move log"
+        );
+        assert!(
+            !acts.iter().any(|a| matches!(a, Action::Broadcast { .. })),
+            "no re-proposal of a moved, already-chosen command"
+        );
+        // A client resubmission is dropped silently, like any dup.
+        p.on_client(v, &mut o);
+        assert!(!o.drain().iter().any(|a| matches!(a, Action::Broadcast { .. })));
+    }
+
+    #[test]
+    fn followers_switch_at_the_control_slot_and_migrate_pending() {
+        // Follower p0 holds a pending command on the moving span; the
+        // committed control entry re-homes both the span and the pending
+        // command.
+        let mut p = spawn_rb(2, 3, 0, vec![8]);
+        let mut o = out();
+        p.on_start(&mut o);
+        // Adopt p1's ballot so forwards go somewhere sane.
+        p.on_message(ProcessId::new(1), &GroupMsg::G1a { mbal: Ballot::new(4), prefixes: vec![] }, &mut o);
+        o.drain();
+        let v = kv_command(2, 7);
+        p.on_client(v, &mut o);
+        o.drain();
+        assert_eq!(p.shard(ShardId::ZERO).pending_len(), 1, "held in the old owner");
+        // The anchor's control entry arrives as a LogDecided.
+        let update = RouterUpdate { epoch: 1, boundaries: vec![2] };
+        let ctrl = batch_of(update.encode_values());
+        p.on_message(ProcessId::new(1), &GroupMsg::Shard {
+            shard: ShardId::ZERO,
+            msg: MultiMsg::LogDecided { slot: 0, batch: ctrl },
+        }, &mut o);
+        let acts = o.drain();
+        assert_eq!(p.router_epoch(), 1, "follower switched at the control slot");
+        assert_eq!(p.shard(ShardId::ZERO).pending_len(), 0, "pending left the old owner");
+        assert_eq!(p.shard(ShardId::new(1)).pending_len(), 1, "…and re-homed");
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                Action::Send { msg: GroupMsg::Shard { shard: s, msg: MultiMsg::Forward { value } }, .. }
+                    if s.get() == 1 && *value == v
+            )),
+            "re-homed command re-forwards under the new shard tag"
+        );
+        assert!(
+            !acts.iter().any(|a| matches!(a, Action::Broadcast { msg: GroupMsg::Reroute { .. } })),
+            "followers do not announce"
+        );
+    }
+
+    #[test]
+    fn reroute_fast_path_jumps_forward_and_stays_idempotent() {
+        let mut p = spawn_rb(2, 3, 0, vec![8]);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        // A process that was down across two migrations hears only the
+        // latest epoch's re-announcement: it jumps straight to it.
+        p.on_message(ProcessId::new(1), &GroupMsg::Reroute {
+            update: RouterUpdate { epoch: 2, boundaries: vec![5] },
+        }, &mut o);
+        assert_eq!(p.router_epoch(), 2, "forward jump to the announced epoch");
+        assert_eq!(p.shard_of(kv_command(6, 1)), ShardId::new(1));
+        o.drain();
+        // Stale announcements and the skipped epochs' control entries
+        // are no-ops afterwards.
+        let stale = RouterUpdate { epoch: 1, boundaries: vec![2] };
+        p.on_message(ProcessId::new(1), &GroupMsg::Reroute { update: stale.clone() }, &mut o);
+        assert_eq!(p.router_epoch(), 2, "stale epoch ignored");
+        let ctrl = batch_of(stale.encode_values());
+        p.on_message(ProcessId::new(1), &GroupMsg::Shard {
+            shard: ShardId::ZERO,
+            msg: MultiMsg::LogDecided { slot: 0, batch: ctrl },
+        }, &mut o);
+        assert_eq!(p.router_epoch(), 2, "log walk skips applied epochs");
+        assert_eq!(p.shard_of(kv_command(6, 1)), ShardId::new(1), "bounds kept");
+    }
+
+    #[test]
+    fn idle_epsilon_reannounces_the_epoch_only_after_a_migration() {
+        let mut p = spawn_rb(2, 3, 1, vec![8]);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        let b = anchor_group(&mut p, &mut o);
+        let eps_tick = |p: &mut LogGroupProcess, rounds: u64| {
+            let later = LocalInstant::ZERO + cfg(3).epsilon_timer_local() * (4 * rounds);
+            let mut o = Outbox::new(later);
+            p.on_timer(TIMER_EPSILON, &mut o);
+            o.drain()
+        };
+        assert!(
+            !eps_tick(&mut p, 1).iter().any(|a| matches!(
+                a,
+                Action::Broadcast { msg: GroupMsg::Reroute { .. } }
+            )),
+            "epoch 0: the balanced group's idle tick carries no reroute"
+        );
+        // Migrate, then the idle tick re-announces the epoch.
+        assert!(p.request_rebalance(vec![2], &mut o));
+        let ctrl = proposed_batch(&o.drain(), 0, 0).expect("drained immediately");
+        commit_slot(&mut p, b, 0, 0, &ctrl, &mut o);
+        o.drain();
+        assert_eq!(p.router_epoch(), 1);
+        assert!(
+            eps_tick(&mut p, 2).iter().any(|a| matches!(
+                a,
+                Action::Broadcast { msg: GroupMsg::Reroute { update } }
+                    if update.epoch == 1 && update.boundaries == vec![2]
+            )),
+            "rebalanced anchor re-announces its epoch every idle ε"
+        );
+    }
+
+    #[test]
+    fn losing_the_anchor_aborts_the_migration_and_releases_frozen_commands() {
+        let mut p = spawn_rb(2, 3, 1, vec![8]);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        anchor_group(&mut p, &mut o);
+        // An in-flight moving-span command keeps the drain open…
+        p.on_client(kv_command(2, 100), &mut o);
+        o.drain();
+        assert!(p.request_rebalance(vec![2], &mut o));
+        p.on_client(kv_command(2, 101), &mut o);
+        o.drain(); // frozen
+        // …and a higher ballot takes the group: the migration aborts.
+        p.on_message(ProcessId::new(2), &GroupMsg::G1a { mbal: Ballot::new(8), prefixes: vec![] }, &mut o);
+        let acts = o.drain();
+        assert!(!p.is_anchored());
+        assert_eq!(p.router_epoch(), 0, "nothing committed, nothing applied");
+        // The frozen command re-entered under the OLD routing (key 2 is
+        // still shard 0) and re-forwards toward the new presumed leader.
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                Action::Send { to, msg: GroupMsg::Shard { shard: s, msg: MultiMsg::Forward { value } } }
+                    if *to == ProcessId::new(2) && s.get() == 0 && crate::types::kv_id(*value) == 101
+            )),
+            "frozen command released toward the new leader: {acts:?}"
+        );
+    }
+
+    #[test]
+    fn request_rebalance_rejects_invalid_or_untimely_requests() {
+        let mut p = spawn_rb(2, 3, 1, vec![8]);
+        let mut o = out();
+        p.on_start(&mut o);
+        o.drain();
+        assert!(!p.request_rebalance(vec![2], &mut o), "not anchored yet");
+        anchor_group(&mut p, &mut o);
+        assert!(!p.request_rebalance(vec![8], &mut o), "unchanged bounds");
+        assert!(!p.request_rebalance(vec![2, 5], &mut o), "wrong arity");
+        assert!(!p.request_rebalance(vec![], &mut o), "wrong arity");
+        // A plain (non-rebalancing) group always refuses.
+        let mut plain = spawn(2, 3, 1);
+        let mut o2 = out();
+        plain.on_start(&mut o2);
+        o2.drain();
+        anchor_group(&mut plain, &mut o2);
+        assert!(!plain.request_rebalance(vec![2], &mut o2));
     }
 
     #[test]

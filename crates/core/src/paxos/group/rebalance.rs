@@ -1,0 +1,543 @@
+//! Live shard rebalancing: load-aware range migration with a
+//! key-handoff protocol.
+//!
+//! The shard-group engine scales writes with the number of independent
+//! logs — but only while the key router spreads load. A static
+//! [`ShardRouter::Range`](super::ShardRouter) pins a hotspot key
+//! span to one shard: that shard's pipeline saturates while the others
+//! idle, and aggregate throughput collapses to a single log's. This
+//! module closes the ROADMAP "shard rebalancing" item: the **group
+//! anchor** observes per-shard routed load (the same counters the
+//! schema-v5 imbalance metrics read), computes new range boundaries when
+//! the max/mean ratio crosses a threshold, and executes a **key-handoff
+//! protocol** whose steps are:
+//!
+//! 1. **Freeze** — new admissions of keys in the migrating spans are
+//!    buffered at the anchor instead of entering the old owner shard
+//!    (forwards are re-routed by the anchor's own epoch, so a follower's
+//!    stale shard tag cannot smuggle a moving key into the old owner).
+//! 2. **Drain** — the anchor waits until no in-flight (proposed but
+//!    unchosen) batch of any shard still references a moving key.
+//! 3. **Commit** — the [`RouterUpdate`] (epoch + new boundaries) is
+//!    encoded into a control batch
+//!    ([`RouterUpdate::encode_values`]) and committed through **shard
+//!    0's log**. Every process applies control entries in slot order as
+//!    its shard-0 all-chosen prefix advances, so all processes switch
+//!    boundaries *at the same slot* — a total order even across
+//!    competing migrations from leader churn. An applying anchor also
+//!    broadcasts the update as a [`GroupMsg::Reroute`](super::GroupMsg)
+//!    so followers whose shard-0 catch-up lags switch in `O(δ)`.
+//! 4. **Re-forward** — frozen commands flush through the *new* routing,
+//!    and each process locally migrates the moving keys' held state:
+//!    pending commands re-enter via the new owner, and the old owner's
+//!    admitted-set entries move with them
+//!    ([`AdmittedSet::take_matching`](crate::paxos::admitted::AdmittedSet::take_matching))
+//!    — unchosen ones re-admit at the new owner, chosen ones become
+//!    group-level *moved answers* so a retry of a command committed
+//!    before the move is still answered with its `LogDecided` instead of
+//!    committing twice.
+//!
+//! Under a stable anchor, freeze + drain guarantee **no key is ever live
+//! in two shards**: the anchor is the only proposer, and it admits a
+//! moving key nowhere between the freeze and the epoch switch. Across an
+//! anchor crash mid-migration the usual at-least-once window applies
+//! (exactly as for any leadership change): an aborted migration's
+//! control entry can still be revived by a later phase 1 and commits
+//! idempotently, epoch-ordered, at every process.
+//!
+//! When the router is balanced the subsystem is silent: the trigger
+//! never fires, no control entry is proposed, no `Reroute` is sent —
+//! zero messages added, and runs with rebalancing disabled (or `S = 1`)
+//! are bit-identical to before.
+
+use crate::types::{kv_command, kv_key, Value, KEY_SHIFT};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use super::ShardRouter;
+
+/// The reserved KV key of in-log control entries (the largest encodable
+/// key). Workload generators must keep client keys below it; the group
+/// debug-asserts this at admission.
+pub const CTRL_KEY: u64 = (1 << (64 - KEY_SHIFT)) - 1;
+
+/// Tag bit (within the id field) distinguishing a boundary value from
+/// the epoch header inside a control batch.
+const BOUNDARY_TAG: u64 = 1 << 47;
+
+/// Whether `v` is a control value (a [`RouterUpdate`] fragment), which
+/// drivers must never see as a committed client command.
+pub fn is_ctrl_value(v: Value) -> bool {
+    kv_key(v) == CTRL_KEY
+}
+
+/// A router-epoch switch: the new range boundaries, numbered by a
+/// strictly increasing epoch. Committed through shard 0's log in value
+/// form ([`RouterUpdate::encode_values`]) and broadcast in wire form
+/// ([`RouterUpdate::encode`]) inside [`GroupMsg::Reroute`](super::GroupMsg).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterUpdate {
+    /// The epoch this update establishes (`current + 1` when applied).
+    pub epoch: u64,
+    /// The new [`ShardRouter::Range`] boundaries (`S − 1`, strictly
+    /// ascending).
+    pub boundaries: Vec<u64>,
+}
+
+/// A [`RouterUpdate`] byte string or control batch failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateDecodeError {
+    /// Byte offset at which decoding failed.
+    pub at: usize,
+    /// The field being read when the input ran out or went inconsistent.
+    pub what: &'static str,
+}
+
+impl fmt::Display for UpdateDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid RouterUpdate encoding: {} at byte {}", self.what, self.at)
+    }
+}
+
+impl std::error::Error for UpdateDecodeError {}
+
+impl RouterUpdate {
+    /// Encodes the update as the value sequence of a control batch:
+    /// `[header(epoch), boundary(0, b₀), boundary(1, b₁), …]`, every
+    /// value carrying the reserved [`CTRL_KEY`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the epoch or a boundary overflows its field (40 and 32
+    /// bits — far beyond any realistic migration count or KV key).
+    pub fn encode_values(&self) -> Vec<Value> {
+        assert!(self.epoch < 1 << 40, "router epoch overflows the header");
+        let mut out = Vec::with_capacity(1 + self.boundaries.len());
+        out.push(kv_command(CTRL_KEY, self.epoch));
+        for (i, b) in self.boundaries.iter().enumerate() {
+            assert!(*b < 1 << 32, "range boundary overflows the value field");
+            assert!(i < 1 << 15, "boundary index overflows the value field");
+            out.push(kv_command(CTRL_KEY, BOUNDARY_TAG | (i as u64) << 32 | b));
+        }
+        out
+    }
+
+    /// Decodes a control batch produced by [`RouterUpdate::encode_values`].
+    /// Returns `None` for anything malformed — a wrong key, a missing or
+    /// duplicated header, out-of-order boundary indices, or non-ascending
+    /// boundaries — so a corrupted (or adversarial) batch can never
+    /// switch a router.
+    pub fn decode_values(batch: &[Value]) -> Option<RouterUpdate> {
+        let (head, bounds) = batch.split_first()?;
+        if bounds.is_empty() || !is_ctrl_value(*head) {
+            return None;
+        }
+        let head_id = crate::types::kv_id(*head);
+        if head_id & BOUNDARY_TAG != 0 {
+            return None;
+        }
+        let mut boundaries = Vec::with_capacity(bounds.len());
+        for (i, v) in bounds.iter().enumerate() {
+            if !is_ctrl_value(*v) {
+                return None;
+            }
+            let id = crate::types::kv_id(*v);
+            if id & BOUNDARY_TAG == 0 || (id >> 32) & 0x7FFF != i as u64 {
+                return None;
+            }
+            let b = id & 0xFFFF_FFFF;
+            if boundaries.last().is_some_and(|p| *p >= b) {
+                return None;
+            }
+            boundaries.push(b);
+        }
+        Some(RouterUpdate {
+            epoch: head_id,
+            boundaries,
+        })
+    }
+
+    /// Encodes the update as a self-contained byte string (the wire form
+    /// of [`GroupMsg::Reroute`](super::GroupMsg) a byte-oriented
+    /// transport would ship): little-endian `u64`s,
+    /// `[epoch][count][b₀][b₁]…`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 8 * self.boundaries.len());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.boundaries.len() as u64).to_le_bytes());
+        for b in &self.boundaries {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a byte string produced by [`RouterUpdate::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpdateDecodeError`] if the input is truncated, carries
+    /// trailing bytes, declares a count its byte budget cannot hold, or
+    /// holds non-ascending boundaries.
+    pub fn decode(bytes: &[u8]) -> Result<RouterUpdate, UpdateDecodeError> {
+        struct Reader<'a> {
+            bytes: &'a [u8],
+            at: usize,
+        }
+        impl Reader<'_> {
+            fn u64(&mut self, what: &'static str) -> Result<u64, UpdateDecodeError> {
+                let end = self.at.checked_add(8).filter(|e| *e <= self.bytes.len());
+                let Some(end) = end else {
+                    return Err(UpdateDecodeError { at: self.at, what });
+                };
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&self.bytes[self.at..end]);
+                self.at = end;
+                Ok(u64::from_le_bytes(buf))
+            }
+        }
+        let mut r = Reader { bytes, at: 0 };
+        let epoch = r.u64("epoch")?;
+        let count_at = r.at;
+        let count = r.u64("boundary count")?;
+        if count > ((bytes.len() - r.at) / 8) as u64 {
+            return Err(UpdateDecodeError {
+                at: count_at,
+                what: "boundary count",
+            });
+        }
+        let mut boundaries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let b_at = r.at;
+            let b = r.u64("boundary")?;
+            if boundaries.last().is_some_and(|p| *p >= b) {
+                return Err(UpdateDecodeError {
+                    at: b_at,
+                    what: "boundary order",
+                });
+            }
+            boundaries.push(b);
+        }
+        if r.at != bytes.len() {
+            return Err(UpdateDecodeError {
+                at: r.at,
+                what: "trailing bytes",
+            });
+        }
+        Ok(RouterUpdate { epoch, boundaries })
+    }
+}
+
+/// When and how aggressively the group anchor moves range boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceConfig {
+    /// Trigger ratio: a migration starts when the hottest shard's
+    /// observed routed load exceeds `threshold ×` the per-shard mean.
+    pub threshold: f64,
+    /// Routed commands between imbalance checks (also the minimum sample
+    /// size before the first check fires).
+    pub check_every: u64,
+}
+
+impl Default for RebalanceConfig {
+    /// `threshold = 2.0`, `check_every = 256` — conservative enough that
+    /// a uniform workload never triggers, reactive enough that a pinned
+    /// hotspot migrates within a few hundred commands.
+    fn default() -> Self {
+        RebalanceConfig {
+            threshold: 2.0,
+            check_every: 256,
+        }
+    }
+}
+
+impl RebalanceConfig {
+    /// Sets the trigger ratio (consumed-and-returned for chaining).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold > 1.0` (at or below 1.0 every check
+    /// would trigger, including on perfectly balanced load).
+    #[must_use]
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        assert!(threshold > 1.0, "a trigger ratio must exceed 1.0");
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the check interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_every` is zero.
+    #[must_use]
+    pub fn check_every(mut self, check_every: u64) -> Self {
+        assert!(check_every >= 1, "checks need a nonzero interval");
+        self.check_every = check_every;
+        self
+    }
+}
+
+/// An in-flight migration at the group anchor.
+#[derive(Debug, Clone)]
+pub(super) struct Migration {
+    /// The epoch bump being executed.
+    pub(super) update: RouterUpdate,
+    /// The shard-0 slot the control batch was proposed into (`None`
+    /// until the drain completed) and the batch itself, so a slot lost
+    /// to a competing leader is detected and the migration aborted.
+    pub(super) ctrl: Option<(u64, crate::paxos::multi::Batch)>,
+}
+
+/// The anchor-side rebalancing machinery: load observation, the
+/// imbalance trigger, and the boundary computation. Deterministic — a
+/// pure function of the routed key sequence — so simulator runs with
+/// rebalancing stay bit-reproducible per seed.
+#[derive(Debug, Clone)]
+pub(super) struct Rebalancer {
+    pub(super) cfg: RebalanceConfig,
+    /// Routed commands per key since the last decay — the empirical key
+    /// distribution the split is computed from. Bounded by the key space
+    /// (KV keys are < 2¹⁶) and halved on every check, so shifting
+    /// hotspots age out.
+    key_counts: BTreeMap<u64, u64>,
+    since_check: u64,
+    pub(super) migration: Option<Migration>,
+}
+
+impl Rebalancer {
+    pub(super) fn new(cfg: RebalanceConfig) -> Self {
+        Rebalancer {
+            cfg,
+            key_counts: BTreeMap::new(),
+            since_check: 0,
+            migration: None,
+        }
+    }
+
+    /// Records one routed command.
+    pub(super) fn note(&mut self, key: u64) {
+        *self.key_counts.entry(key).or_insert(0) += 1;
+        self.since_check += 1;
+    }
+
+    /// Runs the imbalance check if due: returns the new boundary vector
+    /// when the hottest shard exceeds `threshold ×` the mean and an
+    /// equal-weight split would actually move a boundary. Decays the
+    /// observed counts afterwards either way.
+    pub(super) fn check(&mut self, router: &ShardRouter, shards: usize) -> Option<Vec<u64>> {
+        if self.since_check < self.cfg.check_every {
+            return None;
+        }
+        self.since_check = 0;
+        let ShardRouter::Range(current) = router else {
+            return None;
+        };
+        let mut per_shard = vec![0u64; shards];
+        let mut total = 0u64;
+        for (key, w) in &self.key_counts {
+            per_shard[current.partition_point(|b| *key >= *b)] += w;
+            total += w;
+        }
+        let hottest = per_shard.iter().copied().max().unwrap_or(0);
+        let mean = total as f64 / shards as f64;
+        let result = if total > 0 && hottest as f64 >= self.cfg.threshold * mean {
+            let split = self.split(shards);
+            (split != *current).then_some(split)
+        } else {
+            None
+        };
+        self.key_counts.retain(|_, w| {
+            *w /= 2;
+            *w > 0
+        });
+        result
+    }
+
+    /// Equal-weight contiguous partition of the observed key
+    /// distribution into `shards` ranges: boundary `i` lands just past
+    /// the key where the cumulative weight crosses `i/S` of the total.
+    /// Always returns `S − 1` strictly ascending boundaries (padded past
+    /// the last placed one when the distribution has too few distinct
+    /// keys to split further).
+    fn split(&self, shards: usize) -> Vec<u64> {
+        let total: u64 = self.key_counts.values().sum();
+        let mut bounds: Vec<u64> = Vec::with_capacity(shards - 1);
+        let mut cum = 0u64;
+        for (key, w) in &self.key_counts {
+            if bounds.len() == shards - 1 {
+                break;
+            }
+            cum += w;
+            // May place several boundaries on one very heavy key; the
+            // ascension floor then fans them out one key apart (a single
+            // key hotter than several shards' shares cannot be split).
+            while bounds.len() < shards - 1
+                && cum * shards as u64 >= (bounds.len() as u64 + 1) * total
+            {
+                let floor = bounds.last().map_or(0, |b| b + 1);
+                bounds.push((key + 1).max(floor));
+            }
+        }
+        while bounds.len() < shards - 1 {
+            let floor = bounds.last().map_or(0, |b| b + 1);
+            bounds.push(floor);
+        }
+        bounds
+    }
+}
+
+/// The shard index `key` routes to under `bounds` (the range-router
+/// rule, shared with [`ShardRouter::route`]).
+pub(super) fn owner_of(bounds: &[u64], key: u64) -> usize {
+    bounds.partition_point(|b| key >= *b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(epoch: u64, boundaries: Vec<u64>) -> RouterUpdate {
+        RouterUpdate { epoch, boundaries }
+    }
+
+    #[test]
+    fn value_codec_roundtrips() {
+        let u = update(3, vec![10, 100, 4_000_000_000]);
+        let values = u.encode_values();
+        assert!(values.iter().all(|v| is_ctrl_value(*v)));
+        assert_eq!(RouterUpdate::decode_values(&values), Some(u));
+    }
+
+    #[test]
+    fn value_codec_rejects_malformed_batches() {
+        let u = update(2, vec![5, 9]);
+        let good = u.encode_values();
+        // Too short (no boundary).
+        assert_eq!(RouterUpdate::decode_values(&good[..1]), None);
+        assert_eq!(RouterUpdate::decode_values(&[]), None);
+        // A client command where the header should be.
+        let mut bad = good.clone();
+        bad[0] = kv_command(7, 1);
+        assert_eq!(RouterUpdate::decode_values(&bad), None);
+        // Boundary index out of order (swap the two boundary values).
+        let mut swapped = good.clone();
+        swapped.swap(1, 2);
+        assert_eq!(RouterUpdate::decode_values(&swapped), None);
+        // Non-ascending boundaries: overwrite the first boundary with 9
+        // so the batch claims [9, 9].
+        let mut vals = update(2, vec![8, 9]).encode_values();
+        vals[1] = kv_command(CTRL_KEY, BOUNDARY_TAG | 9);
+        assert_eq!(RouterUpdate::decode_values(&vals), None);
+        // Header carrying the boundary tag.
+        let mut tagged = good.clone();
+        tagged[0] = kv_command(CTRL_KEY, BOUNDARY_TAG | 2);
+        assert_eq!(RouterUpdate::decode_values(&tagged), None);
+    }
+
+    #[test]
+    fn byte_codec_roundtrips() {
+        let u = update(7, vec![1, 2, 3, u64::MAX]);
+        assert_eq!(RouterUpdate::decode(&u.encode()).unwrap(), u);
+        let empty = update(0, vec![]);
+        assert_eq!(RouterUpdate::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn byte_codec_rejects_corrupt_input() {
+        let u = update(7, vec![10, 20]);
+        let bytes = u.encode();
+        assert!(RouterUpdate::decode(&bytes[..bytes.len() - 1]).is_err(), "truncated");
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(RouterUpdate::decode(&trailing).is_err(), "trailing bytes");
+        // An absurd count must not allocate.
+        let mut huge = 0u64.to_le_bytes().to_vec();
+        huge.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(RouterUpdate::decode(&huge).is_err(), "absurd count");
+        assert!(RouterUpdate::decode(&bytes[..3]).is_err(), "short header");
+        // Non-ascending boundaries are rejected at decode time too.
+        let bad = update(1, vec![20, 20]);
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&bad.epoch.to_le_bytes());
+        raw.extend_from_slice(&2u64.to_le_bytes());
+        raw.extend_from_slice(&20u64.to_le_bytes());
+        raw.extend_from_slice(&20u64.to_le_bytes());
+        assert!(RouterUpdate::decode(&raw).is_err(), "boundary order");
+    }
+
+    #[test]
+    fn balanced_load_never_triggers() {
+        let mut r = Rebalancer::new(RebalanceConfig::default().check_every(64));
+        let router = ShardRouter::Range(vec![16, 32, 48]);
+        for i in 0..256u64 {
+            r.note(i % 64);
+            assert_eq!(r.check(&router, 4), None, "uniform keys must not trigger");
+        }
+    }
+
+    #[test]
+    fn pinned_hotspot_triggers_an_equal_weight_split() {
+        let mut r = Rebalancer::new(RebalanceConfig::default().check_every(64));
+        let router = ShardRouter::Range(vec![16, 32, 48]);
+        // 90% of keys in [0, 8): shard 0 is 3.6x the mean.
+        let mut moved = None;
+        for i in 0..64u64 {
+            r.note(if i % 10 == 0 { 40 + i % 8 } else { i % 8 });
+            if let Some(b) = r.check(&router, 4) {
+                moved = Some(b);
+            }
+        }
+        let bounds = moved.expect("hotspot must trigger a boundary move");
+        assert_eq!(bounds.len(), 3);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "ascending: {bounds:?}");
+        // The hot span is split: at least two boundaries inside [0, 8].
+        assert!(
+            bounds.iter().filter(|b| **b <= 8).count() >= 2,
+            "hot span not split: {bounds:?}"
+        );
+    }
+
+    #[test]
+    fn split_pads_when_keys_are_too_few() {
+        let mut r = Rebalancer::new(RebalanceConfig::default().check_every(8));
+        let router = ShardRouter::Range(vec![100, 200, 300]);
+        for _ in 0..8 {
+            r.note(5); // a single scorching key
+        }
+        let bounds = r.check(&router, 4).expect("one hot key triggers");
+        assert_eq!(bounds.len(), 3);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "padded ascending: {bounds:?}");
+    }
+
+    #[test]
+    fn counts_decay_so_shifted_hotspots_age_out() {
+        let mut r = Rebalancer::new(RebalanceConfig::default().check_every(16));
+        let router = ShardRouter::Range(vec![8]);
+        for _ in 0..16 {
+            r.note(2);
+        }
+        let _ = r.check(&router, 2);
+        // After several empty checks the old hotspot's weight halves away.
+        for _ in 0..6 {
+            for i in 0..16u64 {
+                r.note(8 + i % 8);
+            }
+            let _ = r.check(&router, 2);
+        }
+        assert!(
+            r.key_counts.get(&2).copied().unwrap_or(0) <= 1,
+            "stale hotspot weight must decay"
+        );
+    }
+
+    #[test]
+    fn owner_of_matches_range_router() {
+        let bounds = vec![10u64, 100];
+        for key in [0u64, 9, 10, 55, 100, 5000] {
+            assert_eq!(
+                owner_of(&bounds, key) as u32,
+                ShardRouter::Range(bounds.clone()).route(key, 3).get()
+            );
+        }
+    }
+}

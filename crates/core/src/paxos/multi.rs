@@ -87,12 +87,34 @@ pub enum MultiMsg {
     M1a {
         /// The ballot being started.
         mbal: Ballot,
+        /// The caller's all-chosen log prefix: the replier truncates its
+        /// report at this slot (everything below it is already committed
+        /// at the caller), which is what keeps steady-state promises
+        /// `O(in-flight window)` instead of `O(log length)`.
+        prefix: u64,
     },
-    /// Phase 1b: every slot the acceptor has ever voted in.
+    /// Phase 1b: the acceptor's **truncated** vote report (see
+    /// [`MultiPaxosProcess::vote_report`]). Slots below the reporter's
+    /// own all-chosen prefix are final, so they travel as compact chosen
+    /// entries (only those the caller is missing) rather than as votes;
+    /// live votes are reported only at or above the reporter's prefix.
     M1b {
         /// The joined ballot.
         mbal: Ballot,
-        /// All per-slot last votes.
+        /// The reporter's all-chosen log prefix. Slots below it are
+        /// committed, so the new leader must never propose fresh batches
+        /// there — the quorum's highest prefix is enforced as a
+        /// `next_slot` floor at anchoring (normally implied by the
+        /// shipped chosen entries; kept independent as defense in
+        /// depth), and together with the chosen entries it replaces the
+        /// old full-history vote list.
+        prefix: u64,
+        /// Chosen log entries at or above the **caller's** prefix — the
+        /// caller's catch-up material (empty when caller and reporter
+        /// are equally caught up).
+        chosen: Vec<(u64, Batch)>,
+        /// Per-slot last votes at or above the reporter's prefix, for
+        /// slots not already chosen at the reporter.
         votes: Vec<SlotVote>,
     },
     /// Phase 2a for one slot.
@@ -131,7 +153,7 @@ impl MultiMsg {
     /// The ballot carried by this message, if any.
     pub fn ballot(&self) -> Option<Ballot> {
         match self {
-            MultiMsg::M1a { mbal }
+            MultiMsg::M1a { mbal, .. }
             | MultiMsg::M1b { mbal, .. }
             | MultiMsg::M2a { mbal, .. }
             | MultiMsg::M2b { mbal, .. } => Some(*mbal),
@@ -174,9 +196,25 @@ pub(crate) fn fold_best_vote(
     }
 }
 
+/// One acceptor's truncated phase-1b payload (the fields of
+/// [`MultiMsg::M1b`] below the ballot): its all-chosen prefix, the chosen
+/// entries the caller is missing, and its live votes. Built by
+/// [`MultiPaxosProcess::vote_report`]; the log group aggregates one per
+/// shard into its `GroupPromise`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VoteReport {
+    /// The reporter's all-chosen log prefix.
+    pub prefix: u64,
+    /// Chosen entries at or above the caller's prefix.
+    pub chosen: Vec<(u64, Batch)>,
+    /// Last votes at or above the reporter's prefix, for slots the
+    /// reporter has not seen chosen.
+    pub votes: Vec<SlotVote>,
+}
+
 /// Leader-side phase-1b aggregation across all slots.
 ///
-/// `best` stays a `BTreeMap`: this is a short-lived per-election
+/// `best`/`chosen` stay `BTreeMap`s: this is a short-lived per-election
 /// structure sized by the *reported* votes, rebuilt on every ballot
 /// attempt — the sharded `SlotMap`'s per-shard allocation would cost more
 /// than it saves on exactly the unstable-period election-churn path.
@@ -184,8 +222,16 @@ pub(crate) fn fold_best_vote(
 struct Multi1bQuorum {
     bal: Ballot,
     tracker: QuorumTracker,
-    /// Best (highest-ballot) reported vote per slot.
+    /// The highest reporter prefix seen — a floor for the new leader's
+    /// `next_slot` (every slot below a reporter's prefix is chosen
+    /// *somewhere*), enforced in addition to the shipped chosen entries
+    /// as defense in depth.
+    max_prefix: u64,
+    /// Best (highest-ballot) reported live vote per slot.
     best: std::collections::BTreeMap<u64, BatchVote>,
+    /// Chosen entries reported by the quorum (final — identical across
+    /// reporters by agreement, so first writer wins).
+    chosen: std::collections::BTreeMap<u64, Batch>,
 }
 
 impl Multi1bQuorum {
@@ -193,15 +239,27 @@ impl Multi1bQuorum {
         Multi1bQuorum {
             bal,
             tracker: QuorumTracker::new(n),
+            max_prefix: 0,
             best: std::collections::BTreeMap::new(),
+            chosen: std::collections::BTreeMap::new(),
         }
     }
 
     /// Returns `true` when the majority threshold is crossed by this call.
-    fn record(&mut self, from: ProcessId, votes: &[SlotVote]) -> bool {
+    fn record(
+        &mut self,
+        from: ProcessId,
+        prefix: u64,
+        chosen: &[(u64, Batch)],
+        votes: &[SlotVote],
+    ) -> bool {
         let before = self.tracker.reached();
         if !self.tracker.insert(from) {
             return false;
+        }
+        self.max_prefix = self.max_prefix.max(prefix);
+        for (slot, batch) in chosen {
+            self.chosen.entry(*slot).or_insert_with(|| batch.clone());
         }
         for sv in votes {
             fold_best_vote(&mut self.best, sv.slot, sv.vote.bal, || sv.vote.batch.clone());
@@ -356,6 +414,7 @@ impl Protocol for MultiPaxos {
             timer_expired: false,
             last_p1a2a: None,
             driven: false,
+            load: crate::outbox::ShardLoad::default(),
         }
     }
 }
@@ -416,6 +475,9 @@ pub struct MultiPaxosProcess {
     /// session timer, the ε tick and every 1a/1b exchange; this process
     /// only votes, proposes under a driven anchor, and keeps its log.
     driven: bool,
+    /// Cumulative load counters (commands dispatched / freshly admitted)
+    /// for the imbalance instrumentation and the rebalancer's trigger.
+    load: crate::outbox::ShardLoad,
 }
 
 impl MultiPaxosProcess {
@@ -468,8 +530,18 @@ impl MultiPaxosProcess {
         self.admitted.len()
     }
 
+    /// The admitted-set compaction window, in slots (see
+    /// [`MultiPaxos::with_admitted_window`]). The log group prunes its
+    /// moved-command answers by the same rule.
+    pub fn admitted_window(&self) -> u64 {
+        self.admitted.window()
+    }
+
     fn broadcast_m1a(&mut self, out: &mut Outbox<MultiMsg>) {
-        out.broadcast(MultiMsg::M1a { mbal: self.mbal });
+        out.broadcast(MultiMsg::M1a {
+            mbal: self.mbal,
+            prefix: self.chosen_prefix,
+        });
         self.last_p1a2a = Some(out.now());
     }
 
@@ -556,43 +628,73 @@ impl MultiPaxosProcess {
         self.last_p1a2a = Some(out.now());
     }
 
-    /// Becomes anchored: re-complete every slot reported in the 1b quorum,
-    /// then batch-assign fresh slots to pending commands.
+    /// Becomes anchored: learn the chosen entries the quorum reported,
+    /// re-complete every reported live vote, then batch-assign fresh
+    /// slots to pending commands.
     fn anchor(&mut self, out: &mut Outbox<MultiMsg>) {
         let q = self.p1b.take().expect("anchor follows a 1b quorum");
         debug_assert_eq!(q.bal, self.mbal);
+        // Learn reported-chosen entries BEFORE declaring ourselves
+        // anchored: `choose` flushes pending commands into fresh slots
+        // when anchored, and that must not happen until `next_slot` has
+        // been fixed up past everything the quorum reported.
+        self.learn_chosen(&q.chosen, out);
         self.anchored = Some(q.bal);
-        self.complete_phase1(&q.best, out);
+        self.complete_phase1(q.max_prefix, &q.best, out);
+    }
+
+    /// Applies chosen entries reported by a phase-1b quorum: final by
+    /// agreement, so they are learned directly (emitting their decides
+    /// and a `LogDecided` each, exactly like any other commit) instead of
+    /// being re-proposed through a 2a/2b round. Slots already in the log
+    /// are skipped by `choose`.
+    fn learn_chosen(
+        &mut self,
+        chosen: &std::collections::BTreeMap<u64, Batch>,
+        out: &mut Outbox<MultiMsg>,
+    ) {
+        for (slot, batch) in chosen {
+            self.choose(*slot, batch.clone(), out);
+        }
     }
 
     /// The anchoring tail shared by the in-band [`Self::anchor`] and the
     /// externally driven [`Self::drive_anchor`]: given the highest
-    /// reported vote per slot (folded across a 1b quorum), re-complete
-    /// every reported slot under the current ballot and flush pending
-    /// commands into fresh slots.
+    /// reported live vote per slot (folded across a 1b quorum, with the
+    /// quorum's chosen entries already learned), re-complete every
+    /// reported slot under the current ballot and flush pending commands
+    /// into fresh slots.
     fn complete_phase1(
         &mut self,
+        floor: u64,
         best: &std::collections::BTreeMap<u64, BatchVote>,
         out: &mut Outbox<MultiMsg>,
     ) {
-        // Fresh slots start past both the reported votes and our own
-        // log's high-water mark (entries can be learned via `LogDecided`
-        // without any 1b report covering them).
+        // Fresh slots start past the reported votes, our own log's
+        // high-water mark (which now covers the quorum's reported chosen
+        // entries, plus entries learned via `LogDecided` without any 1b
+        // report covering them), and `floor` — the highest reporter
+        // prefix of the quorum, below which every slot is chosen
+        // somewhere (normally implied by the shipped chosen entries;
+        // enforced independently as defense in depth). This is a
+        // *reset*, not a max with the stale pre-election value: slots we
+        // proposed under a dead ballot and that nobody reported must be
+        // refilled, or the all-chosen prefix would never cross them.
         self.next_slot = best
             .keys()
             .next_back()
             .map_or(0, |m| m + 1)
-            .max(self.log.max_slot().map_or(0, |m| m + 1));
+            .max(self.log.max_slot().map_or(0, |m| m + 1))
+            .max(floor);
         // Re-completions bypass the pipeline window: safety requires every
         // reported slot to finish under the new ballot regardless of load.
         let to_recomplete: Vec<(u64, Batch)> = best
             .iter()
+            .filter(|(s, _)| !self.log.contains(**s))
             .map(|(s, v)| (*s, v.batch.clone()))
             .collect();
         for (slot, batch) in to_recomplete {
-            if !self.log.contains(slot) {
-                self.propose(slot, batch, out);
-            }
+            self.propose(slot, batch, out);
         }
         // A requeued command that a surviving vote already covers (its
         // old 2a reached an acceptor in this quorum) was just re-proposed
@@ -608,17 +710,45 @@ impl MultiPaxosProcess {
         self.drain_pending(out);
     }
 
-    /// Every slot this process has ever voted in, with its last vote —
-    /// the phase-1b payload. Shared by the in-band `M1b` reply and the
+    /// The truncated phase-1b payload, relative to the 1a caller's
+    /// all-chosen prefix. Shared by the in-band `M1b` reply and the
     /// [group promise](crate::paxos::group::GroupPromise) aggregation.
-    pub fn slot_votes(&self) -> Vec<SlotVote> {
-        self.accepted
-            .iter()
+    ///
+    /// What travels (and why it is safe to drop the rest):
+    ///
+    /// * **Chosen entries** at or above `caller_prefix` — final by
+    ///   agreement, they are the caller's catch-up material. Slots below
+    ///   the caller's prefix are already committed at the caller.
+    /// * **Live votes** at or above *our* prefix, for slots we have not
+    ///   seen chosen. A vote below our prefix is superseded by the log
+    ///   entry (sent above when the caller lacks it); a chosen slot's
+    ///   classic-Paxos repair is preserved because any quorum intersects
+    ///   the choosing majority, and that member either still reports the
+    ///   vote (slot at or above its prefix) or ships the final entry.
+    ///
+    /// Steady-state cost is `O(in-flight window + prefix lag)` per reply
+    /// — the ROADMAP "promise size" item — while a caller at prefix 0
+    /// (a restarted process) receives the full log in one exchange.
+    pub fn vote_report(&self, caller_prefix: u64) -> VoteReport {
+        let chosen: Vec<(u64, Batch)> = self
+            .log
+            .tail(caller_prefix)
+            .map(|(slot, batch)| (slot, batch.clone()))
+            .collect();
+        let votes: Vec<SlotVote> = self
+            .accepted
+            .tail(self.chosen_prefix)
+            .filter(|(slot, _)| !self.log.contains(*slot))
             .map(|(slot, vote)| SlotVote {
                 slot,
                 vote: vote.clone(),
             })
-            .collect()
+            .collect();
+        VoteReport {
+            prefix: self.chosen_prefix,
+            chosen,
+            votes,
+        }
     }
 
     /// Externally driven ballot adoption (log-group shards): raises this
@@ -641,22 +771,28 @@ impl MultiPaxosProcess {
     }
 
     /// Externally driven anchoring: the group's shared phase 1 completed
-    /// at ballot `b`, and `best` holds this shard's highest-ballot
-    /// reported vote per slot, folded across the group-promise quorum.
-    /// Exactly the in-band anchoring with the quorum supplied from
-    /// outside: reported slots re-complete under `b`, covered requeues
+    /// at ballot `b`; `floor` is the quorum's highest reported prefix
+    /// for this shard, `chosen` holds the final entries the
+    /// group-promise quorum reported for it and `best` its
+    /// highest-ballot reported live vote per slot. Exactly the in-band
+    /// anchoring with
+    /// the quorum supplied from outside: reported chosen entries are
+    /// learned, reported votes re-complete under `b`, covered requeues
     /// are pruned, pending commands drain into fresh slots.
     pub fn drive_anchor(
         &mut self,
         b: Ballot,
+        floor: u64,
+        chosen: &std::collections::BTreeMap<u64, Batch>,
         best: &std::collections::BTreeMap<u64, BatchVote>,
         out: &mut Outbox<MultiMsg>,
     ) {
         debug_assert!(self.driven, "drive_anchor is for externally driven shards");
         debug_assert!(b >= self.mbal, "anchors never move the ballot backwards");
         self.mbal = b;
+        self.learn_chosen(chosen, out);
         self.anchored = Some(b);
-        self.complete_phase1(best, out);
+        self.complete_phase1(floor, best, out);
     }
 
     /// Whether any proposed-but-unchosen slot is in flight (the live
@@ -691,6 +827,103 @@ impl MultiPaxosProcess {
         }
     }
 
+    /// The admitted-set status of `value`: `None` if never admitted (or
+    /// compacted away), `Unchosen` while queued or in flight, `Chosen`
+    /// with its slot once committed. Read by the log group's rebalancer
+    /// to decide whether a command crossing a moving key span can still
+    /// be answered from the old owner's log.
+    pub fn admitted_status(&self, value: Value) -> Option<Admitted> {
+        self.admitted.status(value)
+    }
+
+    /// Whether any proposed-but-unchosen slot holds a batch with a value
+    /// matching `pred` — the rebalancer's **drain** condition: a key span
+    /// may only switch shards once no in-flight proposal of the old owner
+    /// still references it. Bounded by the pipeline window.
+    pub fn has_proposal_matching(&self, mut pred: impl FnMut(Value) -> bool) -> bool {
+        self.proposals
+            .values()
+            .any(|b| b.iter().any(|v| pred(*v)))
+    }
+
+    /// Extracts every command matching `pred` from this shard's held
+    /// state: pending entries leave the queue, and their admitted-set
+    /// entries (plus those of matching *chosen* commands) are removed.
+    /// Returns the unchosen values (for re-admission at the key span's
+    /// new owner shard) and the chosen `(value, slot)` pairs (which
+    /// become the group's moved-command answers). The per-shard half of
+    /// a router-epoch switch; the caller re-routes the unchosen values.
+    pub fn drive_extract_matching(
+        &mut self,
+        mut pred: impl FnMut(Value) -> bool,
+    ) -> (Vec<Value>, Vec<(Value, u64)>) {
+        let taken = self.admitted.take_matching(|v, _| pred(v));
+        if taken.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        self.pending.retain(|v| !pred(*v));
+        let mut unchosen = Vec::new();
+        let mut chosen = Vec::new();
+        for (v, slot) in taken {
+            match slot {
+                None => unchosen.push(v),
+                Some(s) => chosen.push((v, s)),
+            }
+        }
+        (unchosen, chosen)
+    }
+
+    /// [`Self::drive_extract_matching`] restricted to **pending**
+    /// commands (admitted, unchosen, and *not* in a live proposal):
+    /// they leave the queue and their admitted entries go with them.
+    /// The migration **freeze** step — queued moving-key commands join
+    /// the frozen buffer, while in-flight proposals are left to the
+    /// drain (pulling their dedup entries early would let the frozen
+    /// copy and the in-flight proposal both commit) and committed
+    /// commands stay answerable from this shard's log until the epoch
+    /// actually switches.
+    pub fn drive_extract_pending(&mut self, mut pred: impl FnMut(Value) -> bool) -> Vec<Value> {
+        let moving: std::collections::BTreeSet<Value> = self
+            .pending
+            .iter()
+            .copied()
+            .filter(|v| pred(*v))
+            .collect();
+        if moving.is_empty() {
+            return Vec::new();
+        }
+        self.pending.retain(|v| !moving.contains(v));
+        self.admitted.take_matching(|v, _| moving.contains(&v));
+        moving.into_iter().collect()
+    }
+
+    /// Proposes `batch` directly into the next fresh slot, bypassing the
+    /// pending queue, admission dedup and the pipeline window — the
+    /// control-entry path of the rebalancer's router-epoch bump (the
+    /// batch is protocol metadata, not a client command: it must occupy
+    /// exactly one slot, exactly once, and never be requeued as a lost
+    /// client command). Returns the slot proposed into.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that this shard is externally driven and anchored.
+    pub fn drive_propose_batch(&mut self, batch: Batch, out: &mut Outbox<MultiMsg>) -> u64 {
+        debug_assert!(self.driven, "drive_propose_batch is for externally driven shards");
+        debug_assert!(self.is_anchored(), "control entries need an anchored proposer");
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.propose(slot, batch, out);
+        slot
+    }
+
+    /// Counts one router dispatch that never reaches this shard's
+    /// handlers — the log group's moved-command answers, which satisfy a
+    /// retry entirely at the group level but are load on this shard's
+    /// span all the same.
+    pub(crate) fn drive_note_submitted(&mut self) {
+        self.load.submitted += 1;
+    }
+
     /// Admits a command to the held set, idempotently: a value this
     /// process has already seen (an ε-retry duplicate, or a client
     /// resubmission of a committed command still inside the admitted
@@ -699,6 +932,7 @@ impl MultiPaxosProcess {
     fn admit(&mut self, value: Value) -> bool {
         let fresh = self.admitted.admit(value);
         if fresh {
+            self.load.admitted += 1;
             self.pending.push(value);
         }
         fresh
@@ -790,7 +1024,7 @@ impl Process for MultiPaxosProcess {
 
     fn on_message(&mut self, from: ProcessId, msg: &MultiMsg, out: &mut Outbox<MultiMsg>) {
         match msg {
-            MultiMsg::M1a { mbal } => {
+            MultiMsg::M1a { mbal, prefix } => {
                 // Phase 1 of a driven shard is group-level; a per-shard 1a
                 // is not part of that protocol and is dropped.
                 if self.driven {
@@ -802,14 +1036,27 @@ impl Process for MultiPaxosProcess {
                     self.adopt(mbal, out);
                 }
                 if mbal == self.mbal {
-                    let votes = self.slot_votes();
-                    out.send(mbal.owner(self.cfg.n()), MultiMsg::M1b { mbal, votes });
+                    let report = self.vote_report(*prefix);
+                    out.send(
+                        mbal.owner(self.cfg.n()),
+                        MultiMsg::M1b {
+                            mbal,
+                            prefix: report.prefix,
+                            chosen: report.chosen,
+                            votes: report.votes,
+                        },
+                    );
                 }
             }
-            MultiMsg::M1b { mbal, votes } => {
+            MultiMsg::M1b {
+                mbal,
+                prefix,
+                chosen,
+                votes,
+            } => {
                 if *mbal == self.mbal {
                     if let Some(q) = self.p1b.as_mut() {
-                        if q.bal == *mbal && q.record(from, votes) {
+                        if q.bal == *mbal && q.record(from, *prefix, chosen, votes) {
                             self.anchor(out);
                         }
                     }
@@ -847,6 +1094,7 @@ impl Process for MultiPaxosProcess {
                 }
             }
             MultiMsg::Forward { value } => {
+                self.load.submitted += 1;
                 // A retry of an already-chosen command means the sender
                 // missed the decision broadcasts (lost pre-TS): answer
                 // with the chosen entry so its retry loop terminates.
@@ -961,6 +1209,7 @@ impl Process for MultiPaxosProcess {
     }
 
     fn on_client(&mut self, value: Value, out: &mut Outbox<MultiMsg>) {
+        self.load.submitted += 1;
         if !self.admit(value) {
             return;
         }
@@ -985,6 +1234,12 @@ impl Process for MultiPaxosProcess {
     /// Anchored means leading: phase 1 is pre-executed for every slot.
     fn is_leader(&self) -> bool {
         self.is_anchored()
+    }
+
+    /// A plain log is one shard; its load counters live in shard zero.
+    fn shard_load(&self, shard: crate::types::ShardId) -> crate::outbox::ShardLoad {
+        debug_assert_eq!(shard, crate::types::ShardId::ZERO, "a plain log has one shard");
+        self.load
     }
 }
 
@@ -1019,6 +1274,8 @@ mod tests {
             p.on_message(ProcessId::new(from),
                 &MultiMsg::M1b {
                     mbal: b,
+                    prefix: 0,
+                    chosen: vec![],
                     votes: vec![],
                 },
                 o,
@@ -1066,6 +1323,7 @@ mod tests {
         p.on_message(ProcessId::new(1),
             &MultiMsg::M1a {
                 mbal: Ballot::new(4),
+                prefix: 0,
             },
             &mut o,
         );
@@ -1187,6 +1445,8 @@ mod tests {
         p.on_message(ProcessId::new(0),
             &MultiMsg::M1b {
                 mbal: b,
+                prefix: 0,
+                chosen: vec![],
                 votes: vec![SlotVote {
                     slot: 7,
                     vote: BatchVote {
@@ -1200,6 +1460,8 @@ mod tests {
         p.on_message(ProcessId::new(2),
             &MultiMsg::M1b {
                 mbal: b,
+                prefix: 0,
+                chosen: vec![],
                 votes: vec![],
             },
             &mut o,
@@ -1227,6 +1489,7 @@ mod tests {
         p.on_message(ProcessId::new(2),
             &MultiMsg::M1a {
                 mbal: Ballot::new(8), // session 2, owner p2
+                prefix: 0,
             },
             &mut o,
         );
@@ -1281,6 +1544,7 @@ mod tests {
         p.on_message(ProcessId::new(1),
             &MultiMsg::M1a {
                 mbal: Ballot::new(4),
+                prefix: 0,
             },
             &mut o,
         );
@@ -1311,6 +1575,7 @@ mod tests {
         p.on_message(ProcessId::new(0),
             &MultiMsg::M1a {
                 mbal: Ballot::new(4),
+                prefix: 0,
             },
             &mut o,
         );
@@ -1420,7 +1685,7 @@ mod tests {
         let mut o = out();
         p.on_start(&mut o);
         // Adopt leader p1's ballot 4, then submit: pending + one Forward.
-        p.on_message(ProcessId::new(1), &MultiMsg::M1a { mbal: Ballot::new(4) }, &mut o);
+        p.on_message(ProcessId::new(1), &MultiMsg::M1a { mbal: Ballot::new(4), prefix: 0 }, &mut o);
         p.on_client(Value::new(9), &mut o);
         o.drain();
         // An idle ε tick retries the forward toward the presumed leader.
@@ -1551,7 +1816,7 @@ mod tests {
         // Unanchoring must NOT requeue it: it is committed, and a requeue
         // would re-forward it every ε forever (commits never prune it
         // again).
-        p.on_message(ProcessId::new(2), &MultiMsg::M1a { mbal: Ballot::new(8) }, &mut o);
+        p.on_message(ProcessId::new(2), &MultiMsg::M1a { mbal: Ballot::new(8), prefix: 0 }, &mut o);
         o.drain();
         assert!(!p.is_anchored());
         assert_eq!(p.pending_len(), 0, "committed command not requeued");
@@ -1567,7 +1832,7 @@ mod tests {
         assert_eq!(p.pending_len(), 0);
         // A higher ballot takes over: the command must fall back to
         // pending, not vanish.
-        p.on_message(ProcessId::new(2), &MultiMsg::M1a { mbal: Ballot::new(8) }, &mut o);
+        p.on_message(ProcessId::new(2), &MultiMsg::M1a { mbal: Ballot::new(8), prefix: 0 }, &mut o);
         o.drain();
         assert!(!p.is_anchored());
         assert_eq!(p.pending_len(), 1, "unchosen proposal requeued");

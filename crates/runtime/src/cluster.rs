@@ -47,6 +47,20 @@ pub struct Commit {
     pub elapsed: Duration,
 }
 
+/// One node's final observability counters, shipped by its thread on
+/// exit (stop or kill): the applied router epoch and the per-shard load
+/// counters the schema-v5 imbalance metrics read. Collected with
+/// [`Cluster::shutdown_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStats {
+    /// The reporting node.
+    pub pid: ProcessId,
+    /// The router epoch the node had applied when it stopped.
+    pub router_epoch: u64,
+    /// Per-shard load counters (indexed by shard).
+    pub shard_loads: Vec<esync_core::outbox::ShardLoad>,
+}
+
 /// Errors from running a cluster.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -203,6 +217,8 @@ pub struct Cluster<P: Protocol> {
     /// Per-node "believes it leads" flags, published by the node threads
     /// after every event (see [`esync_core::outbox::Process::is_leader`]).
     leader_flags: Vec<Arc<AtomicBool>>,
+    /// Final per-node stats, sent by each node thread on exit.
+    stats_rx: Receiver<NodeStats>,
     handles: Vec<JoinHandle<()>>,
     delayer_handle: Option<JoinHandle<()>>,
 }
@@ -234,6 +250,8 @@ where
         let (delayer_tx, delayer_handle) = spawn_delayer(senders.clone());
         let (dec_tx, dec_rx) = unbounded::<Decision>();
         let (commit_tx, commit_rx) = unbounded::<Commit>();
+        let (stats_tx, stats_rx) = unbounded::<NodeStats>();
+        let shards = protocol.shard_count();
         let mut seed_rng = ChaCha8Rng::seed_from_u64(cfg.seed);
 
         let mut handles = Vec::with_capacity(n);
@@ -260,10 +278,14 @@ where
             let clock = LocalClock::new(rate, start);
             let decisions = dec_tx.clone();
             let commits = commit_tx.clone();
+            let stats = stats_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("esync-node-{i}"))
                 .spawn(move || {
-                    run_node(pid, proc, inbox, transport, clock, decisions, commits, leader_flag)
+                    run_node(
+                        pid, proc, inbox, transport, clock, decisions, commits, leader_flag,
+                        stats, shards,
+                    )
                 })
                 .expect("spawn node thread");
             handles.push(handle);
@@ -275,6 +297,7 @@ where
             decisions_rx: dec_rx,
             commits_rx: commit_rx,
             leader_flags,
+            stats_rx,
             handles,
             delayer_handle: Some(delayer_handle),
         })
@@ -359,19 +382,33 @@ where
     }
 
     /// Stops all nodes and joins their threads.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
+        let _ = self.shutdown_stats();
+    }
+
+    /// Stops all nodes, joins their threads, and returns every node's
+    /// final [`NodeStats`], ordered by process id (killed nodes report
+    /// the counters they had when they died).
+    pub fn shutdown_stats(mut self) -> Vec<NodeStats> {
         for s in &self.node_senders {
             let _ = s.send(Wire::Stop);
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        let mut stats: Vec<NodeStats> = Vec::with_capacity(self.n);
+        while let Ok(s) = self.stats_rx.try_recv() {
+            stats.push(s);
+        }
+        stats.sort_by_key(|s| s.pid);
+        stats.dedup_by_key(|s| s.pid);
         // With the node threads (and their transports) gone, dropping our
         // channel ends drain the delayer's input; it exits on disconnect.
         self.node_senders.clear();
         if let Some(h) = self.delayer_handle.take() {
             let _ = h.join();
         }
+        stats
     }
 }
 

@@ -1,7 +1,7 @@
 //! One OS thread per process: inbox, wall-clock timers, drifting local
 //! clock.
 
-use crate::cluster::{Commit, Decision};
+use crate::cluster::{Commit, Decision, NodeStats};
 use crate::transport::{Transport, Wire};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use esync_core::outbox::{Action, Outbox, Process};
@@ -42,7 +42,10 @@ impl LocalClock {
 /// After every handled event the node publishes its
 /// [`Process::is_leader`] belief into `leader_flag` (cleared on exit), so
 /// the cluster can answer leader-observability queries without touching
-/// protocol state across threads.
+/// protocol state across threads. On exit it ships its final
+/// [`NodeStats`] (router epoch, per-shard load counters over `shards`
+/// shards) through `stats` — the runtime half of the schema-v5
+/// imbalance observability.
 ///
 /// # Panics
 ///
@@ -59,6 +62,8 @@ pub fn run_node<Proc>(
     decisions: Sender<Decision>,
     commits: Sender<Commit>,
     leader_flag: Arc<AtomicBool>,
+    stats: Sender<NodeStats>,
+    shards: usize,
 ) where
     Proc: Process,
     Proc::Msg: Clone,
@@ -160,6 +165,13 @@ pub fn run_node<Proc>(
     // Dead nodes lead nothing: clear the published belief on the way out
     // so `leader_hint` never points at a stopped thread.
     leader_flag.store(false, Ordering::Relaxed);
+    let _ = stats.send(NodeStats {
+        pid,
+        router_epoch: proc.router_epoch(),
+        shard_loads: (0..shards as u32)
+            .map(|s| proc.shard_load(esync_core::types::ShardId::new(s)))
+            .collect(),
+    });
 }
 
 #[allow(clippy::too_many_arguments)]

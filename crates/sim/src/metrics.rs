@@ -405,6 +405,17 @@ impl ThroughputTimeline {
 pub struct ShardSummary {
     /// The shard index.
     pub shard: u32,
+    /// (v5) Commands the protocol's router dispatched to this shard,
+    /// summed across processes — client submissions plus forwards,
+    /// *before* dedup, so retry pressure shows up as load. Zero when the
+    /// driver provided no load counters.
+    #[serde(default)]
+    pub submitted: u64,
+    /// (v5) Commands freshly admitted by this shard after retry dedup,
+    /// summed across processes. Zero when the driver provided no load
+    /// counters.
+    #[serde(default)]
+    pub admitted: u64,
     /// Distinct commands whose first commit landed in this shard.
     pub committed: u64,
     /// Extra commits of already-committed ids observed in this shard.
@@ -460,6 +471,13 @@ pub struct WorkloadSummary {
     /// serde serializes only and ignores the attribute).
     #[serde(default)]
     pub per_shard: Vec<ShardSummary>,
+    /// (v5) The shard-imbalance ratio: the hottest shard's committed
+    /// count over the per-shard mean (`max / mean`). `1.0` is perfectly
+    /// balanced (and the only possible value at one shard); `S` means
+    /// one shard took everything; `0.0` when nothing committed. The
+    /// one-number summary the rebalancing experiments plot.
+    #[serde(default)]
+    pub shard_imbalance: f64,
 }
 
 /// Aggregate statistics over a set of runs (seed sweeps).

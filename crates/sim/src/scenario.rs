@@ -142,6 +142,158 @@ pub enum Arrivals {
 // here where the workload generators historically found it.
 pub use esync_core::types::{kv_command, kv_id, kv_key, KEY_SHIFT};
 
+/// The key distribution of a workload generator — how skewed the KV
+/// working set is. Shared by the open-loop [`SubmitStream`] and the
+/// closed-loop drivers of `esync-workload` (which re-exports it), over
+/// both backends: the same `(dist, key_space, seed)` samples the same
+/// key sequence everywhere.
+///
+/// Skew is what makes routing interesting: a static range-partitioned
+/// shard router collapses to one hot shard under `Hotspot`/`Zipfian`
+/// keys, and the population-dynamics consensus literature likewise
+/// studies exactly the adversarial input distributions — `Uniform` is
+/// the easy case, the others are the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum KeyDist {
+    /// Keys uniform over `0..key_space` — the balanced baseline.
+    #[default]
+    Uniform,
+    /// Zipf-distributed ranks over `0..key_space` (YCSB-style sampler):
+    /// key 0 is the hottest, with tail exponent `theta ∈ (0, 1)`
+    /// (0.99 ≈ the classic YCSB default). Unscrambled on purpose — hot
+    /// keys are *contiguous at the bottom of the key space*, the
+    /// worst case for a range router.
+    Zipfian {
+        /// The skew exponent; larger is more skewed. Must be in `(0, 1)`.
+        theta: f64,
+    },
+    /// A contiguous hot span: with probability `frac` the key is uniform
+    /// over `0..span`, otherwise uniform over the whole space.
+    Hotspot {
+        /// Fraction of traffic hitting the hot span.
+        frac: f64,
+        /// Width of the hot span, in keys (clamped to the key space).
+        span: u64,
+    },
+    /// A *moving* hot span (`frac = 0.9`, width `key_space / 16`): every
+    /// `period` commands the span advances by its own width, wrapping
+    /// around the key space — the workload a one-shot rebalance cannot
+    /// serve, only continuous rebalancing can.
+    Shifting {
+        /// Commands between span advances.
+        period: u64,
+    },
+}
+
+/// Fraction of traffic hitting the moving hot span of
+/// [`KeyDist::Shifting`].
+const SHIFTING_FRAC: f64 = 0.9;
+
+/// A prepared sampler for one [`KeyDist`] over one key space. Holds the
+/// Zipf tables so the per-key cost stays O(1); construction is
+/// `O(key_space)` for `Zipfian` and O(1) otherwise.
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    dist: KeyDist,
+    key_space: u64,
+    /// Precomputed Zipf constants `(zetan, alpha, eta)`.
+    zipf: Option<(f64, f64, f64)>,
+}
+
+impl KeySampler {
+    /// Prepares a sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters: a `Zipfian` theta outside `(0, 1)`
+    /// or key space above 2²⁰ (the zeta precomputation is linear in it),
+    /// a `Hotspot` fraction outside `[0, 1]` or zero span, a zero
+    /// `Shifting` period.
+    pub fn new(dist: KeyDist, key_space: u64) -> Self {
+        let zipf = match dist {
+            KeyDist::Zipfian { theta } => {
+                assert!(
+                    theta > 0.0 && theta < 1.0,
+                    "Zipf theta must be in (0, 1), got {theta}"
+                );
+                assert!(
+                    (1..=1 << 20).contains(&key_space),
+                    "Zipfian needs 1 <= key_space <= 2^20, got {key_space}"
+                );
+                let n = key_space;
+                let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+                let zeta2 = 1.0 + 0.5f64.powf(theta);
+                let alpha = 1.0 / (1.0 - theta);
+                let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+                Some((zetan, alpha, eta))
+            }
+            KeyDist::Hotspot { frac, span } => {
+                assert!((0.0..=1.0).contains(&frac), "hot fraction in [0, 1], got {frac}");
+                assert!(span >= 1, "the hot span holds at least one key");
+                None
+            }
+            KeyDist::Shifting { period } => {
+                assert!(period >= 1, "the shift period is at least one command");
+                None
+            }
+            KeyDist::Uniform => None,
+        };
+        KeySampler {
+            dist,
+            key_space,
+            zipf,
+        }
+    }
+
+    /// The distribution this sampler draws from.
+    pub fn dist(&self) -> KeyDist {
+        self.dist
+    }
+
+    /// Samples the key of command number `index` (0-based; only
+    /// `Shifting` reads it — the hot span's position is a function of
+    /// the index, so both backends' replays shift in lockstep).
+    pub fn sample(&self, rng: &mut ChaCha8Rng, index: u64) -> u64 {
+        let ks = self.key_space;
+        debug_assert!(ks >= 1, "keyed sampling needs a nonempty key space");
+        match self.dist {
+            KeyDist::Uniform => rng.gen_range(0..ks),
+            KeyDist::Zipfian { theta } => {
+                // YCSB's zipfian_generator: inverse-CDF with the
+                // precomputed constants.
+                let (zetan, alpha, eta) = self.zipf.expect("prepared at construction");
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let uz = u * zetan;
+                if uz < 1.0 {
+                    0
+                } else if uz < 1.0 + 0.5f64.powf(theta) {
+                    1.min(ks - 1)
+                } else {
+                    let rank = (ks as f64 * (eta * u - eta + 1.0).powf(alpha)) as u64;
+                    rank.min(ks - 1)
+                }
+            }
+            KeyDist::Hotspot { frac, span } => {
+                let span = span.min(ks);
+                if rng.gen_range(0.0..1.0) < frac {
+                    rng.gen_range(0..span)
+                } else {
+                    rng.gen_range(0..ks)
+                }
+            }
+            KeyDist::Shifting { period } => {
+                let width = (ks / 16).max(1);
+                let start = (index / period).wrapping_mul(width) % ks;
+                if rng.gen_range(0.0..1.0) < SHIFTING_FRAC {
+                    (start + rng.gen_range(0..width)) % ks
+                } else {
+                    rng.gen_range(0..ks)
+                }
+            }
+        }
+    }
+}
+
 /// A deterministic, seedable stream of recurring client submissions —
 /// the open-loop workload generator.
 ///
@@ -165,9 +317,11 @@ pub struct SubmitStream {
     /// Command ids are `id_base + i` — give concurrent streams disjoint
     /// ranges to keep ids unique run-wide.
     pub id_base: u64,
-    /// Keys are sampled uniformly from `0..key_space` (`0` disables
-    /// keying: values carry the bare id).
+    /// Keys are sampled from `0..key_space` (`0` disables keying: values
+    /// carry the bare id).
     pub key_space: u64,
+    /// How keys are drawn from the key space (default uniform).
+    pub dist: KeyDist,
 }
 
 impl SubmitStream {
@@ -181,6 +335,7 @@ impl SubmitStream {
             seed: 0,
             id_base: 0,
             key_space: 0,
+            dist: KeyDist::Uniform,
         }
     }
 
@@ -220,6 +375,14 @@ impl SubmitStream {
         self
     }
 
+    /// Sets the key distribution (see [`KeyDist`]; only meaningful for
+    /// keyed streams).
+    #[must_use]
+    pub fn dist(mut self, dist: KeyDist) -> Self {
+        self.dist = dist;
+        self
+    }
+
     /// Expands the stream into its `(at, pid, value)` submissions, in
     /// arrival order, for an `n`-process system. Deterministic in
     /// `(self, n)`: the simulator world and the threaded-runtime driver
@@ -227,6 +390,7 @@ impl SubmitStream {
     /// identical command sequence.
     pub fn expand(&self, n: usize) -> Vec<(SimTime, ProcessId, Value)> {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let sampler = (self.key_space > 0).then(|| KeySampler::new(self.dist, self.key_space));
         let mut at = self.start;
         let mut out = Vec::with_capacity(self.count as usize);
         for i in 0..self.count {
@@ -247,10 +411,9 @@ impl SubmitStream {
                 StreamTarget::RoundRobin => ProcessId::new((i % n as u64) as u32),
             };
             let id = self.id_base + i;
-            let value = if self.key_space == 0 {
-                Value::new(id)
-            } else {
-                kv_command(rng.gen_range(0..self.key_space), id)
+            let value = match &sampler {
+                None => Value::new(id),
+                Some(s) => kv_command(s.sample(&mut rng, i), id),
             };
             out.push((at, pid, value));
         }
@@ -366,6 +529,77 @@ mod tests {
         // The mean gap is in the right ballpark (loose: 50 samples).
         let span = a.last().unwrap().0.as_millis_f64();
         assert!(span > 50.0 && span < 800.0, "span {span}ms");
+    }
+
+    #[test]
+    fn uniform_dist_reproduces_the_legacy_keyed_expansion() {
+        // `KeyDist::Uniform` is the default and must sample exactly as
+        // the pre-KeyDist generator did (one gen_range per command), so
+        // existing artifacts stay bit-identical.
+        let s = SubmitStream::fixed_rate(SimTime::ZERO, RealDuration::from_millis(1), 40)
+            .keyed(64)
+            .seed(3);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let legacy: Vec<u64> = (0..40).map(|_| rng.gen_range(0..64u64)).collect();
+        let got: Vec<u64> = s.expand(3).iter().map(|(.., v)| kv_key(*v)).collect();
+        assert_eq!(got, legacy);
+    }
+
+    #[test]
+    fn zipfian_dist_is_deterministic_and_skewed_to_low_keys() {
+        let sampler = KeySampler::new(KeyDist::Zipfian { theta: 0.99 }, 1024);
+        let draw = || {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+            (0..2000u64).map(|i| sampler.sample(&mut rng, i)).collect::<Vec<_>>()
+        };
+        let keys = draw();
+        assert_eq!(keys, draw(), "same seed, same key sequence");
+        assert!(keys.iter().all(|k| *k < 1024));
+        // Top 16 of 1024 keys ≈ ln(16)/ln(1024) ≈ 40% of the mass at
+        // θ → 1 (a uniform draw would give them 1.6%).
+        let low = keys.iter().filter(|k| **k < 16).count();
+        assert!(
+            low as f64 > 0.3 * keys.len() as f64,
+            "zipf(0.99): the 16 hottest of 1024 keys draw ~40%, got {low}/{}",
+            keys.len()
+        );
+    }
+
+    #[test]
+    fn hotspot_dist_concentrates_on_the_span() {
+        let sampler = KeySampler::new(
+            KeyDist::Hotspot { frac: 0.9, span: 64 },
+            1 << 10,
+        );
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let keys: Vec<u64> = (0..2000u64).map(|i| sampler.sample(&mut rng, i)).collect();
+        let hot = keys.iter().filter(|k| **k < 64).count() as f64 / keys.len() as f64;
+        assert!(hot > 0.85, "~90% of keys in the hot span, got {hot}");
+        assert!(keys.iter().any(|k| *k >= 64), "the cold tail still appears");
+    }
+
+    #[test]
+    fn shifting_dist_moves_the_hot_span_with_the_index() {
+        let ks = 1u64 << 10; // width = 64
+        let sampler = KeySampler::new(KeyDist::Shifting { period: 500 }, ks);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let phase = |base: u64, rng: &mut rand_chacha::ChaCha8Rng| {
+            (0..500u64).map(|i| sampler.sample(rng, base + i)).collect::<Vec<_>>()
+        };
+        let a = phase(0, &mut rng);
+        let b = phase(500, &mut rng);
+        let in_span = |keys: &[u64], lo: u64, hi: u64| {
+            keys.iter().filter(|k| (lo..hi).contains(*k)).count() as f64 / keys.len() as f64
+        };
+        assert!(in_span(&a, 0, 64) > 0.8, "phase 0 hot span at [0, 64)");
+        assert!(in_span(&b, 64, 128) > 0.8, "phase 1 hot span advanced to [64, 128)");
+        assert!(in_span(&b, 0, 64) < 0.2, "the old span cooled off");
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1)")]
+    fn zipf_theta_validated() {
+        let _ = KeySampler::new(KeyDist::Zipfian { theta: 1.0 }, 64);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Latency/throughput collection from per-command commit feeds.
 
+use esync_core::outbox::ShardLoad;
 use esync_core::time::RealDuration;
 use esync_core::types::{ProcessId, ShardId, Value};
 use esync_sim::metrics::{LatencyHistogram, ShardSummary, ThroughputTimeline, WorkloadSummary};
@@ -57,6 +58,9 @@ pub struct Collector {
     /// Per-shard accumulators, indexed by shard; shard 0 exists from the
     /// first commit, higher shards as their tags appear.
     shards: Vec<ShardAcc>,
+    /// Protocol-level per-shard load counters (schema v5), installed by
+    /// the driver after the run via [`Collector::set_shard_loads`].
+    shard_loads: Vec<ShardLoad>,
     first_submit_ns: Option<u64>,
     last_commit_ns: Option<u64>,
 }
@@ -75,9 +79,20 @@ impl Collector {
             post_ts: LatencyHistogram::new(),
             timeline: ThroughputTimeline::new(timeline_window),
             shards: Vec::new(),
+            shard_loads: Vec::new(),
             first_submit_ns: None,
             last_commit_ns: None,
         }
+    }
+
+    /// Installs the protocol-level per-shard load counters (summed over
+    /// processes by the driver; see
+    /// [`Process::shard_load`](esync_core::outbox::Process::shard_load)),
+    /// which the summary surfaces as the schema-v5 `submitted`/`admitted`
+    /// fields of each [`ShardSummary`].
+    pub fn set_shard_loads(&mut self, loads: &[ShardLoad]) {
+        self.shard_loads = loads.to_vec();
+        self.reserve_shards(loads.len());
     }
 
     /// Pre-sizes the per-shard accounting to at least `shards` entries
@@ -169,6 +184,18 @@ impl Collector {
             _ => 0,
         };
         let measured_secs = span_ns as f64 / 1e9;
+        // Max-over-mean of the per-shard committed counts (v5): 1.0 is
+        // balanced, S is one-shard-takes-all, 0.0 is nothing committed.
+        let shard_imbalance = {
+            let shards = self.shards.len().max(1);
+            let total: u64 = self.shards.iter().map(|a| a.committed).sum();
+            let max = self.shards.iter().map(|a| a.committed).max().unwrap_or(0);
+            if total == 0 {
+                0.0
+            } else {
+                max as f64 / (total as f64 / shards as f64)
+            }
+        };
         WorkloadSummary {
             submitted: self.submitted(),
             committed: self.committed(),
@@ -204,8 +231,11 @@ impl Collector {
                             (Some(a), Some(b)) if b > a => b - a,
                             _ => 0,
                         };
+                        let load = self.shard_loads.get(s).copied().unwrap_or_default();
                         ShardSummary {
                             shard: s as u32,
+                            submitted: load.submitted,
+                            admitted: load.admitted,
                             committed: acc.committed,
                             duplicate_commits: acc.duplicates,
                             commits_per_sec: if span_ns > 0 {
@@ -222,6 +252,7 @@ impl Collector {
                     })
                     .collect()
             },
+            shard_imbalance,
         }
     }
 }
@@ -368,6 +399,42 @@ mod tests {
         assert_eq!(s.per_shard[0].committed, 0);
         assert_eq!(s.per_shard[0].latency.count, 0);
         assert!(s.per_shard[0].pre_ts.is_none() && s.per_shard[0].post_ts.is_none());
+    }
+
+    #[test]
+    fn shard_loads_and_imbalance_surface_in_the_summary() {
+        let mut c = Collector::new(None, RealDuration::from_millis(10));
+        c.reserve_shards(2);
+        // Three commits in shard 0, one in shard 1: max/mean = 3/2.
+        for (id, shard) in [(0u64, 0u32), (1, 0), (2, 0), (3, 1)] {
+            let v = kv_command(shard as u64, id);
+            c.on_submit(v, id * MS);
+            c.on_commit(pid(0), ShardId::new(shard), v, (id + 1) * MS);
+        }
+        c.set_shard_loads(&[
+            ShardLoad { submitted: 7, admitted: 3 },
+            ShardLoad { submitted: 2, admitted: 1 },
+        ]);
+        let s = c.summary();
+        assert_eq!(s.per_shard[0].submitted, 7);
+        assert_eq!(s.per_shard[0].admitted, 3);
+        assert_eq!(s.per_shard[1].submitted, 2);
+        assert_eq!(s.per_shard[1].admitted, 1);
+        assert!((s.shard_imbalance - 1.5).abs() < 1e-9, "{}", s.shard_imbalance);
+        // Without loads the counters default to zero, and an empty run
+        // reports zero imbalance.
+        let empty = Collector::new(None, RealDuration::from_millis(10)).summary();
+        assert_eq!(empty.per_shard[0].submitted, 0);
+        assert_eq!(empty.shard_imbalance, 0.0);
+    }
+
+    #[test]
+    fn single_shard_imbalance_is_exactly_one() {
+        let mut c = Collector::new(None, RealDuration::from_millis(10));
+        let v = kv_command(0, 0);
+        c.on_submit(v, 0);
+        c.on_commit(pid(0), ShardId::ZERO, v, MS);
+        assert!((c.summary().shard_imbalance - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -3,8 +3,13 @@
 use esync_core::time::RealDuration;
 use esync_core::types::{ProcessId, Value};
 use esync_sim::scenario::kv_command;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+// The key-distribution types live next to `SubmitStream` in
+// `esync_sim::scenario` (the open-loop generator embeds them in the
+// serialized `SimConfig`); this is their workload-facing home.
+pub use esync_sim::scenario::{KeyDist, KeySampler};
 
 /// Parameters of a closed-loop (fixed-concurrency) workload: each of
 /// `clients` keeps `outstanding` commands in flight until `commands` have
@@ -18,8 +23,11 @@ pub struct ClosedLoopSpec {
     pub outstanding: usize,
     /// Total commands across all clients.
     pub commands: u64,
-    /// Keys are sampled uniformly from `0..key_space` (`0` = unkeyed).
+    /// Keys are sampled from `0..key_space` (`0` = unkeyed).
     pub key_space: u64,
+    /// How keys are drawn from the key space (default uniform; see
+    /// [`KeyDist`] for the skewed generators).
+    pub key_dist: KeyDist,
     /// Seed of the command generator (keys), independent of the network
     /// seed.
     pub seed: u64,
@@ -42,6 +50,7 @@ impl ClosedLoopSpec {
             outstanding,
             commands,
             key_space: 1024,
+            key_dist: KeyDist::Uniform,
             seed: 0,
             timeline_window: RealDuration::from_millis(50),
             targets: None,
@@ -59,6 +68,13 @@ impl ClosedLoopSpec {
     #[must_use]
     pub fn key_space(mut self, key_space: u64) -> Self {
         self.key_space = key_space;
+        self
+    }
+
+    /// Sets the key distribution.
+    #[must_use]
+    pub fn dist(mut self, dist: KeyDist) -> Self {
+        self.key_dist = dist;
         self
     }
 
@@ -103,18 +119,29 @@ impl ClosedLoopSpec {
 #[derive(Debug, Clone)]
 pub struct CommandGen {
     rng: ChaCha8Rng,
-    key_space: u64,
+    sampler: Option<KeySampler>,
     next_id: u64,
 }
 
 impl CommandGen {
-    /// Creates a generator.
+    /// Creates a uniform-key generator.
     pub fn new(seed: u64, key_space: u64) -> Self {
+        CommandGen::with_dist(seed, key_space, KeyDist::Uniform)
+    }
+
+    /// Creates a generator drawing keys from `dist` (see [`KeyDist`];
+    /// `Uniform` reproduces [`CommandGen::new`] bit for bit).
+    pub fn with_dist(seed: u64, key_space: u64, dist: KeyDist) -> Self {
         CommandGen {
             rng: ChaCha8Rng::seed_from_u64(seed),
-            key_space,
+            sampler: (key_space > 0).then(|| KeySampler::new(dist, key_space)),
             next_id: 0,
         }
+    }
+
+    /// The generator a closed-loop spec describes.
+    pub fn for_spec(spec: &ClosedLoopSpec) -> Self {
+        CommandGen::with_dist(spec.seed, spec.key_space, spec.key_dist)
     }
 
     /// Ids handed out so far.
@@ -126,10 +153,9 @@ impl CommandGen {
     pub fn next_command(&mut self) -> Value {
         let id = self.next_id;
         self.next_id += 1;
-        if self.key_space == 0 {
-            Value::new(id)
-        } else {
-            kv_command(self.rng.gen_range(0..self.key_space), id)
+        match &self.sampler {
+            None => Value::new(id),
+            Some(s) => kv_command(s.sample(&mut self.rng, id), id),
         }
     }
 }

@@ -26,8 +26,12 @@
 //!
 //! Commands are keyed KV operations packed into the wire [`Value`] by
 //! [`esync_core::types::kv_command`]: a unique id (at-least-once
-//! deduplication) plus a sampled key. The drivers are generic over the
-//! log protocol — the plain [`MultiPaxos`] or the sharded
+//! deduplication) plus a sampled key. Keys are drawn from a pluggable
+//! [`KeyDist`](gen::KeyDist) — uniform, Zipfian, a pinned hotspot, or a
+//! *shifting* hotspot — so the skewed/adversarial distributions that
+//! stress a range-partitioned router (and justify its live rebalancer)
+//! are first-class, deterministic and seedable. The drivers are generic
+//! over the log protocol — the plain [`MultiPaxos`] or the sharded
 //! [`LogGroup`](esync_core::paxos::group::LogGroup), whose
 //! [`ShardRouter`](esync_core::paxos::group::ShardRouter) partitions the
 //! key space across `S` independent shards *inside* the process, so the

@@ -11,10 +11,10 @@
 
 use crate::collect::Collector;
 use crate::gen::{ClosedLoopSpec, CommandGen};
-use esync_core::outbox::Protocol;
+use esync_core::outbox::{Protocol, ShardLoad};
 use esync_sim::metrics::WorkloadSummary;
 use esync_sim::scenario::{kv_id, SubmitStream};
-use esync_runtime::{Cluster, ClusterConfig, RuntimeError};
+use esync_runtime::{Cluster, ClusterConfig, NodeStats, RuntimeError};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
@@ -26,6 +26,27 @@ pub struct RtWorkloadOutcome {
     /// Command ids applied per node — agreement means every node's set
     /// converges to the full command set.
     pub applied_per_node: Vec<BTreeSet<u64>>,
+    /// Per-node router epochs at shutdown (all zero without live
+    /// rebalancing).
+    pub router_epochs: Vec<u64>,
+}
+
+/// Sums the nodes' final per-shard load counters into the collector's
+/// schema-v5 fields and extracts the per-node router epochs.
+fn fold_node_stats(
+    collector: &mut Collector,
+    stats: &[NodeStats],
+    shards: usize,
+) -> Vec<u64> {
+    let mut loads = vec![ShardLoad::default(); shards];
+    for node in stats {
+        for (s, load) in node.shard_loads.iter().enumerate().take(shards) {
+            loads[s].submitted += load.submitted;
+            loads[s].admitted += load.admitted;
+        }
+    }
+    collector.set_shard_loads(&loads);
+    stats.iter().map(|s| s.router_epoch).collect()
 }
 
 /// How long the drivers wait on the commit channel per poll.
@@ -60,7 +81,7 @@ where
     let cluster = Cluster::spawn(cfg, protocol)?;
     let n = cluster.n();
     std::thread::sleep(warmup);
-    let mut gen = CommandGen::new(spec.seed, spec.key_space);
+    let mut gen = CommandGen::for_spec(spec);
     let mut owner: BTreeMap<u64, u32> = BTreeMap::new();
     let mut collector = Collector::new(None, spec.timeline_window);
     collector.reserve_shards(shards);
@@ -93,10 +114,12 @@ where
             submit_one(&cluster, &mut gen, &mut collector, &mut owner, client, spec);
         }
     }
-    cluster.shutdown();
+    let stats = cluster.shutdown_stats();
+    let router_epochs = fold_node_stats(&mut collector, &stats, shards);
     Ok(RtWorkloadOutcome {
         summary: collector.summary(),
         applied_per_node: applied,
+        router_epochs,
     })
 }
 
@@ -165,10 +188,12 @@ where
         }
         drain(&mut collector, &mut applied, POLL);
     }
-    cluster.shutdown();
+    let stats = cluster.shutdown_stats();
+    let router_epochs = fold_node_stats(&mut collector, &stats, shards);
     Ok(RtWorkloadOutcome {
         summary: collector.summary(),
         applied_per_node: applied,
+        router_epochs,
     })
 }
 

@@ -7,7 +7,7 @@
 
 use crate::collect::Collector;
 use crate::gen::{ClosedLoopSpec, CommandGen};
-use esync_core::outbox::Protocol;
+use esync_core::outbox::{Process, Protocol, ShardLoad};
 use esync_core::paxos::group::ShardedLogView;
 use esync_core::types::{ProcessId, ShardId};
 use esync_sim::metrics::WorkloadSummary;
@@ -29,6 +29,10 @@ pub struct SimWorkloadOutcome {
     /// `Report::agreement` is about first decides and does not apply to
     /// steady-state logs).
     pub log_agreement: bool,
+    /// Per-process router epochs at the end of the run (all zero unless
+    /// live rebalancing moved a boundary; rebalance tests assert they
+    /// agree and are nonzero).
+    pub router_epochs: Vec<u64>,
 }
 
 /// Slot-by-slot log agreement across all processes, per shard: no two
@@ -106,17 +110,50 @@ where
     for c in world.commits() {
         collector.on_commit(c.pid, c.shard, c.value, c.at.as_nanos());
     }
+    collector.set_shard_loads(&shard_loads(&world));
     SimWorkloadOutcome {
         summary: collector.summary(),
         report: world.report(),
         end: world.now(),
         log_agreement: logs_agree(&world),
+        router_epochs: router_epochs(&world),
     }
 }
 
 /// The open-loop timeline window: δ·5, so a 10ms-δ run gets 50ms windows.
 fn default_timeline_window(cfg: &SimConfig) -> esync_core::time::RealDuration {
     cfg.timing.delta() * 5
+}
+
+/// Sums the protocol-level per-shard load counters across processes
+/// (the schema-v5 `submitted`/`admitted` observability).
+fn shard_loads<P>(world: &World<P>) -> Vec<ShardLoad>
+where
+    P: Protocol,
+    P::Process: ShardedLogView,
+{
+    let n = world.config().timing.n();
+    let shards = world.process(ProcessId::new(0)).shard_count();
+    (0..shards as u32)
+        .map(ShardId::new)
+        .map(|shard| {
+            let mut total = ShardLoad::default();
+            for pid in (0..n as u32).map(ProcessId::new) {
+                let load = world.process(pid).shard_load(shard);
+                total.submitted += load.submitted;
+                total.admitted += load.admitted;
+            }
+            total
+        })
+        .collect()
+}
+
+/// Every process's applied router epoch, by pid.
+fn router_epochs<P: Protocol>(world: &World<P>) -> Vec<u64> {
+    let n = world.config().timing.n();
+    (0..n as u32)
+        .map(|p| world.process(ProcessId::new(p)).router_epoch())
+        .collect()
 }
 
 /// Runs a **closed-loop** workload: `spec.clients` clients each keep
@@ -163,7 +200,7 @@ where
     let ts = world.config().ts.as_nanos();
     let mut collector = Collector::new(Some(ts), spec.timeline_window);
     collector.reserve_shards(world.process(ProcessId::new(0)).shard_count());
-    let mut gen = CommandGen::new(spec.seed, spec.key_space);
+    let mut gen = CommandGen::for_spec(spec);
     let mut owner: BTreeMap<u64, u32> = BTreeMap::new();
     for client in 0..spec.clients as u32 {
         for _ in 0..spec.outstanding {
@@ -187,11 +224,13 @@ where
             }
         }
     }
+    collector.set_shard_loads(&shard_loads(world));
     SimWorkloadOutcome {
         summary: collector.summary(),
         report: world.report(),
         end: world.now(),
         log_agreement: logs_agree(world),
+        router_epochs: router_epochs(world),
     }
 }
 

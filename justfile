@@ -22,10 +22,10 @@ micro:
     scripts/bench.sh micro
 
 # The replicated-log throughput workloads (closed-loop saturation W1,
-# open-loop rate-vs-stability W2, shard scaling W3, session sharing W4),
-# refreshing BENCH_exp_w*.json.
+# open-loop rate-vs-stability W2, shard scaling W3, session sharing W4,
+# live rebalancing W5), refreshing BENCH_exp_w*.json.
 workload:
-    scripts/bench.sh w1 w2 w3 w4
+    scripts/bench.sh w1 w2 w3 w4 w5
 
 # The sharded log-group scaling experiment only (BENCH_exp_w3_*.json).
 w3:
@@ -35,3 +35,8 @@ w3:
 # idle-period message rate and re-anchor latency vs shard count.
 w4:
     scripts/bench.sh w4
+
+# The live-rebalancing experiment only (BENCH_exp_w5_*.json): static vs
+# live range routing under hotspot and shifting key skew.
+w5:
+    scripts/bench.sh w5

@@ -24,6 +24,7 @@ targets=(
     exp_w2_load_vs_stability
     exp_w3_shard_scaling
     exp_w4_session_sharing
+    exp_w5_rebalance
     micro_simulator
 )
 

@@ -206,6 +206,51 @@ fn bench_decision_tracker(c: &mut Criterion) {
     });
 }
 
+/// Typed-tracing overhead (the ISSUE-7 ≤5% budget): the identical
+/// closed-loop drive with tracing disabled (`trace_overhead_noop` — the
+/// default every other benchmark runs under) vs enabled
+/// (`trace_overhead_on` — every protocol event stamped and ring-buffered).
+/// Compare the two entries in `BENCH_micro.json`; tracing must cost no
+/// more than 5% of the run.
+fn bench_trace_overhead(c: &mut Criterion) {
+    use esync_core::paxos::multi::MultiPaxos;
+    use esync_workload::gen::ClosedLoopSpec;
+    use esync_workload::sim_driver::{run_closed_loop, run_closed_loop_traced};
+
+    let drive = |seed: u64, traced: bool| {
+        let cfg = SimConfig::builder(3)
+            .seed(seed)
+            .stability_at_millis(0)
+            .pre_stability(PreStability::lossless())
+            .build()
+            .unwrap();
+        let spec = ClosedLoopSpec::new(4, 4, 120).seed(seed).key_space(1 << 10);
+        let warmup = SimTime::from_millis(500);
+        let horizon = SimTime::from_secs(120);
+        let out = if traced {
+            run_closed_loop_traced(cfg, MultiPaxos::new(), &spec, warmup, horizon, 1 << 18)
+        } else {
+            run_closed_loop(cfg, MultiPaxos::new(), &spec, warmup, horizon)
+        };
+        assert_eq!(out.summary.committed, 120);
+        out.report.events
+    };
+    c.bench_function("trace_overhead_noop", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(drive(seed, false))
+        });
+    });
+    c.bench_function("trace_overhead_on", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(drive(seed, true))
+        });
+    });
+}
+
 /// Steady-state calendar-queue churn at a simulator-realistic size
 /// (~6000 pending events, delays within a 10ms band).
 fn bench_event_queue(c: &mut Criterion) {
@@ -290,6 +335,7 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_end_to_end, bench_log_group_workload, bench_chaos_run,
               bench_protocol_step, bench_promise_truncation,
-              bench_decision_tracker, bench_event_queue, bench_sweep
+              bench_decision_tracker, bench_event_queue, bench_sweep,
+              bench_trace_overhead
 }
 criterion_main!(benches);

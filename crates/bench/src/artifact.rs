@@ -202,8 +202,10 @@ impl SweepSummary {
 /// the session-sharing experiment (`exp_w4`) reads its idle-traffic
 /// composition from, v5 the imbalance observability (`submitted`/
 /// `admitted` per shard and the `shard_imbalance` ratio) that the
-/// rebalancing experiment (`exp_w5`) reads.
-pub const SCHEMA_VERSION: u32 = 5;
+/// rebalancing experiment (`exp_w5`) reads, v6 the typed-tracing phase
+/// decomposition (`workload.phase_latency`, `null` unless the run was
+/// traced — see `esync-trace`).
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// A whole experiment's artifact: every sweep it ran, plus context.
 #[derive(Debug, Clone, Serialize)]
@@ -294,7 +296,7 @@ mod tests {
         ));
         let json = serde_json::to_string(&a).unwrap();
         assert!(json.contains("\"experiment\":\"exp_test\""));
-        assert!(json.contains("\"schema_version\":5"));
+        assert!(json.contains("\"schema_version\":6"));
         assert!(json.contains("\"msgs_by_kind\""));
         assert!(json.contains("\"runs_per_sec\""));
         assert!(json.contains("\"workload\":null"));

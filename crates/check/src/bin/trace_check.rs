@@ -1,0 +1,174 @@
+//! `trace_check` — replays `TRACE_<exp>.jsonl` files (see
+//! `esync_trace::jsonl` for the schema) and validates the paper's
+//! decision-time bound **per decision**: after the stabilization time
+//! `TS`, *every* process must decide by `ts_ns + bound_ns`, a strictly
+//! stronger check than the run-level max of `exp_e10_bound_check`.
+//! Traces with `bound_ns = 0` (steady-state workload drives) skip the
+//! bound and get the queue → quorum → learn phase decomposition plus the
+//! rebalance-protocol timeline instead.
+//!
+//! ```text
+//! cargo run --release -p esync-check --bin trace_check -- TRACE_exp_e1.jsonl …
+//! ```
+//!
+//! With no arguments, checks `TRACE_exp_e1.jsonl` and `TRACE_exp_w3.jsonl`
+//! in the current directory (the files `just trace` regenerates). Exits
+//! nonzero if any applicable bound is violated, a file fails to parse, or
+//! a trace contains no decisions at all.
+
+use esync_trace::jsonl::TraceMeta;
+use esync_trace::{check_decision_bound, decompose, parse_jsonl, TraceRecord};
+use std::process::ExitCode;
+
+/// Validates one trace file; returns `false` when the file fails.
+fn check_file(path: &str) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: cannot read: {e}");
+            return false;
+        }
+    };
+    let (meta, records) = match parse_jsonl(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return false;
+        }
+    };
+    let Some(meta) = meta else {
+        eprintln!("{path}: missing meta header line");
+        return false;
+    };
+    println!(
+        "{path}: {} ({} processes, seed {}, δ = {}ns, {} records)",
+        meta.exp,
+        meta.n,
+        meta.seed,
+        meta.delta_ns,
+        records.len()
+    );
+    let mut ok = true;
+    if meta.bound_ns > 0 {
+        ok &= check_bound(&meta, &records);
+        // Single-shot traces decide initial values — there is no client
+        // command journey, so an empty decomposition is fine here.
+        report_phases(&meta, &records);
+    } else {
+        println!("  bound: not applicable (bound_ns = 0; workload trace)");
+        ok &= report_phases(&meta, &records);
+    }
+    report_rebalance(&records);
+    ok
+}
+
+/// The per-decision bound replay: every process's first decide, in δ
+/// units after `TS`, against the paper's `ε + 3τ + 5δ` deadline.
+fn check_bound(meta: &TraceMeta, records: &[TraceRecord]) -> bool {
+    let report = check_decision_bound(meta, records);
+    let delta = meta.delta_ns as f64;
+    println!(
+        "  bound: decide ≤ TS + {:.1}δ, per decision",
+        meta.bound_ns as f64 / delta
+    );
+    for (pid, at_ns) in &report.first_decisions {
+        let after_ts = at_ns.saturating_sub(meta.ts_ns) as f64 / delta;
+        let verdict = if *at_ns <= report.deadline_ns { "ok" } else { "VIOLATION" };
+        println!("    {pid}: decided TS + {after_ts:.2}δ — {verdict}");
+    }
+    if report.first_decisions.is_empty() {
+        println!("    no decisions in trace — FAIL");
+        return false;
+    }
+    if report.holds() {
+        println!(
+            "  bound holds for all {} deciding processes",
+            report.first_decisions.len()
+        );
+        true
+    } else {
+        println!("  bound VIOLATED by {} process(es)", report.violations.len());
+        false
+    }
+}
+
+/// The phase decomposition (what fraction of commit latency is queueing
+/// vs the 2b-quorum wait vs learning), in δ units.
+fn report_phases(meta: &TraceMeta, records: &[TraceRecord]) -> bool {
+    let phases = decompose(records);
+    if phases.decisions == 0 {
+        println!("  phases: no complete command journey in trace");
+        return false;
+    }
+    let delta = meta.delta_ns as f64;
+    let line = |name: &str, h: &esync_trace::HistogramSummary| {
+        println!(
+            "    {name:<7} mean {:.2}δ  p50 {:.2}δ  p99 {:.2}δ  max {:.2}δ",
+            h.mean_ns as f64 / delta,
+            h.p50_ns as f64 / delta,
+            h.p99_ns as f64 / delta,
+            h.max_ns as f64 / delta,
+        );
+    };
+    println!("  phases ({} decisions):", phases.decisions);
+    line("queue", &phases.queue);
+    line("quorum", &phases.quorum);
+    line("learn", &phases.learn);
+    true
+}
+
+/// The rebalance-protocol timeline (freeze → drain → commit, plus
+/// aborts and re-forwards), if the trace contains any.
+fn report_rebalance(records: &[TraceRecord]) {
+    let mut counts: Vec<(&str, u64)> = Vec::new();
+    let mut first = u64::MAX;
+    let mut last = 0u64;
+    for r in records {
+        let kind = r.ev.kind();
+        if !kind.starts_with("rb_") {
+            continue;
+        }
+        first = first.min(r.at_ns);
+        last = last.max(r.at_ns);
+        match counts.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((kind, 1)),
+        }
+    }
+    if counts.is_empty() {
+        return;
+    }
+    counts.sort_unstable();
+    let spans: Vec<String> = counts.iter().map(|(k, c)| format!("{k}×{c}")).collect();
+    println!(
+        "  rebalance: {} over {:.1}ms of trace",
+        spans.join(", "),
+        (last - first) as f64 / 1e6
+    );
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        args = ["TRACE_exp_e1.jsonl", "TRACE_exp_w3.jsonl"]
+            .iter()
+            .map(|s| s.to_string())
+            .filter(|p| std::path::Path::new(p).exists())
+            .collect();
+        if args.is_empty() {
+            eprintln!("no TRACE_*.jsonl files found; run `just trace` first");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut ok = true;
+    for path in &args {
+        ok &= check_file(path);
+    }
+    if ok {
+        println!("trace-check: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("trace-check: FAILED");
+        ExitCode::FAILURE
+    }
+}

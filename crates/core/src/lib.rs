@@ -64,6 +64,7 @@ pub mod paxos;
 pub mod quorum;
 pub mod round_based;
 pub mod time;
+pub mod trace;
 pub mod types;
 pub mod wab;
 

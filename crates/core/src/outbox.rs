@@ -14,6 +14,7 @@
 
 use crate::config::TimingConfig;
 use crate::time::{LocalDuration, LocalInstant};
+use crate::trace::TraceEvent;
 use crate::types::{ProcessId, ShardId, TimerId, Value};
 use crate::wab::WabMessage;
 use core::fmt;
@@ -84,10 +85,20 @@ pub struct ShardLoad {
 
 /// Collects the [`Action`]s emitted while handling one event, and exposes
 /// the process's current local-clock reading.
+///
+/// The outbox also carries the **trace side channel**: when a driver has
+/// enabled tracing ([`Outbox::set_tracing`]), protocols' [`Outbox::trace`]
+/// calls buffer [`TraceEvent`]s for the driver to drain and timestamp.
+/// Tracing never feeds back into behaviour — the action stream is
+/// identical with it on or off — and with it off (the default) the event
+/// closure is never even invoked, so untraced runs pay one branch per
+/// emit site and build nothing.
 #[derive(Debug, Clone)]
 pub struct Outbox<M> {
     now: LocalInstant,
     actions: Vec<Action<M>>,
+    trace_on: bool,
+    trace_buf: Vec<TraceEvent>,
 }
 
 impl<M> Default for Outbox<M> {
@@ -97,20 +108,59 @@ impl<M> Default for Outbox<M> {
 }
 
 impl<M> Outbox<M> {
-    /// Creates an outbox for an event handled at local time `now`.
+    /// Creates an outbox for an event handled at local time `now`
+    /// (tracing disabled).
     pub fn new(now: LocalInstant) -> Self {
         Outbox {
             now,
             actions: Vec::new(),
+            trace_on: false,
+            trace_buf: Vec::new(),
         }
     }
 
     /// Re-arms a (drained) outbox for the next event at local time `now`,
-    /// keeping the action buffer's capacity. Drivers that process millions
+    /// keeping the action buffer's capacity (and the tracing enablement —
+    /// drivers flip it once, not per event). Drivers that process millions
     /// of events reuse one outbox instead of allocating per event.
     pub fn reset(&mut self, now: LocalInstant) {
         self.now = now;
         self.actions.clear();
+        self.trace_buf.clear();
+    }
+
+    /// Enables or disables the trace side channel. Drivers call this once
+    /// when the application asks for a trace; protocols never do.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace_on = on;
+        if !on {
+            self.trace_buf.clear();
+        }
+    }
+
+    /// Whether the trace side channel is enabled.
+    pub fn tracing(&self) -> bool {
+        self.trace_on
+    }
+
+    /// Emits a trace event. The closure is only invoked when tracing is
+    /// enabled, so disabled runs never construct the event.
+    #[inline]
+    pub fn trace(&mut self, ev: impl FnOnce() -> TraceEvent) {
+        if self.trace_on {
+            self.trace_buf.push(ev());
+        }
+    }
+
+    /// The trace events buffered since the last drain, in emission order.
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        &self.trace_buf
+    }
+
+    /// Removes and returns the buffered trace events as an iterator,
+    /// keeping the buffer's capacity (the drivers' per-event drain).
+    pub fn drain_trace(&mut self) -> std::vec::Drain<'_, TraceEvent> {
+        self.trace_buf.drain(..)
     }
 
     /// The local-clock reading at which the current event is being handled.
@@ -323,6 +373,39 @@ mod tests {
             matches!(acts[4], Action::Decide { value, shard } if value == Value::new(3) && shard == ShardId::ZERO)
         );
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn trace_channel_is_off_by_default_and_lazy() {
+        let mut out: Outbox<Ping> = Outbox::new(LocalInstant::ZERO);
+        assert!(!out.tracing());
+        let mut built = false;
+        out.trace(|| {
+            built = true;
+            TraceEvent::Anchored { ballot: 1 }
+        });
+        assert!(!built, "disabled tracing must not construct events");
+        assert!(out.trace_events().is_empty());
+
+        out.set_tracing(true);
+        out.trace(|| TraceEvent::Anchored { ballot: 2 });
+        out.trace(|| TraceEvent::Submit { value: 9 });
+        assert_eq!(out.trace_events().len(), 2);
+        let drained: Vec<_> = out.drain_trace().collect();
+        assert_eq!(drained[0], TraceEvent::Anchored { ballot: 2 });
+        assert_eq!(drained[1], TraceEvent::Submit { value: 9 });
+        assert!(out.trace_events().is_empty());
+
+        // Reset keeps enablement but clears any leftover events.
+        out.trace(|| TraceEvent::Anchored { ballot: 3 });
+        out.reset(LocalInstant::from_nanos(1));
+        assert!(out.tracing());
+        assert!(out.trace_events().is_empty());
+
+        // Disabling clears the buffer.
+        out.trace(|| TraceEvent::Anchored { ballot: 4 });
+        out.set_tracing(false);
+        assert!(out.trace_events().is_empty());
     }
 
     #[test]

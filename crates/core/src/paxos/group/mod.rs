@@ -74,6 +74,7 @@ use rebalance::{
 use crate::paxos::slotlog::SlotMap;
 use crate::quorum::QuorumTracker;
 use crate::time::LocalInstant;
+use crate::trace::TraceEvent;
 use crate::types::{kv_key, ProcessId, TimerId, Value};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -764,6 +765,8 @@ impl LogGroupProcess {
     }
 
     fn broadcast_g1a(&mut self, out: &mut Outbox<GroupMsg>) {
+        let mbal = self.mbal;
+        out.trace(|| TraceEvent::OneASent { ballot: mbal.get() });
         let prefixes = self.shards.iter().map(|s| s.chosen_prefix()).collect();
         out.broadcast(GroupMsg::G1a {
             mbal: self.mbal,
@@ -803,7 +806,10 @@ impl LogGroupProcess {
         }
         let unanchored = self.anchored.is_some_and(|ab| ab < b);
         if unanchored {
-            self.anchored = None;
+            let dropped = self.anchored.take().expect("checked above");
+            out.trace(|| TraceEvent::Unanchored {
+                ballot: dropped.get(),
+            });
         }
         self.sync_shards(b);
         if unanchored {
@@ -856,6 +862,7 @@ impl LogGroupProcess {
         debug_assert_eq!(q.bal, self.mbal);
         self.anchored = Some(q.bal);
         let bal = q.bal;
+        out.trace(|| TraceEvent::Anchored { ballot: bal.get() });
         for (s, (chosen, best)) in q.chosen.iter().zip(q.best.iter()).enumerate() {
             let floor = q.prefixes[s];
             self.dispatch(ShardId::new(s as u32), out, |p, o| {
@@ -878,7 +885,14 @@ impl LogGroupProcess {
     ) {
         let mut inner = std::mem::take(&mut self.scratch);
         inner.reset(out.now());
+        inner.set_tracing(out.tracing());
         f(&mut self.shards[shard.as_usize()], &mut inner);
+        // Trace events cross the seam re-tagged with the real shard id —
+        // the inner layer believes it is shard zero, exactly like its
+        // decides.
+        for ev in inner.drain_trace() {
+            out.trace(|| ev.with_shard(shard));
+        }
         for action in inner.drain_iter() {
             match action {
                 Action::Send { to, msg } => out.send(to, GroupMsg::Shard { shard, msg }),
@@ -939,6 +953,10 @@ impl LogGroupProcess {
             // it — without this it would commit twice).
             if let Some((shard, slot)) = self.moved.get(&value).copied() {
                 if let Some(from) = from {
+                    out.trace(|| TraceEvent::ReplySent {
+                        shard: shard.get(),
+                        value: value.get(),
+                    });
                     let batch = self.shards[shard.as_usize()]
                         .log_entry(slot)
                         .expect("moved answers point at chosen entries")
@@ -975,6 +993,13 @@ impl LogGroupProcess {
                     Some(Admitted::Chosen(_))
                 );
                 if moves && !chosen_here {
+                    if from.is_none() {
+                        // The submit instant is stamped here even though
+                        // the command only enters a shard at the flush —
+                        // the frozen wait is queue latency and must show
+                        // in the decomposition.
+                        out.trace(|| TraceEvent::submit(value));
+                    }
                     self.frozen.push(value);
                     // The eventual flush dispatches (and counts) the
                     // command; feed only the trigger's key statistics
@@ -1048,6 +1073,8 @@ impl LogGroupProcess {
             epoch: self.epoch + 1,
             boundaries: bounds,
         };
+        let ep = update.epoch;
+        out.trace(|| TraceEvent::RebalanceFreeze { epoch: ep });
         let old = match &self.router {
             ShardRouter::Range(b) => b.clone(),
             ShardRouter::Modulo => unreachable!("rebalancing requires a Range router"),
@@ -1097,6 +1124,8 @@ impl LogGroupProcess {
         if !drained {
             return;
         }
+        let ep = update.epoch;
+        out.trace(|| TraceEvent::RebalanceDrain { epoch: ep });
         let batch = batch_of(update.encode_values());
         let stored = batch.clone();
         let mut slot = 0;
@@ -1116,12 +1145,12 @@ impl LogGroupProcess {
     /// stolen by a competing leader): frozen commands re-enter through
     /// the still-current routing.
     fn abort_migration(&mut self, out: &mut Outbox<GroupMsg>) {
-        let had_migration = self
-            .rebalance
-            .as_mut()
-            .map(|r| r.migration.take().is_some())
-            .unwrap_or(false);
-        if !had_migration && self.frozen.is_empty() {
+        let taken = self.rebalance.as_mut().and_then(|r| r.migration.take());
+        if let Some(m) = &taken {
+            let ep = m.update.epoch;
+            out.trace(|| TraceEvent::RebalanceAbort { epoch: ep });
+        }
+        if taken.is_none() && self.frozen.is_empty() {
             return;
         }
         let frozen = std::mem::take(&mut self.frozen);
@@ -1213,6 +1242,8 @@ impl LogGroupProcess {
         let new = update.boundaries.clone();
         self.epoch = update.epoch;
         self.router = ShardRouter::Range(new.clone());
+        let ep = self.epoch;
+        out.trace(|| TraceEvent::RebalanceCommit { epoch: ep });
         // Migrate held state: per shard, pull out every moving key's
         // pending commands and admitted entries. Unchosen values
         // re-enter through the new routing; chosen ones join the moved
@@ -1249,6 +1280,10 @@ impl LogGroupProcess {
             }
         }
         reinject.extend(std::mem::take(&mut self.frozen));
+        if !reinject.is_empty() {
+            let count = reinject.len() as u64;
+            out.trace(|| TraceEvent::RebalanceReforward { epoch: ep, count });
+        }
         for v in reinject {
             self.admit_value(None, v, out);
         }
@@ -1290,6 +1325,8 @@ impl Process for LogGroupProcess {
                 if *mbal == self.mbal {
                     if let Some(q) = self.p1b.as_mut() {
                         if q.bal == *mbal && q.record(from, promise) {
+                            let bal = *mbal;
+                            out.trace(|| TraceEvent::PromiseQuorum { ballot: bal.get() });
                             self.anchor(out);
                         }
                     }

@@ -230,21 +230,46 @@ impl RouterUpdate {
 /// When and how aggressively the group anchor moves range boundaries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RebalanceConfig {
-    /// Trigger ratio: a migration starts when the hottest shard's
-    /// observed routed load exceeds `threshold ×` the per-shard mean.
+    /// Trigger ratio (`T_hi`): a migration starts when the hottest
+    /// shard's observed routed load exceeds `threshold ×` the per-shard
+    /// mean — but only while the trigger is *armed* (see `release`).
     pub threshold: f64,
+    /// Release ratio (`T_lo`): after a migration fires, the trigger
+    /// disarms and re-arms only once the observed ratio falls to
+    /// `release ×` the mean or below. The `[release, threshold]`
+    /// hysteresis band keeps a hotspot — whose decaying statistics
+    /// hover around the trigger — from firing a boundary move on every
+    /// check while the last move is still taking effect. Must sit below
+    /// `threshold` for the band to exist; `release = threshold`
+    /// degenerates to the old single-threshold behavior.
+    pub release: f64,
+    /// Escape ratio: a disarmed trigger re-arms (and may fire on the
+    /// same check) when the observed ratio reaches `escape ×` the mean.
+    /// Post-move sampling jitter — retry-weighted counts random-walking
+    /// above the trigger — tops out well below a genuine regime change:
+    /// a hotspot that *moved* concentrates most fresh load on one or two
+    /// shards and spikes the ratio far past `threshold`. The escape
+    /// level separates the two, so the band damps jitter indefinitely
+    /// without wedging the trigger disarmed when the workload actually
+    /// shifts. Must sit at or above `threshold`.
+    pub escape: f64,
     /// Routed commands between imbalance checks (also the minimum sample
     /// size before the first check fires).
     pub check_every: u64,
 }
 
 impl Default for RebalanceConfig {
-    /// `threshold = 2.0`, `check_every = 256` — conservative enough that
-    /// a uniform workload never triggers, reactive enough that a pinned
-    /// hotspot migrates within a few hundred commands.
+    /// `threshold = 2.0`, `release = 1.25`, `escape = 3.0`,
+    /// `check_every = 256` — conservative enough that a uniform workload
+    /// never triggers, reactive enough that a pinned or shifted hotspot
+    /// migrates within a few hundred commands, and damped enough that
+    /// post-move sampling jitter (which tops out around `2.2×` in the W5
+    /// runs) settles inside the band instead of refiring.
     fn default() -> Self {
         RebalanceConfig {
             threshold: 2.0,
+            release: 1.25,
+            escape: 3.0,
             check_every: 256,
         }
     }
@@ -261,6 +286,46 @@ impl RebalanceConfig {
     pub fn threshold(mut self, threshold: f64) -> Self {
         assert!(threshold > 1.0, "a trigger ratio must exceed 1.0");
         self.threshold = threshold;
+        // Keep the band ordered: a trigger pulled below the current
+        // release drags the release down with it, and one raised above
+        // the current escape drags the escape up.
+        self.release = self.release.min(threshold);
+        self.escape = self.escape.max(threshold);
+        self
+    }
+
+    /// Sets the release (re-arm) ratio `T_lo` (consumed-and-returned for
+    /// chaining).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1.0 <= release <= threshold` — a release above the
+    /// trigger would re-arm on load the trigger itself considers
+    /// imbalanced, inverting the band.
+    #[must_use]
+    pub fn release(mut self, release: f64) -> Self {
+        assert!(
+            (1.0..=self.threshold).contains(&release),
+            "the release ratio must sit in [1.0, threshold]"
+        );
+        self.release = release;
+        self
+    }
+
+    /// Sets the escape (regime-change) ratio (consumed-and-returned for
+    /// chaining).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `escape >= threshold` — an escape below the trigger
+    /// would re-arm on jitter the band exists to hold.
+    #[must_use]
+    pub fn escape(mut self, escape: f64) -> Self {
+        assert!(
+            escape >= self.threshold,
+            "the escape ratio must sit at or above the trigger"
+        );
+        self.escape = escape;
         self
     }
 
@@ -301,6 +366,12 @@ pub(super) struct Rebalancer {
     /// hotspots age out.
     key_counts: BTreeMap<u64, u64>,
     since_check: u64,
+    /// The hysteresis state: `true` until a migration fires, then `false`
+    /// until an imbalance check observes a ratio at or below
+    /// `cfg.release` (settled), at or above `cfg.escape` (regime
+    /// change), or no load at all. Starts armed so the first trigger
+    /// behaves exactly as before the band existed.
+    armed: bool,
     pub(super) migration: Option<Migration>,
 }
 
@@ -310,6 +381,7 @@ impl Rebalancer {
             cfg,
             key_counts: BTreeMap::new(),
             since_check: 0,
+            armed: true,
             migration: None,
         }
     }
@@ -321,9 +393,18 @@ impl Rebalancer {
     }
 
     /// Runs the imbalance check if due: returns the new boundary vector
-    /// when the hottest shard exceeds `threshold ×` the mean and an
-    /// equal-weight split would actually move a boundary. Decays the
-    /// observed counts afterwards either way.
+    /// when the trigger is armed, the hottest shard exceeds
+    /// `threshold ×` the mean, and an equal-weight split would actually
+    /// move a boundary. A fired migration disarms the trigger; a check
+    /// observing a ratio at or below `release ×` the mean (or an empty
+    /// sample) re-arms it, as does a ratio at or above `escape ×` the
+    /// mean — a spike that high is a regime change (a hotspot that moved
+    /// again), not post-move jitter, and fires on the same check. A
+    /// fired migration also resets the observed sample: the split it
+    /// installed was computed *for* that sample, so keeping it would
+    /// make the next check measure a stale mixture of pre- and post-move
+    /// load and chase its own statistics. Decays the observed counts
+    /// afterwards either way.
     pub(super) fn check(&mut self, router: &ShardRouter, shards: usize) -> Option<Vec<u64>> {
         if self.since_check < self.cfg.check_every {
             return None;
@@ -340,9 +421,28 @@ impl Rebalancer {
         }
         let hottest = per_shard.iter().copied().max().unwrap_or(0);
         let mean = total as f64 / shards as f64;
-        let result = if total > 0 && hottest as f64 >= self.cfg.threshold * mean {
+        // Re-arm before evaluating the trigger, so an escape-level spike
+        // fires on this same check instead of lagging one more interval
+        // behind a moving hotspot.
+        if !self.armed {
+            let quiet = total == 0;
+            let settled = hottest as f64 <= self.cfg.release * mean;
+            let regime_change = hottest as f64 >= self.cfg.escape * mean;
+            if quiet || settled || regime_change {
+                self.armed = true;
+            }
+        }
+        let result = if total > 0 && self.armed && hottest as f64 >= self.cfg.threshold * mean {
             let split = self.split(shards);
-            (split != *current).then_some(split)
+            let moved = (split != *current).then_some(split);
+            if moved.is_some() {
+                self.armed = false;
+                // The installed split serves exactly this sample; start
+                // the next measurement from scratch under the new
+                // routing instead of re-judging the old distribution.
+                self.key_counts.clear();
+            }
+            moved
         } else {
             None
         };
@@ -509,9 +609,77 @@ mod tests {
         assert!(bounds.windows(2).all(|w| w[0] < w[1]), "padded ascending: {bounds:?}");
     }
 
+    /// Notes a 16-command window whose hottest shard sits at exactly
+    /// `2.0 ×` the mean under the `[8, 16, 24]` router — at the trigger,
+    /// inside the `[release, escape]` band.
+    fn note_in_band_jitter(r: &mut Rebalancer) {
+        for (key, w) in [(1u64, 8), (9u64, 2), (17u64, 4), (30u64, 2)] {
+            for _ in 0..w {
+                r.note(key);
+            }
+        }
+    }
+
+    #[test]
+    fn hysteresis_band_damps_repeat_triggers() {
+        let mut r = Rebalancer::new(RebalanceConfig::default().release(1.6).check_every(16));
+        let router = ShardRouter::Range(vec![8, 16, 24]);
+        // A pinned hotspot fires the armed trigger once...
+        for _ in 0..16 {
+            r.note(1);
+        }
+        assert!(r.check(&router, 4).is_some(), "first trigger fires as before");
+        // ...then at-the-trigger jitter is held by the disarmed band (the
+        // old single-threshold rule would fire on every one of these
+        // checks, since the unit router never moves).
+        for _ in 0..3 {
+            note_in_band_jitter(&mut r);
+            assert_eq!(r.check(&router, 4), None, "disarmed trigger must hold");
+        }
+        // A near-balanced window (ratio at or below the release) re-arms
+        // without firing...
+        for i in 0..64u64 {
+            r.note(i % 32);
+        }
+        assert_eq!(r.check(&router, 4), None, "re-arming check does not fire");
+        // ...so the next hotspot fires again.
+        for _ in 0..64 {
+            r.note(1);
+        }
+        assert!(r.check(&router, 4).is_some(), "re-armed trigger fires again");
+    }
+
+    #[test]
+    fn escape_refires_on_regime_change() {
+        // A hotspot that *moves* after a migration never lets the ratio
+        // revisit the release floor, so the release rule alone would
+        // wedge the trigger disarmed forever — but the move spikes the
+        // ratio past the escape level, which re-arms the trigger and
+        // fires on the same check.
+        let mut r = Rebalancer::new(RebalanceConfig::default().check_every(16));
+        let router = ShardRouter::Range(vec![8, 16, 24]);
+        for _ in 0..16 {
+            r.note(1);
+        }
+        assert!(r.check(&router, 4).is_some(), "armed trigger fires");
+        // Post-move jitter at the trigger ratio holds indefinitely...
+        for _ in 0..2 {
+            note_in_band_jitter(&mut r);
+            assert_eq!(r.check(&router, 4), None, "in-band jitter must hold");
+        }
+        // ...but the moved hotspot's spike crosses the escape level.
+        for _ in 0..32 {
+            r.note(20);
+        }
+        assert!(r.check(&router, 4).is_some(), "escape-level spike refires");
+    }
+
     #[test]
     fn counts_decay_so_shifted_hotspots_age_out() {
-        let mut r = Rebalancer::new(RebalanceConfig::default().check_every(16));
+        // Threshold high enough that no check fires (a fired migration
+        // would clear the sample outright — this test watches the decay
+        // path alone).
+        let mut r = Rebalancer::new(RebalanceConfig::default().threshold(10.0).check_every(16));
         let router = ShardRouter::Range(vec![8]);
         for _ in 0..16 {
             r.note(2);

@@ -43,6 +43,7 @@ use crate::paxos::admitted::{Admitted, AdmittedSet, DEFAULT_ADMITTED_WINDOW};
 use crate::paxos::slotlog::SlotMap;
 use crate::quorum::QuorumTracker;
 use crate::time::LocalInstant;
+use crate::trace::TraceEvent;
 use crate::types::{ProcessId, TimerId, Value};
 use std::sync::Arc;
 
@@ -538,8 +539,10 @@ impl MultiPaxosProcess {
     }
 
     fn broadcast_m1a(&mut self, out: &mut Outbox<MultiMsg>) {
+        let mbal = self.mbal;
+        out.trace(|| TraceEvent::OneASent { ballot: mbal.get() });
         out.broadcast(MultiMsg::M1a {
-            mbal: self.mbal,
+            mbal,
             prefix: self.chosen_prefix,
         });
         self.last_p1a2a = Some(out.now());
@@ -584,6 +587,10 @@ impl MultiPaxosProcess {
             self.p1b = None;
         }
         if self.anchored.is_some_and(|ab| ab < b) {
+            let dropped = self.anchored.unwrap_or(b);
+            out.trace(|| TraceEvent::Unanchored {
+                ballot: dropped.get(),
+            });
             self.unanchor();
         }
         // A driven shard adopts silently: session entry (timer reset, 1a
@@ -624,6 +631,15 @@ impl MultiPaxosProcess {
         // Never propose two batches for the same (ballot, slot); a fresh
         // proposal occupies the pipeline until its slot commits.
         let batch = self.proposals.entry(slot).or_insert(batch).clone();
+        if out.tracing() {
+            for v in batch.iter() {
+                out.trace(|| TraceEvent::Proposed {
+                    shard: 0,
+                    slot,
+                    value: v.get(),
+                });
+            }
+        }
         out.broadcast(MultiMsg::M2a { mbal: bal, slot, batch });
         self.last_p1a2a = Some(out.now());
     }
@@ -640,6 +656,9 @@ impl MultiPaxosProcess {
         // been fixed up past everything the quorum reported.
         self.learn_chosen(&q.chosen, out);
         self.anchored = Some(q.bal);
+        out.trace(|| TraceEvent::Anchored {
+            ballot: q.bal.get(),
+        });
         self.complete_phase1(q.max_prefix, &q.best, out);
     }
 
@@ -823,6 +842,7 @@ impl MultiPaxosProcess {
     pub fn drive_reforward(&mut self, owner: ProcessId, out: &mut Outbox<MultiMsg>) {
         debug_assert!(self.driven, "drive_reforward is for externally driven shards");
         for v in &self.pending {
+            out.trace(|| TraceEvent::ForwardSent { value: v.get() });
             out.send(owner, MultiMsg::Forward { value: *v });
         }
     }
@@ -956,6 +976,11 @@ impl MultiPaxosProcess {
             return;
         }
         for v in batch.iter() {
+            out.trace(|| TraceEvent::Decided {
+                shard: 0,
+                slot,
+                value: v.get(),
+            });
             out.decide(*v);
             // Record where each command landed: admission of a later copy
             // short-circuits, and a duplicate Forward gets answered with
@@ -1057,6 +1082,9 @@ impl Process for MultiPaxosProcess {
                 if *mbal == self.mbal {
                     if let Some(q) = self.p1b.as_mut() {
                         if q.bal == *mbal && q.record(from, *prefix, chosen, votes) {
+                            out.trace(|| TraceEvent::PromiseQuorum {
+                                ballot: mbal.get(),
+                            });
                             self.anchor(out);
                         }
                     }
@@ -1090,7 +1118,9 @@ impl Process for MultiPaxosProcess {
                     .get_or_insert_with(*slot, Slot2b::default)
                     .record(self.cfg.n(), from, *mbal, batch);
                 if let Some(b) = chosen {
-                    self.choose(*slot, b, out);
+                    let s = *slot;
+                    out.trace(|| TraceEvent::Chosen { shard: 0, slot: s });
+                    self.choose(s, b, out);
                 }
             }
             MultiMsg::Forward { value } => {
@@ -1104,12 +1134,23 @@ impl Process for MultiPaxosProcess {
                         .get(slot)
                         .expect("chosen commands are logged")
                         .clone();
+                    out.trace(|| TraceEvent::ReplySent {
+                        shard: 0,
+                        value: value.get(),
+                    });
                     out.send(from, MultiMsg::LogDecided { slot, batch });
-                } else if self.admit(*value) && self.is_anchored() {
-                    // Admission dedups ε-retry copies of queued commands;
-                    // a newly admitted one is assigned (or held until we
-                    // anchor — the submitter keeps its own retried copy).
-                    self.drain_pending(out);
+                } else if self.admit(*value) {
+                    out.trace(|| TraceEvent::Admitted {
+                        shard: 0,
+                        value: value.get(),
+                    });
+                    if self.is_anchored() {
+                        // Admission dedups ε-retry copies of queued
+                        // commands; a newly admitted one is assigned (or
+                        // held until we anchor — the submitter keeps its
+                        // own retried copy).
+                        self.drain_pending(out);
+                    }
                 }
             }
             MultiMsg::LogDecided { slot, batch } => {
@@ -1188,6 +1229,7 @@ impl Process for MultiPaxosProcess {
                         let owner = self.mbal.owner(self.cfg.n());
                         if owner != self.id {
                             for v in &self.pending {
+                                out.trace(|| TraceEvent::ForwardSent { value: v.get() });
                                 out.send(owner, MultiMsg::Forward { value: *v });
                             }
                         }
@@ -1210,9 +1252,14 @@ impl Process for MultiPaxosProcess {
 
     fn on_client(&mut self, value: Value, out: &mut Outbox<MultiMsg>) {
         self.load.submitted += 1;
+        out.trace(|| TraceEvent::submit(value));
         if !self.admit(value) {
             return;
         }
+        out.trace(|| TraceEvent::Admitted {
+            shard: 0,
+            value: value.get(),
+        });
         if self.is_anchored() {
             self.drain_pending(out);
         } else {
@@ -1220,6 +1267,9 @@ impl Process for MultiPaxosProcess {
             // our current ballot); the ε tick retries the forward.
             let owner = self.mbal.owner(self.cfg.n());
             if owner != self.id {
+                out.trace(|| TraceEvent::ForwardSent {
+                    value: value.get(),
+                });
                 out.send(owner, MultiMsg::Forward { value });
             }
         }

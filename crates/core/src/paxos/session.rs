@@ -35,6 +35,7 @@ use crate::paxos::messages::PaxosMsg;
 use crate::paxos::state::{DecisionTracker, P1bQuorum, VotingState};
 use crate::quorum::QuorumTracker;
 use crate::time::LocalInstant;
+use crate::trace::TraceEvent;
 use crate::types::{ProcessId, TimerId, Value};
 
 /// Timer id of the session timer (fires `[4δ, σ]` after session entry).
@@ -195,9 +196,9 @@ impl SessionPaxosProcess {
     }
 
     fn broadcast_p1a(&mut self, out: &mut Outbox<PaxosMsg>) {
-        out.broadcast(PaxosMsg::P1a {
-            mbal: self.voting.mbal,
-        });
+        let mbal = self.voting.mbal;
+        out.trace(|| TraceEvent::OneASent { ballot: mbal.get() });
+        out.broadcast(PaxosMsg::P1a { mbal });
         self.last_p1a2a = Some(out.now());
     }
 
@@ -263,6 +264,11 @@ impl SessionPaxosProcess {
             return;
         }
         self.decided = Some(v);
+        out.trace(|| TraceEvent::Decided {
+            shard: 0,
+            slot: 0,
+            value: v.get(),
+        });
         out.decide(v);
         out.cancel_timer(TIMER_SESSION);
         // Announce immediately; the ε tick keeps re-announcing so processes
@@ -321,6 +327,9 @@ impl Process for SessionPaxosProcess {
                         if q.ballot() == mbal {
                             let reached_now = q.record(from, last_vote);
                             if reached_now {
+                                out.trace(|| TraceEvent::PromiseQuorum {
+                                    ballot: mbal.get(),
+                                });
                                 let value = q.pick_value(self.initial);
                                 self.chosen = Some((mbal, value));
                             }
@@ -328,6 +337,11 @@ impl Process for SessionPaxosProcess {
                                 if cb == mbal && (reached_now || q.reached()) {
                                     // (Re-)issue phase 2a — always the same
                                     // value for this ballot.
+                                    out.trace(|| TraceEvent::Proposed {
+                                        shard: 0,
+                                        slot: 0,
+                                        value: cv.get(),
+                                    });
                                     out.broadcast(PaxosMsg::P2a {
                                         mbal,
                                         value: cv,

@@ -59,6 +59,13 @@ pub struct NodeStats {
     pub router_epoch: u64,
     /// Per-shard load counters (indexed by shard).
     pub shard_loads: Vec<esync_core::outbox::ShardLoad>,
+    /// The node's typed trace, stamped in monotonic nanoseconds since
+    /// cluster start, oldest first. Empty unless the cluster was spawned
+    /// with [`ClusterConfig::tracing`]; bounded by that capacity.
+    pub trace: Vec<esync_trace::TraceRecord>,
+    /// Trace records evicted by the node's bounded ring (0 when tracing
+    /// was off or the capacity sufficed).
+    pub trace_dropped: u64,
 }
 
 /// Errors from running a cluster.
@@ -115,6 +122,7 @@ pub struct ClusterConfig {
     max_extra_delay: Option<Duration>,
     seed: u64,
     initial_values: Option<Vec<Value>>,
+    trace_capacity: Option<usize>,
 }
 
 impl ClusterConfig {
@@ -131,6 +139,7 @@ impl ClusterConfig {
             max_extra_delay: None,
             seed: 0,
             initial_values: None,
+            trace_capacity: None,
         }
     }
 
@@ -189,6 +198,22 @@ impl ClusterConfig {
         self
     }
 
+    /// Enables typed protocol tracing on every node, each collecting into
+    /// a bounded ring of `capacity` records (oldest evicted first). The
+    /// traces come back in [`NodeStats::trace`] from
+    /// [`Cluster::shutdown_stats`]. Default: off — and the disabled path
+    /// is behaviorally inert, not merely cheap (see
+    /// [`esync_core::outbox::Outbox::trace`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn tracing(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
     fn timing(&self) -> Result<TimingConfig, ConfigError> {
         let mut b = TimingConfig::builder(self.n);
         b.delta(to_real(self.delta)).rho(self.rho);
@@ -217,6 +242,10 @@ pub struct Cluster<P: Protocol> {
     /// Per-node "believes it leads" flags, published by the node threads
     /// after every event (see [`esync_core::outbox::Process::is_leader`]).
     leader_flags: Vec<Arc<AtomicBool>>,
+    /// Per-node prompt-kill flags: set by [`Cluster::kill`], checked by
+    /// the node loop before every event so a killed node stops without
+    /// draining its inbox backlog first.
+    kill_flags: Vec<Arc<AtomicBool>>,
     /// Final per-node stats, sent by each node thread on exit.
     stats_rx: Receiver<NodeStats>,
     handles: Vec<JoinHandle<()>>,
@@ -256,11 +285,14 @@ where
 
         let mut handles = Vec::with_capacity(n);
         let mut leader_flags = Vec::with_capacity(n);
+        let mut kill_flags = Vec::with_capacity(n);
         for (i, inbox) in receivers.into_iter().enumerate() {
             let pid = ProcessId::new(i as u32);
             let proc = protocol.spawn(pid, &timing, initial_values[i]);
             let leader_flag = Arc::new(AtomicBool::new(false));
             leader_flags.push(Arc::clone(&leader_flag));
+            let kill_flag = Arc::new(AtomicBool::new(false));
+            kill_flags.push(Arc::clone(&kill_flag));
             let rate = if cfg.rho == 0.0 {
                 1.0
             } else {
@@ -279,12 +311,23 @@ where
             let decisions = dec_tx.clone();
             let commits = commit_tx.clone();
             let stats = stats_tx.clone();
+            let trace_capacity = cfg.trace_capacity;
             let handle = std::thread::Builder::new()
                 .name(format!("esync-node-{i}"))
                 .spawn(move || {
                     run_node(
-                        pid, proc, inbox, transport, clock, decisions, commits, leader_flag,
-                        stats, shards,
+                        pid,
+                        proc,
+                        inbox,
+                        transport,
+                        clock,
+                        decisions,
+                        commits,
+                        leader_flag,
+                        kill_flag,
+                        stats,
+                        shards,
+                        trace_capacity,
                     )
                 })
                 .expect("spawn node thread");
@@ -297,6 +340,7 @@ where
             decisions_rx: dec_rx,
             commits_rx: commit_rx,
             leader_flags,
+            kill_flags,
             stats_rx,
             handles,
             delayer_handle: Some(delayer_handle),
@@ -343,7 +387,17 @@ where
     /// simulator's crash–restart this is crash-forever). Messages and
     /// submissions to a killed node are silently dropped, as to any dead
     /// destination.
+    ///
+    /// The kill is *prompt*: the node's loop checks a shared flag before
+    /// every event, so it exits — snapshotting its [`NodeStats`] — as
+    /// soon as its current handler returns, rather than after draining
+    /// whatever inbox backlog sits ahead of a queued stop message. The
+    /// stats a killed node ships therefore reflect its state at kill
+    /// time, and [`Cluster::shutdown_stats`] reliably includes them.
     pub fn kill(&self, pid: ProcessId) {
+        self.kill_flags[pid.as_usize()].store(true, Ordering::Relaxed);
+        // Also queue a stop so a node blocked in `recv` (empty inbox, no
+        // timers) wakes up and observes the flag.
         let _ = self.node_senders[pid.as_usize()].send(Wire::Stop);
         self.leader_flags[pid.as_usize()].store(false, Ordering::Relaxed);
     }
@@ -442,6 +496,44 @@ mod tests {
         let v = decisions[0].value;
         assert!(decisions.iter().all(|d| d.value == v));
         cluster.shutdown();
+    }
+
+    #[test]
+    fn killed_nodes_still_report_stats() {
+        let cfg = ClusterConfig::new(3)
+            .delta(Duration::from_millis(5))
+            .seed(3);
+        let cluster = Cluster::spawn(cfg, SessionPaxos::new()).unwrap();
+        cluster.await_decisions(Duration::from_secs(10)).unwrap();
+        cluster.kill(ProcessId::new(2));
+        let stats = cluster.shutdown_stats();
+        assert_eq!(stats.len(), 3, "killed node must be in {stats:?}");
+        assert_eq!(stats[2].pid, ProcessId::new(2));
+    }
+
+    #[test]
+    fn tracing_collects_decided_events() {
+        let cfg = ClusterConfig::new(3)
+            .delta(Duration::from_millis(5))
+            .seed(4)
+            .tracing(1 << 14);
+        let cluster = Cluster::spawn(cfg, SessionPaxos::new()).unwrap();
+        cluster.await_decisions(Duration::from_secs(10)).unwrap();
+        let stats = cluster.shutdown_stats();
+        assert_eq!(stats.len(), 3);
+        for s in &stats {
+            assert!(
+                s.trace
+                    .iter()
+                    .any(|r| matches!(r.ev, esync_core::trace::TraceEvent::Decided { .. })),
+                "{}: no decided event in {} records",
+                s.pid,
+                s.trace.len()
+            );
+            assert_eq!(s.trace_dropped, 0);
+            // Stamps are monotone within a node (one shared wall axis).
+            assert!(s.trace.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        }
     }
 
     #[test]

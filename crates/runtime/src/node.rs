@@ -7,6 +7,7 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use esync_core::outbox::{Action, Outbox, Process};
 use esync_core::time::LocalInstant;
 use esync_core::types::{ProcessId, TimerId};
+use esync_trace::{TraceBuffer, TraceRecord};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -37,15 +38,26 @@ impl LocalClock {
     }
 }
 
-/// Runs one process until a [`Wire::Stop`] arrives.
+/// Runs one process until a [`Wire::Stop`] arrives or `kill_flag` is
+/// raised.
 ///
 /// After every handled event the node publishes its
 /// [`Process::is_leader`] belief into `leader_flag` (cleared on exit), so
 /// the cluster can answer leader-observability queries without touching
 /// protocol state across threads. On exit it ships its final
 /// [`NodeStats`] (router epoch, per-shard load counters over `shards`
-/// shards) through `stats` — the runtime half of the schema-v5
-/// imbalance observability.
+/// shards, and — when `trace_capacity` is set — the typed trace ring)
+/// through `stats` — the runtime half of the schema-v5/v6 observability.
+///
+/// `kill_flag` is checked before every event, so a raised flag stops the
+/// node as soon as the current handler returns instead of after the
+/// inbox backlog drains — [`crate::cluster::Cluster::kill`]'s prompt
+/// path.
+///
+/// With `trace_capacity = Some(cap)` every outbox runs with typed
+/// tracing enabled; drained [`esync_core::trace::TraceEvent`]s are
+/// stamped with monotonic nanoseconds since cluster start and collected
+/// into a node-local bounded ring shipped in [`NodeStats::trace`].
 ///
 /// # Panics
 ///
@@ -62,16 +74,25 @@ pub fn run_node<Proc>(
     decisions: Sender<Decision>,
     commits: Sender<Commit>,
     leader_flag: Arc<AtomicBool>,
+    kill_flag: Arc<AtomicBool>,
     stats: Sender<NodeStats>,
     shards: usize,
+    trace_capacity: Option<usize>,
 ) where
     Proc: Process,
     Proc::Msg: Clone,
 {
     let mut timers: HashMap<TimerId, Instant> = HashMap::new();
     let mut reported = false;
+    let mut tracer = trace_capacity.map(TraceBuffer::new);
+    let tracing = tracer.is_some();
+    let fresh = |clock: &LocalClock| {
+        let mut out = Outbox::new(clock.now());
+        out.set_tracing(tracing);
+        out
+    };
 
-    let mut out = Outbox::new(clock.now());
+    let mut out = fresh(&clock);
     proc.on_start(&mut out);
     apply(
         pid,
@@ -82,10 +103,11 @@ pub fn run_node<Proc>(
         &decisions,
         &commits,
         &mut reported,
+        &mut tracer,
     );
     leader_flag.store(proc.is_leader(), Ordering::Relaxed);
 
-    loop {
+    while !kill_flag.load(Ordering::Relaxed) {
         // Fire all due timers first.
         let now = Instant::now();
         let due: Vec<TimerId> = timers
@@ -95,8 +117,11 @@ pub fn run_node<Proc>(
             .collect();
         if !due.is_empty() {
             for id in due {
+                if kill_flag.load(Ordering::Relaxed) {
+                    break;
+                }
                 timers.remove(&id);
-                let mut out = Outbox::new(clock.now());
+                let mut out = fresh(&clock);
                 proc.on_timer(id, &mut out);
                 apply(
                     pid,
@@ -107,6 +132,7 @@ pub fn run_node<Proc>(
                     &decisions,
                     &commits,
                     &mut reported,
+                    &mut tracer,
                 );
             }
             leader_flag.store(proc.is_leader(), Ordering::Relaxed);
@@ -129,10 +155,13 @@ pub fn run_node<Proc>(
             },
         };
         let Some(wire) = wire else { continue };
+        if kill_flag.load(Ordering::Relaxed) {
+            break;
+        }
         match wire {
             Wire::Stop => break,
             Wire::Msg { from, msg } => {
-                let mut out = Outbox::new(clock.now());
+                let mut out = fresh(&clock);
                 proc.on_message(from, &msg, &mut out);
                 apply(
                     pid,
@@ -143,10 +172,11 @@ pub fn run_node<Proc>(
                     &decisions,
                     &commits,
                     &mut reported,
+                    &mut tracer,
                 );
             }
             Wire::Submit { value } => {
-                let mut out = Outbox::new(clock.now());
+                let mut out = fresh(&clock);
                 proc.on_client(value, &mut out);
                 apply(
                     pid,
@@ -157,6 +187,7 @@ pub fn run_node<Proc>(
                     &decisions,
                     &commits,
                     &mut reported,
+                    &mut tracer,
                 );
             }
         }
@@ -165,12 +196,15 @@ pub fn run_node<Proc>(
     // Dead nodes lead nothing: clear the published belief on the way out
     // so `leader_hint` never points at a stopped thread.
     leader_flag.store(false, Ordering::Relaxed);
+    let trace_dropped = tracer.as_ref().map_or(0, TraceBuffer::dropped);
     let _ = stats.send(NodeStats {
         pid,
         router_epoch: proc.router_epoch(),
         shard_loads: (0..shards as u32)
             .map(|s| proc.shard_load(esync_core::types::ShardId::new(s)))
             .collect(),
+        trace: tracer.as_mut().map_or_else(Vec::new, TraceBuffer::take_records),
+        trace_dropped,
     });
 }
 
@@ -184,7 +218,17 @@ fn apply<M: Clone>(
     decisions: &Sender<Decision>,
     commits: &Sender<Commit>,
     reported: &mut bool,
+    tracer: &mut Option<TraceBuffer>,
 ) {
+    if let Some(buf) = tracer.as_mut() {
+        // Stamp in monotonic wall nanoseconds since cluster start — the
+        // cross-node comparable axis (local clocks drift; `elapsed` does
+        // not).
+        let at_ns = transport.elapsed().as_nanos() as u64;
+        for ev in out.drain_trace() {
+            buf.push(TraceRecord { at_ns, pid, ev });
+        }
+    }
     for action in out.drain() {
         match action {
             Action::Send { to, msg } => transport.send(pid, to, msg),

@@ -336,6 +336,9 @@ pub struct World<P: Protocol> {
     /// allocation per event.
     scratch: Outbox<P::Msg>,
     trace: Option<Vec<String>>,
+    /// The typed trace collector ([`World::enable_typed_trace`]); the
+    /// scratch outbox's tracing flag is on exactly while this is `Some`.
+    typed_trace: Option<esync_trace::TraceBuffer>,
 }
 
 impl<P: Protocol> World<P> {
@@ -363,6 +366,7 @@ impl<P: Protocol> World<P> {
             commits: Vec::new(),
             scratch: Outbox::default(),
             trace: None,
+            typed_trace: None,
         };
         world.populate();
         world
@@ -406,6 +410,9 @@ impl<P: Protocol> World<P> {
         self.commits.clear();
         if let Some(trace) = self.trace.as_mut() {
             trace.clear();
+        }
+        if let Some(tt) = self.typed_trace.as_mut() {
+            tt.clear();
         }
         self.populate();
     }
@@ -489,6 +496,37 @@ impl<P: Protocol> World<P> {
     /// The recorded trace, if [`World::enable_trace`] was called.
     pub fn trace(&self) -> &[String] {
         self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Starts collecting typed protocol trace events
+    /// ([`esync_core::trace::TraceEvent`]) into a bounded ring of `cap`
+    /// records, each stamped with the simulated instant of the emitting
+    /// event. Tracing never alters protocol behaviour — a traced run's
+    /// actions, messages and metrics are bit-identical to an untraced
+    /// one — and stays enabled across [`World::reset`] (the buffer is
+    /// cleared), mirroring the string trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn enable_typed_trace(&mut self, cap: usize) {
+        self.typed_trace = Some(esync_trace::TraceBuffer::new(cap));
+        self.scratch.set_tracing(true);
+    }
+
+    /// The typed trace collector, if [`World::enable_typed_trace`] was
+    /// called.
+    pub fn typed_trace(&self) -> Option<&esync_trace::TraceBuffer> {
+        self.typed_trace.as_ref()
+    }
+
+    /// Takes the collected typed trace records (oldest first), leaving
+    /// collection enabled. Empty when tracing was never enabled.
+    pub fn take_typed_trace(&mut self) -> Vec<esync_trace::TraceRecord> {
+        self.typed_trace
+            .as_mut()
+            .map(|tt| tt.take_records())
+            .unwrap_or_default()
     }
 
     /// Current simulated time.
@@ -903,6 +941,15 @@ impl<P: Protocol> World<P> {
     }
 
     fn apply_actions(&mut self, pid: ProcessId, out: &mut Outbox<P::Msg>) {
+        // Drain the trace side channel first, stamping each event with
+        // the simulated instant of the event being applied — same-seed
+        // runs therefore produce byte-identical trace files.
+        if let Some(tt) = self.typed_trace.as_mut() {
+            let at_ns = self.now.as_nanos();
+            for ev in out.drain_trace() {
+                tt.push(esync_trace::TraceRecord { at_ns, pid, ev });
+            }
+        }
         let n = self.cfg.timing.n();
         for action in out.drain_iter() {
             match action {

@@ -1,0 +1,519 @@
+//! The `TRACE_*.jsonl` format: one JSON object per line, a `meta` header
+//! line followed by flat record lines — and a hand-rolled parser for it
+//! (the vendored offline `serde_json` serializes only).
+//!
+//! ## Schema
+//!
+//! The first line is the run header:
+//!
+//! ```json
+//! {"meta":{"exp":"exp_e1","seed":42,"n":5,"delta_ns":10000000,
+//!          "epsilon_ns":10000000,"ts_ns":300000000,"bound_ns":170000000}}
+//! ```
+//!
+//! Every following line is one [`TraceRecord`]: the stamp, the emitting
+//! process, the event `kind` (the labels of
+//! [`TraceEvent::kind`]), and the kind's payload fields, all
+//! integer-valued:
+//!
+//! ```json
+//! {"at_ns":312000000,"pid":2,"kind":"decided","shard":0,"slot":3,"value":7}
+//! ```
+//!
+//! | kind | payload fields |
+//! |---|---|
+//! | `1a_sent`, `promise_quorum`, `anchored`, `unanchored` | `ballot` |
+//! | `submit`, `forward` | `value` |
+//! | `admitted`, `reply` | `shard`, `value` |
+//! | `proposed`, `decided` | `shard`, `slot`, `value` |
+//! | `chosen` | `shard`, `slot` |
+//! | `rb_freeze`, `rb_drain`, `rb_commit`, `rb_abort` | `epoch` |
+//! | `rb_reforward` | `epoch`, `count` |
+//!
+//! Writing is deterministic: fixed key order, no whitespace, `\n` line
+//! ends — so same-seed simulator runs produce byte-identical files.
+
+use crate::buffer::TraceRecord;
+use esync_core::trace::TraceEvent;
+use esync_core::types::ProcessId;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// The run header of a trace file: enough context to validate the
+/// paper's decision bound without the artifact that produced the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// The experiment (or test) name the trace belongs to.
+    pub exp: String,
+    /// The run's seed.
+    pub seed: u64,
+    /// Number of processes.
+    pub n: u32,
+    /// The post-stabilization message-delay bound δ, in nanoseconds.
+    pub delta_ns: u64,
+    /// The retransmission period ε, in nanoseconds.
+    pub epsilon_ns: u64,
+    /// The stabilization time `TS` on the driver clock, in nanoseconds.
+    pub ts_ns: u64,
+    /// The per-decision bound after `TS`: `ε + 3τ + 5δ` (plus the ε
+    /// alignment slack), in nanoseconds. A run satisfies the paper's
+    /// guarantee iff every nonfaulty process's decision stamp is at most
+    /// `ts_ns + bound_ns`. Zero means the bound does not apply to this
+    /// trace (steady-state workload drives, where first decides are
+    /// gated on client submission schedules, not on stabilization) and
+    /// checkers must skip the per-decision validation.
+    pub bound_ns: u64,
+}
+
+/// A parsed trace line: the header or a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Line {
+    /// The `{"meta":…}` header line.
+    Meta(TraceMeta),
+    /// A stamped event record.
+    Record(TraceRecord),
+}
+
+/// A trace line failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseError {
+    /// What the parser was looking for.
+    pub what: &'static str,
+    /// Byte offset within the line.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid trace line: expected {} at byte {}", self.what, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders the header line (no trailing newline).
+pub fn meta_line(meta: &TraceMeta) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"meta\":{\"exp\":\"");
+    escape_into(&mut out, &meta.exp);
+    let _ = write!(
+        out,
+        "\",\"seed\":{},\"n\":{},\"delta_ns\":{},\"epsilon_ns\":{},\"ts_ns\":{},\"bound_ns\":{}}}}}",
+        meta.seed, meta.n, meta.delta_ns, meta.epsilon_ns, meta.ts_ns, meta.bound_ns
+    );
+    out
+}
+
+/// Renders one record line (no trailing newline). Key order is fixed:
+/// `at_ns`, `pid`, `kind`, then the kind's payload fields in the order
+/// of the schema table.
+pub fn record_line(r: &TraceRecord) -> String {
+    let mut out = String::with_capacity(96);
+    let _ = write!(
+        out,
+        "{{\"at_ns\":{},\"pid\":{},\"kind\":\"{}\"",
+        r.at_ns,
+        r.pid.as_u32(),
+        r.ev.kind()
+    );
+    match r.ev {
+        TraceEvent::OneASent { ballot }
+        | TraceEvent::PromiseQuorum { ballot }
+        | TraceEvent::Anchored { ballot }
+        | TraceEvent::Unanchored { ballot } => {
+            let _ = write!(out, ",\"ballot\":{ballot}");
+        }
+        TraceEvent::Submit { value } | TraceEvent::ForwardSent { value } => {
+            let _ = write!(out, ",\"value\":{value}");
+        }
+        TraceEvent::Admitted { shard, value } | TraceEvent::ReplySent { shard, value } => {
+            let _ = write!(out, ",\"shard\":{shard},\"value\":{value}");
+        }
+        TraceEvent::Proposed { shard, slot, value } | TraceEvent::Decided { shard, slot, value } => {
+            let _ = write!(out, ",\"shard\":{shard},\"slot\":{slot},\"value\":{value}");
+        }
+        TraceEvent::Chosen { shard, slot } => {
+            let _ = write!(out, ",\"shard\":{shard},\"slot\":{slot}");
+        }
+        TraceEvent::RebalanceFreeze { epoch }
+        | TraceEvent::RebalanceDrain { epoch }
+        | TraceEvent::RebalanceCommit { epoch }
+        | TraceEvent::RebalanceAbort { epoch } => {
+            let _ = write!(out, ",\"epoch\":{epoch}");
+        }
+        TraceEvent::RebalanceReforward { epoch, count } => {
+            let _ = write!(out, ",\"epoch\":{epoch},\"count\":{count}");
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a whole trace file: the header line, then every record in
+/// order, `\n`-terminated.
+pub fn write_jsonl<'a>(
+    meta: &TraceMeta,
+    records: impl IntoIterator<Item = &'a TraceRecord>,
+) -> String {
+    let mut out = meta_line(meta);
+    out.push('\n');
+    for r in records {
+        out.push_str(&record_line(r));
+        out.push('\n');
+    }
+    out
+}
+
+// ---- parsing (hand-rolled: the vendored serde_json cannot parse) ----
+
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Num(u64),
+    Str(String),
+    Obj(Vec<(String, Val)>),
+}
+
+struct Scanner<'a> {
+    s: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn err<T>(&self, what: &'static str) -> Result<T, ParseError> {
+        Err(ParseError { what, at: self.at })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.at).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.at += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8, what: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            self.err(what)
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "string")?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    _ => return self.err("escape"),
+                },
+                Some(b) => out.push(b as char),
+                None => return self.err("closing quote"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, ParseError> {
+        let start = self.at;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.at += 1;
+        }
+        if self.at == start {
+            return self.err("number");
+        }
+        std::str::from_utf8(&self.s[start..self.at])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or(ParseError {
+                what: "u64 in range",
+                at: start,
+            })
+    }
+
+    fn value(&mut self) -> Result<Val, ParseError> {
+        match self.peek() {
+            Some(b'"') => Ok(Val::Str(self.string()?)),
+            Some(b'{') => Ok(Val::Obj(self.object()?)),
+            Some(b) if b.is_ascii_digit() => Ok(Val::Num(self.number()?)),
+            _ => self.err("value"),
+        }
+    }
+
+    fn object(&mut self) -> Result<Vec<(String, Val)>, ParseError> {
+        self.expect(b'{', "object")?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(fields);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':', "colon")?;
+            fields.push((key, self.value()?));
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(fields),
+                _ => return self.err("comma or closing brace"),
+            }
+        }
+    }
+}
+
+fn get<'v>(fields: &'v [(String, Val)], key: &'static str) -> Result<&'v Val, ParseError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or(ParseError { what: key, at: 0 })
+}
+
+fn get_u64(fields: &[(String, Val)], key: &'static str) -> Result<u64, ParseError> {
+    match get(fields, key)? {
+        Val::Num(n) => Ok(*n),
+        _ => Err(ParseError { what: key, at: 0 }),
+    }
+}
+
+fn get_str<'v>(fields: &'v [(String, Val)], key: &'static str) -> Result<&'v str, ParseError> {
+    match get(fields, key)? {
+        Val::Str(s) => Ok(s),
+        _ => Err(ParseError { what: key, at: 0 }),
+    }
+}
+
+fn get_u32(fields: &[(String, Val)], key: &'static str) -> Result<u32, ParseError> {
+    u32::try_from(get_u64(fields, key)?).map_err(|_| ParseError { what: key, at: 0 })
+}
+
+fn event_of(fields: &[(String, Val)]) -> Result<TraceEvent, ParseError> {
+    let kind = get_str(fields, "kind")?;
+    Ok(match kind {
+        "1a_sent" => TraceEvent::OneASent {
+            ballot: get_u64(fields, "ballot")?,
+        },
+        "promise_quorum" => TraceEvent::PromiseQuorum {
+            ballot: get_u64(fields, "ballot")?,
+        },
+        "anchored" => TraceEvent::Anchored {
+            ballot: get_u64(fields, "ballot")?,
+        },
+        "unanchored" => TraceEvent::Unanchored {
+            ballot: get_u64(fields, "ballot")?,
+        },
+        "submit" => TraceEvent::Submit {
+            value: get_u64(fields, "value")?,
+        },
+        "forward" => TraceEvent::ForwardSent {
+            value: get_u64(fields, "value")?,
+        },
+        "admitted" => TraceEvent::Admitted {
+            shard: get_u32(fields, "shard")?,
+            value: get_u64(fields, "value")?,
+        },
+        "proposed" => TraceEvent::Proposed {
+            shard: get_u32(fields, "shard")?,
+            slot: get_u64(fields, "slot")?,
+            value: get_u64(fields, "value")?,
+        },
+        "chosen" => TraceEvent::Chosen {
+            shard: get_u32(fields, "shard")?,
+            slot: get_u64(fields, "slot")?,
+        },
+        "decided" => TraceEvent::Decided {
+            shard: get_u32(fields, "shard")?,
+            slot: get_u64(fields, "slot")?,
+            value: get_u64(fields, "value")?,
+        },
+        "reply" => TraceEvent::ReplySent {
+            shard: get_u32(fields, "shard")?,
+            value: get_u64(fields, "value")?,
+        },
+        "rb_freeze" => TraceEvent::RebalanceFreeze {
+            epoch: get_u64(fields, "epoch")?,
+        },
+        "rb_drain" => TraceEvent::RebalanceDrain {
+            epoch: get_u64(fields, "epoch")?,
+        },
+        "rb_commit" => TraceEvent::RebalanceCommit {
+            epoch: get_u64(fields, "epoch")?,
+        },
+        "rb_reforward" => TraceEvent::RebalanceReforward {
+            epoch: get_u64(fields, "epoch")?,
+            count: get_u64(fields, "count")?,
+        },
+        "rb_abort" => TraceEvent::RebalanceAbort {
+            epoch: get_u64(fields, "epoch")?,
+        },
+        _ => return Err(ParseError { what: "known kind", at: 0 }),
+    })
+}
+
+/// Parses one line of a trace file.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for malformed JSON, unknown kinds, or missing
+/// payload fields.
+pub fn parse_line(line: &str) -> Result<Line, ParseError> {
+    let mut sc = Scanner {
+        s: line.trim_end().as_bytes(),
+        at: 0,
+    };
+    let fields = sc.object()?;
+    if sc.at != sc.s.len() {
+        return sc.err("end of line");
+    }
+    if let Ok(Val::Obj(meta)) = get(&fields, "meta").cloned() {
+        return Ok(Line::Meta(TraceMeta {
+            exp: get_str(&meta, "exp")?.to_string(),
+            seed: get_u64(&meta, "seed")?,
+            n: get_u32(&meta, "n")?,
+            delta_ns: get_u64(&meta, "delta_ns")?,
+            epsilon_ns: get_u64(&meta, "epsilon_ns")?,
+            ts_ns: get_u64(&meta, "ts_ns")?,
+            bound_ns: get_u64(&meta, "bound_ns")?,
+        }));
+    }
+    Ok(Line::Record(TraceRecord {
+        at_ns: get_u64(&fields, "at_ns")?,
+        pid: ProcessId::new(get_u32(&fields, "pid")?),
+        ev: event_of(&fields)?,
+    }))
+}
+
+/// Parses a whole trace file: the header (if present) plus every record,
+/// in order. Blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns the first line's [`ParseError`], if any.
+pub fn parse_jsonl(text: &str) -> Result<(Option<TraceMeta>, Vec<TraceRecord>), ParseError> {
+    let mut meta = None;
+    let mut records = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line)? {
+            Line::Meta(m) => meta = Some(m),
+            Line::Record(r) => records.push(r),
+        }
+    }
+    Ok((meta, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_meta() -> TraceMeta {
+        TraceMeta {
+            exp: "exp_e1".to_string(),
+            seed: 42,
+            n: 5,
+            delta_ns: 10_000_000,
+            epsilon_ns: 10_000_000,
+            ts_ns: 300_000_000,
+            bound_ns: 170_000_000,
+        }
+    }
+
+    #[test]
+    fn every_kind_roundtrips_through_jsonl() {
+        let events = [
+            TraceEvent::OneASent { ballot: 9 },
+            TraceEvent::PromiseQuorum { ballot: 9 },
+            TraceEvent::Anchored { ballot: 9 },
+            TraceEvent::Unanchored { ballot: 4 },
+            TraceEvent::Submit { value: 7 },
+            TraceEvent::ForwardSent { value: 7 },
+            TraceEvent::Admitted { shard: 1, value: 7 },
+            TraceEvent::Proposed { shard: 1, slot: 3, value: 7 },
+            TraceEvent::Chosen { shard: 1, slot: 3 },
+            TraceEvent::Decided { shard: 1, slot: 3, value: 7 },
+            TraceEvent::ReplySent { shard: 1, value: 7 },
+            TraceEvent::RebalanceFreeze { epoch: 1 },
+            TraceEvent::RebalanceDrain { epoch: 1 },
+            TraceEvent::RebalanceCommit { epoch: 1 },
+            TraceEvent::RebalanceReforward { epoch: 1, count: 12 },
+            TraceEvent::RebalanceAbort { epoch: 2 },
+        ];
+        let records: Vec<TraceRecord> = events
+            .iter()
+            .enumerate()
+            .map(|(i, ev)| TraceRecord {
+                at_ns: 1_000 * i as u64,
+                pid: ProcessId::new(i as u32 % 3),
+                ev: *ev,
+            })
+            .collect();
+        let meta = sample_meta();
+        let text = write_jsonl(&meta, &records);
+        let (parsed_meta, parsed) = parse_jsonl(&text).expect("roundtrip parses");
+        assert_eq!(parsed_meta, Some(meta));
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn writer_is_deterministic() {
+        let r = TraceRecord {
+            at_ns: 5,
+            pid: ProcessId::new(2),
+            ev: TraceEvent::Chosen { shard: 0, slot: 9 },
+        };
+        assert_eq!(
+            record_line(&r),
+            "{\"at_ns\":5,\"pid\":2,\"kind\":\"chosen\",\"shard\":0,\"slot\":9}"
+        );
+        assert_eq!(write_jsonl(&sample_meta(), [&r]), write_jsonl(&sample_meta(), [&r]));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_line("").is_err());
+        assert!(parse_line("{\"at_ns\":1}").is_err(), "missing pid/kind");
+        assert!(
+            parse_line("{\"at_ns\":1,\"pid\":0,\"kind\":\"nope\"}").is_err(),
+            "unknown kind"
+        );
+        assert!(
+            parse_line("{\"at_ns\":1,\"pid\":0,\"kind\":\"submit\"}").is_err(),
+            "missing payload"
+        );
+        assert!(parse_line("{\"at_ns\":1,\"pid\":0} trailing").is_err());
+        assert!(
+            parse_line("{\"at_ns\":99999999999999999999999,\"pid\":0,\"kind\":\"chosen\",\"shard\":0,\"slot\":1}")
+                .is_err(),
+            "overflowing number"
+        );
+    }
+
+    #[test]
+    fn exp_names_are_escaped() {
+        let mut meta = sample_meta();
+        meta.exp = "odd \"name\"\\with\nnoise".to_string();
+        let line = meta_line(&meta);
+        match parse_line(&line).expect("escaped header parses") {
+            Line::Meta(m) => assert_eq!(m, meta),
+            other => panic!("expected meta, got {other:?}"),
+        }
+    }
+}

@@ -253,6 +253,9 @@ impl Collector {
                     .collect()
             },
             shard_imbalance,
+            // Attached by the driver after the run when typed tracing
+            // was enabled (the collector never sees trace records).
+            phase_latency: None,
         }
     }
 }

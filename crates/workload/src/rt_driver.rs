@@ -29,6 +29,11 @@ pub struct RtWorkloadOutcome {
     /// Per-node router epochs at shutdown (all zero without live
     /// rebalancing).
     pub router_epochs: Vec<u64>,
+    /// Every node's typed trace, concatenated in pid order (each node's
+    /// records are stamped on the shared wall axis — monotonic
+    /// nanoseconds since cluster start). Empty unless the cluster was
+    /// configured with [`ClusterConfig::tracing`].
+    pub trace: Vec<esync_trace::TraceRecord>,
 }
 
 /// Sums the nodes' final per-shard load counters into the collector's
@@ -116,11 +121,29 @@ where
     }
     let stats = cluster.shutdown_stats();
     let router_epochs = fold_node_stats(&mut collector, &stats, shards);
-    Ok(RtWorkloadOutcome {
-        summary: collector.summary(),
-        applied_per_node: applied,
+    Ok(finish(collector, applied, router_epochs, stats))
+}
+
+/// Assembles the outcome, attaching the nodes' typed traces (and the
+/// summary's phase decomposition) when the cluster collected any.
+fn finish(
+    collector: Collector,
+    applied_per_node: Vec<BTreeSet<u64>>,
+    router_epochs: Vec<u64>,
+    stats: Vec<NodeStats>,
+) -> RtWorkloadOutcome {
+    let trace: Vec<esync_trace::TraceRecord> =
+        stats.into_iter().flat_map(|s| s.trace).collect();
+    let mut summary = collector.summary();
+    if !trace.is_empty() {
+        summary.phase_latency = Some(esync_trace::decompose(&trace));
+    }
+    RtWorkloadOutcome {
+        summary,
+        applied_per_node,
         router_epochs,
-    })
+        trace,
+    }
 }
 
 /// Runs an **open-loop** workload against a threaded cluster: the stream's
@@ -190,11 +213,7 @@ where
     }
     let stats = cluster.shutdown_stats();
     let router_epochs = fold_node_stats(&mut collector, &stats, shards);
-    Ok(RtWorkloadOutcome {
-        summary: collector.summary(),
-        applied_per_node: applied,
-        router_epochs,
-    })
+    Ok(finish(collector, applied, router_epochs, stats))
 }
 
 /// Issues the next command for `client`, if the budget allows.

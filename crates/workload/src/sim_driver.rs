@@ -33,6 +33,11 @@ pub struct SimWorkloadOutcome {
     /// live rebalancing moved a boundary; rebalance tests assert they
     /// agree and are nonzero).
     pub router_epochs: Vec<u64>,
+    /// The typed trace collected during the drive, stamped in simulated
+    /// nanoseconds. Empty unless the run was traced (the `_traced`
+    /// entry points, or a caller-prepared world with
+    /// [`World::enable_typed_trace`]).
+    pub trace: Vec<esync_trace::TraceRecord>,
 }
 
 /// Slot-by-slot log agreement across all processes, per shard: no two
@@ -92,6 +97,38 @@ where
     P: Protocol,
     P::Process: ShardedLogView,
 {
+    run_open_loop_inner(cfg, protocol, horizon, None)
+}
+
+/// [`run_open_loop`] with typed tracing enabled: every process's
+/// [`TraceEvent`](esync_core::trace::TraceEvent)s are collected (into a
+/// ring of `trace_capacity` records) and the summary's
+/// `phase_latency` decomposition is attached. Tracing is observational
+/// only, so apart from the extra fields the outcome is bit-identical to
+/// the untraced run.
+pub fn run_open_loop_traced<P>(
+    cfg: SimConfig,
+    protocol: P,
+    horizon: SimTime,
+    trace_capacity: usize,
+) -> SimWorkloadOutcome
+where
+    P: Protocol,
+    P::Process: ShardedLogView,
+{
+    run_open_loop_inner(cfg, protocol, horizon, Some(trace_capacity))
+}
+
+fn run_open_loop_inner<P>(
+    cfg: SimConfig,
+    protocol: P,
+    horizon: SimTime,
+    trace_capacity: Option<usize>,
+) -> SimWorkloadOutcome
+where
+    P: Protocol,
+    P::Process: ShardedLogView,
+{
     let n = cfg.timing.n();
     let spec_window = default_timeline_window(&cfg);
     let mut collector = Collector::new(Some(cfg.ts.as_nanos()), spec_window);
@@ -106,17 +143,37 @@ where
         }
     }
     let mut world = World::new(cfg, protocol);
+    if let Some(cap) = trace_capacity {
+        world.enable_typed_trace(cap);
+    }
     world.run_until(horizon);
     for c in world.commits() {
         collector.on_commit(c.pid, c.shard, c.value, c.at.as_nanos());
     }
     collector.set_shard_loads(&shard_loads(&world));
+    finish(collector, &mut world)
+}
+
+/// Assembles the outcome, attaching the typed trace (and the summary's
+/// phase decomposition) when the world collected one.
+fn finish<P>(collector: Collector, world: &mut World<P>) -> SimWorkloadOutcome
+where
+    P: Protocol,
+    P::Process: ShardedLogView,
+{
+    let traced = world.typed_trace().is_some();
+    let trace = world.take_typed_trace();
+    let mut summary = collector.summary();
+    if traced {
+        summary.phase_latency = Some(esync_trace::decompose(&trace));
+    }
     SimWorkloadOutcome {
-        summary: collector.summary(),
+        summary,
         report: world.report(),
         end: world.now(),
-        log_agreement: logs_agree(&world),
-        router_epochs: router_epochs(&world),
+        log_agreement: logs_agree(world),
+        router_epochs: router_epochs(world),
+        trace,
     }
 }
 
@@ -178,6 +235,27 @@ where
     run_closed_loop_on(&mut world, spec, horizon)
 }
 
+/// [`run_closed_loop`] with typed tracing enabled from before the warmup
+/// (so anchor-establishment events are captured too); see
+/// [`run_open_loop_traced`] for the tracing contract.
+pub fn run_closed_loop_traced<P>(
+    cfg: SimConfig,
+    protocol: P,
+    spec: &ClosedLoopSpec,
+    warmup: SimTime,
+    horizon: SimTime,
+    trace_capacity: usize,
+) -> SimWorkloadOutcome
+where
+    P: Protocol,
+    P::Process: ShardedLogView,
+{
+    let mut world = World::new(cfg, protocol);
+    world.enable_typed_trace(trace_capacity);
+    world.run_until(warmup);
+    run_closed_loop_on(&mut world, spec, horizon)
+}
+
 /// [`run_closed_loop`] over a caller-prepared world: the world has
 /// already been constructed and warmed up (and may carry injected
 /// events — this is the reuse point for fault drives that pick a victim
@@ -225,13 +303,7 @@ where
         }
     }
     collector.set_shard_loads(&shard_loads(world));
-    SimWorkloadOutcome {
-        summary: collector.summary(),
-        report: world.report(),
-        end: world.now(),
-        log_agreement: logs_agree(world),
-        router_epochs: router_epochs(world),
-    }
+    finish(collector, world)
 }
 
 /// Issues the next command for `client`, if the budget allows.
@@ -376,6 +448,36 @@ mod tests {
             "uniform keys reach every shard: {:?}",
             out.summary.per_shard.iter().map(|s| s.committed).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn traced_run_measures_phases_without_perturbing_the_run() {
+        let spec = ClosedLoopSpec::new(3, 2, 40).seed(1);
+        let run = |traced| {
+            let cfg = stable_cfg(3, 1);
+            let warmup = SimTime::from_millis(500);
+            let horizon = SimTime::from_secs(60);
+            if traced {
+                run_closed_loop_traced(cfg, MultiPaxos::new(), &spec, warmup, horizon, 1 << 16)
+            } else {
+                run_closed_loop(cfg, MultiPaxos::new(), &spec, warmup, horizon)
+            }
+        };
+        let plain = run(false);
+        let traced = run(true);
+        assert!(plain.trace.is_empty() && plain.summary.phase_latency.is_none());
+        assert!(!traced.trace.is_empty());
+        let phases = traced.summary.phase_latency.as_ref().expect("decomposition");
+        assert_eq!(phases.decisions, 40, "every command decomposed");
+        assert_eq!(phases.queue.count, 40);
+        assert_eq!(phases.quorum.count, 40);
+        // Tracing is observational: strip the extra fields and the two
+        // runs must be bit-identical.
+        let mut stripped = traced.summary.clone();
+        stripped.phase_latency = None;
+        assert_eq!(stripped, plain.summary);
+        assert_eq!(traced.report, plain.report);
+        assert_eq!(traced.end, plain.end);
     }
 
     #[test]

@@ -40,3 +40,13 @@ w4:
 # live range routing under hotspot and shifting key skew.
 w5:
     scripts/bench.sh w5
+
+# Regenerate the typed-trace artifacts (TRACE_exp_e1.jsonl for the
+# per-decision bound, TRACE_exp_w3.jsonl for the phase decomposition).
+trace:
+    scripts/bench.sh trace
+
+# Replay the TRACE_*.jsonl artifacts: validate the paper's decision-time
+# bound per decision (e1) and report the queue/quorum/learn split (w3).
+trace-check:
+    cargo run -q --release -p esync-check --bin trace_check

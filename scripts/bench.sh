@@ -26,6 +26,7 @@ targets=(
     exp_w4_session_sharing
     exp_w5_rebalance
     micro_simulator
+    trace_gen
 )
 
 # Subset selection: map "e1" → exp_e1_*, "micro" → micro_simulator.
@@ -34,7 +35,7 @@ if [ "$#" -gt 0 ]; then
     for want in "$@"; do
         for t in "${targets[@]}"; do
             case "$t" in
-                "exp_${want}_"*|"$want"|"${want}_simulator") selected+=("$t") ;;
+                "exp_${want}_"*|"$want"|"${want}_simulator"|"${want}_gen") selected+=("$t") ;;
             esac
         done
     done
@@ -53,4 +54,4 @@ done
 
 echo
 echo "artifacts:"
-ls -1 BENCH_*.json
+ls -1 BENCH_*.json TRACE_*.jsonl 2>/dev/null || true

@@ -20,6 +20,10 @@
 //!   workloads: deterministic open/closed-loop client drivers over both
 //!   the simulator and the runtime, with latency histograms and
 //!   commits/sec measurement.
+//! * [`trace`] (`esync-trace`) — the typed-tracing observability layer:
+//!   stamped protocol events, the `TRACE_*.jsonl` format, and the
+//!   queue → quorum → learn phase decomposition with the per-decision
+//!   replay of the paper's bound.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and `EXPERIMENTS.md`
 //! for the paper-claim reproduction tables.
@@ -28,4 +32,5 @@ pub use esync_check as check;
 pub use esync_core as core;
 pub use esync_runtime as runtime;
 pub use esync_sim as sim;
+pub use esync_trace as trace;
 pub use esync_workload as workload;

@@ -251,6 +251,59 @@ fn bench_trace_overhead(c: &mut Criterion) {
     });
 }
 
+/// The metrics registry's cost on the same closed-loop drive as
+/// `bench_trace_overhead`: `metrics_overhead_on` (counters metered,
+/// snapshots every 50ms, all watchdogs armed) must stay within 3% of
+/// `metrics_overhead_noop` — the "always-on" bar ISSUE 10 sets, gated
+/// by `scripts/bench.sh`.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    use esync_core::paxos::multi::MultiPaxos;
+    use esync_core::time::RealDuration;
+    use esync_workload::gen::ClosedLoopSpec;
+    use esync_workload::sim_driver::{run_closed_loop, run_closed_loop_metered};
+
+    let drive = |seed: u64, metered: bool| {
+        let cfg = SimConfig::builder(3)
+            .seed(seed)
+            .stability_at_millis(0)
+            .pre_stability(PreStability::lossless())
+            .build()
+            .unwrap();
+        let spec = ClosedLoopSpec::new(4, 4, 120).seed(seed).key_space(1 << 10);
+        let warmup = SimTime::from_millis(500);
+        let horizon = SimTime::from_secs(120);
+        let out = if metered {
+            run_closed_loop_metered(
+                cfg,
+                MultiPaxos::new(),
+                &spec,
+                warmup,
+                horizon,
+                RealDuration::from_millis(50),
+                esync_metrics::WatchdogConfig::default(),
+            )
+        } else {
+            run_closed_loop(cfg, MultiPaxos::new(), &spec, warmup, horizon)
+        };
+        assert_eq!(out.summary.committed, 120);
+        out.report.events
+    };
+    c.bench_function("metrics_overhead_noop", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(drive(seed, false))
+        });
+    });
+    c.bench_function("metrics_overhead_on", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(drive(seed, true))
+        });
+    });
+}
+
 /// Steady-state calendar-queue churn at a simulator-realistic size
 /// (~6000 pending events, delays within a 10ms band).
 fn bench_event_queue(c: &mut Criterion) {
@@ -290,6 +343,56 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(e.seq)
         });
     });
+}
+
+/// Wide-horizon calendar-queue churn: ~6000 pending timers spread over a
+/// ~4s horizon — 250× the 16.8ms ring span of the fixed 2^14ns bucket
+/// width, so the fixed queue funnels nearly every push through the far
+/// heap. The adaptive queue re-buckets to ~2^23ns after one observation
+/// window and keeps the ring hit rate; the delta between the `_fixed`
+/// and `_adaptive` entries in `BENCH_micro.json` is the re-bucketing win.
+fn bench_event_queue_wide_horizon(c: &mut Criterion) {
+    let mut run = |name: &str, adaptive: bool| {
+        c.bench_function(name, |b| {
+            let mut q: EventQueue<PaxosMsg> = EventQueue::with_bucket_width_shift(14, 8 * 1024);
+            q.set_adaptive(adaptive);
+            let mut now = 0u64;
+            let mut x = 0x9e37_79b9_7f4a_7c15u64;
+            let mut rand = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let mk = |at: u64, r: u64| {
+                (
+                    SimTime::from_nanos(at),
+                    EventKind::Deliver {
+                        from: ProcessId::new(0),
+                        to: ProcessId::new((r % 17) as u32),
+                        msg: MsgPayload::Owned(PaxosMsg::P1a {
+                            mbal: Ballot::new(r),
+                        }),
+                    },
+                )
+            };
+            for _ in 0..6000 {
+                let r = rand();
+                let (at, k) = mk(now + r % 4_000_000_000, r);
+                q.push(at, k);
+            }
+            b.iter(|| {
+                let e = q.pop().unwrap();
+                now = e.at.as_nanos();
+                let r = rand();
+                let (at, k) = mk(now + 1 + r % 4_000_000_000, r);
+                q.push(at, k);
+                black_box(e.seq)
+            });
+        });
+    };
+    run("event_queue_wide_horizon_fixed", false);
+    run("event_queue_wide_horizon_adaptive", true);
 }
 
 /// Whole-sweep wall time through the parallel engine (single-thread vs
@@ -335,7 +438,8 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_end_to_end, bench_log_group_workload, bench_chaos_run,
               bench_protocol_step, bench_promise_truncation,
-              bench_decision_tracker, bench_event_queue, bench_sweep,
-              bench_trace_overhead
+              bench_decision_tracker, bench_event_queue,
+              bench_event_queue_wide_horizon, bench_sweep,
+              bench_trace_overhead, bench_metrics_overhead
 }
 criterion_main!(benches);

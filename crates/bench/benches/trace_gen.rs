@@ -53,6 +53,9 @@ fn meta_of(exp: &str, cfg: &SimConfig, seed: u64, bound_ns: u64) -> TraceMeta {
         epsilon_ns: cfg.timing.epsilon().as_nanos(),
         ts_ns: cfg.ts.as_nanos(),
         bound_ns,
+        // TRACE_CAP comfortably exceeds both runs' volume; the generators
+        // assert this below before writing.
+        dropped: 0,
     }
 }
 
@@ -73,6 +76,11 @@ fn gen_e1(seed: u64) {
     world.enable_typed_trace(TRACE_CAP);
     let report = world.run_to_completion().expect("run completes");
     assert!(report.agreement() && report.validity());
+    assert_eq!(
+        world.typed_trace().map_or(0, esync_trace::TraceBuffer::dropped),
+        0,
+        "TRACE_CAP must hold the whole run"
+    );
     let records = world.take_typed_trace();
     let check = check_decision_bound(&meta, &records);
     assert!(

@@ -204,8 +204,10 @@ impl SweepSummary {
 /// `admitted` per shard and the `shard_imbalance` ratio) that the
 /// rebalancing experiment (`exp_w5`) reads, v6 the typed-tracing phase
 /// decomposition (`workload.phase_latency`, `null` unless the run was
-/// traced — see `esync-trace`).
-pub const SCHEMA_VERSION: u32 = 6;
+/// traced — see `esync-trace`), v7 the metrics/watchdog health section
+/// (`workload.health`, `null` unless the run was metered — see
+/// `esync-metrics`) and the trace writer's `dropped` meta field.
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// A whole experiment's artifact: every sweep it ran, plus context.
 #[derive(Debug, Clone, Serialize)]
@@ -296,7 +298,7 @@ mod tests {
         ));
         let json = serde_json::to_string(&a).unwrap();
         assert!(json.contains("\"experiment\":\"exp_test\""));
-        assert!(json.contains("\"schema_version\":6"));
+        assert!(json.contains("\"schema_version\":7"));
         assert!(json.contains("\"msgs_by_kind\""));
         assert!(json.contains("\"runs_per_sec\""));
         assert!(json.contains("\"workload\":null"));

@@ -1,0 +1,194 @@
+//! `health_check` — renders `HEALTH_<exp>.jsonl` files (see
+//! `esync_metrics::jsonl` for the schema) into a cluster-status report:
+//! run identity, snapshot coverage, a HEALTHY/DEGRADED verdict, final
+//! cluster-wide counters, and the per-watchdog firing table.
+//!
+//! ```text
+//! cargo run --release -p esync-check --bin health_check -- HEALTH_exp_h1.jsonl …
+//! cargo run --release -p esync-check --bin health_check -- --follow health.jsonl
+//! ```
+//!
+//! With no arguments, checks `HEALTH_exp_h1.jsonl` in the current
+//! directory (the file `just health` regenerates). `--follow <file>`
+//! tails a growing file from a live runtime run instead: each new
+//! complete line prints as a one-line status update the moment it lands,
+//! and the full report renders when the stream goes idle (no new bytes
+//! for `--idle-secs`, default 5) or the file ends. Exits nonzero if any
+//! file fails to parse, lacks its meta header, or contains no snapshots.
+
+use esync_metrics::{parse_health_jsonl, parse_health_line, render_report, HealthLine, Metric};
+use std::io::{Read as _, Seek as _, SeekFrom};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Renders one parsed file; returns `false` when the file fails.
+fn check_file(path: &str) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: cannot read: {e}");
+            return false;
+        }
+    };
+    let (meta, snapshots, firings) = match parse_health_jsonl(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return false;
+        }
+    };
+    if snapshots.is_empty() {
+        eprintln!("{path}: no snapshots — nothing to report on");
+        return false;
+    }
+    println!("{path}:");
+    print!("{}", render_report(&meta, &snapshots, &firings));
+    firings.is_empty()
+}
+
+/// One compact line per live event, for the `--follow` stream.
+fn live_line(line: &HealthLine) {
+    match line {
+        HealthLine::Meta(m) => {
+            println!(
+                "following {} (seed {}, n {}, backend {}, every {:.3}s)",
+                m.exp,
+                m.seed,
+                m.n,
+                m.backend,
+                m.interval_ns as f64 / 1e9
+            );
+        }
+        HealthLine::Snapshot(s) => {
+            let node = s.node.map_or("cluster".to_string(), |n| format!("node {n}"));
+            println!(
+                "  {:>9.3}s  {node:<9} decided {:<6} chosen {:<6} submitted {}",
+                s.at_ns as f64 / 1e9,
+                s.counter(Metric::Decided),
+                s.counter(Metric::Chosen),
+                s.counter(Metric::Submitted),
+            );
+        }
+        HealthLine::Firing(f) => {
+            let node = f.node.map_or("cluster".to_string(), |n| format!("node {n}"));
+            println!(
+                "  {:>9.3}s  {node:<9} WATCHDOG {} fired (value {})",
+                f.at_ns as f64 / 1e9,
+                f.kind.name(),
+                f.value,
+            );
+        }
+    }
+}
+
+/// Tails `path`, printing live lines until no new bytes arrive for
+/// `idle`, then renders the final report from everything seen.
+fn follow(path: &str, idle: Duration) -> bool {
+    let mut file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{path}: cannot open: {e}");
+            return false;
+        }
+    };
+    let mut text = String::new();
+    let mut consumed = 0usize; // bytes of `text` already parsed as complete lines
+    let mut last_growth = Instant::now();
+    let mut ok = true;
+    loop {
+        let mut fresh = String::new();
+        match file.read_to_string(&mut fresh) {
+            Ok(0) => {}
+            Ok(_) => {
+                text.push_str(&fresh);
+                last_growth = Instant::now();
+            }
+            Err(e) => {
+                eprintln!("{path}: read error: {e}");
+                return false;
+            }
+        }
+        // Parse only complete (newline-terminated) lines; a writer may be
+        // mid-append on the last one.
+        while let Some(nl) = text[consumed..].find('\n') {
+            let line = &text[consumed..consumed + nl];
+            consumed += nl + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_health_line(line) {
+                Ok(parsed) => live_line(&parsed),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    ok = false;
+                }
+            }
+        }
+        if last_growth.elapsed() >= idle {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        // A truncated file (fresh run over an old one) restarts the tail.
+        if let Ok(len) = file.stream_position() {
+            let on_disk = std::fs::metadata(path).map_or(len, |m| m.len());
+            if on_disk < len {
+                let _ = file.seek(SeekFrom::Start(0));
+                text.clear();
+                consumed = 0;
+            }
+        }
+    }
+    println!("stream idle — final report:");
+    ok & check_file(path)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut idle = Duration::from_secs(5);
+    if let Some(at) = args.iter().position(|a| a == "--idle-secs") {
+        args.remove(at);
+        let Some(secs) = args.get(at).and_then(|v| v.parse::<u64>().ok()) else {
+            eprintln!("--idle-secs needs an integer argument");
+            return ExitCode::FAILURE;
+        };
+        idle = Duration::from_secs(secs);
+        args.remove(at);
+    }
+    if let Some(at) = args.iter().position(|a| a == "--follow") {
+        args.remove(at);
+        let Some(path) = args.get(at).cloned() else {
+            eprintln!("--follow needs a file argument");
+            return ExitCode::FAILURE;
+        };
+        return if follow(&path, idle) {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("health-check: FAILED");
+            ExitCode::FAILURE
+        };
+    }
+    if args.is_empty() {
+        args = ["HEALTH_exp_h1.jsonl"]
+            .iter()
+            .map(|s| s.to_string())
+            .filter(|p| std::path::Path::new(p).exists())
+            .collect();
+        if args.is_empty() {
+            eprintln!("no HEALTH_*.jsonl files found; run `just health` first");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut healthy = true;
+    for path in &args {
+        healthy &= check_file(path);
+    }
+    if healthy {
+        println!("health-check: all clusters healthy");
+        ExitCode::SUCCESS
+    } else {
+        // Parse failures already wrote to stderr; a DEGRADED verdict is
+        // also an exit-code failure so CI can gate on it.
+        eprintln!("health-check: FAILED (degraded or unreadable)");
+        ExitCode::FAILURE
+    }
+}

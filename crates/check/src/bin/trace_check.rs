@@ -48,6 +48,15 @@ fn check_file(path: &str) -> bool {
         meta.delta_ns,
         records.len()
     );
+    if meta.dropped > 0 {
+        // A warning, not a failure: a tail is still checkable, but any
+        // conclusion below may be missing the run's earliest events.
+        println!(
+            "  WARNING: ring evicted {} records — this trace is a tail \
+             of the run, not the whole run",
+            meta.dropped
+        );
+    }
     let mut ok = true;
     if meta.bound_ns > 0 {
         ok &= check_bound(&meta, &records);

@@ -59,6 +59,7 @@ pub mod config;
 pub mod error;
 pub mod lclock;
 pub mod leader;
+pub mod metrics;
 pub mod outbox;
 pub mod paxos;
 pub mod quorum;

@@ -13,6 +13,7 @@
 //! *same* algorithm.
 
 use crate::config::TimingConfig;
+use crate::metrics::{Metric, MetricSet};
 use crate::time::{LocalDuration, LocalInstant};
 use crate::trace::TraceEvent;
 use crate::types::{ProcessId, ShardId, TimerId, Value};
@@ -93,12 +94,19 @@ pub struct ShardLoad {
 /// identical with it on or off — and with it off (the default) the event
 /// closure is never even invoked, so untraced runs pay one branch per
 /// emit site and build nothing.
+///
+/// With enabled metering ([`Outbox::set_metering`]), [`Outbox::metric`]
+/// calls bump counters in a passive [`MetricSet`] sampled by the driver
+/// on its snapshot cadence (`esync-metrics`). Same contract as tracing:
+/// never feeds back into behaviour, one branch per site when off.
 #[derive(Debug, Clone)]
 pub struct Outbox<M> {
     now: LocalInstant,
     actions: Vec<Action<M>>,
     trace_on: bool,
     trace_buf: Vec<TraceEvent>,
+    metrics_on: bool,
+    metrics: MetricSet,
 }
 
 impl<M> Default for Outbox<M> {
@@ -116,13 +124,18 @@ impl<M> Outbox<M> {
             actions: Vec::new(),
             trace_on: false,
             trace_buf: Vec::new(),
+            metrics_on: false,
+            metrics: MetricSet::new(),
         }
     }
 
     /// Re-arms a (drained) outbox for the next event at local time `now`,
-    /// keeping the action buffer's capacity (and the tracing enablement —
-    /// drivers flip it once, not per event). Drivers that process millions
-    /// of events reuse one outbox instead of allocating per event.
+    /// keeping the action buffer's capacity (and the tracing/metering
+    /// enablement — drivers flip those once, not per event). Drivers that
+    /// process millions of events reuse one outbox instead of allocating
+    /// per event. Metric counters are **kept**, not cleared: unlike trace
+    /// events (drained per event), the registry accumulates across the
+    /// run and is sampled, never drained.
     pub fn reset(&mut self, now: LocalInstant) {
         self.now = now;
         self.actions.clear();
@@ -161,6 +174,43 @@ impl<M> Outbox<M> {
     /// keeping the buffer's capacity (the drivers' per-event drain).
     pub fn drain_trace(&mut self) -> std::vec::Drain<'_, TraceEvent> {
         self.trace_buf.drain(..)
+    }
+
+    /// Enables or disables the metrics side channel. Drivers call this
+    /// once when the application asks for metrics; protocols never do.
+    /// Disabling zeroes the registry.
+    pub fn set_metering(&mut self, on: bool) {
+        self.metrics_on = on;
+        if !on {
+            self.metrics.reset();
+        }
+    }
+
+    /// Whether the metrics side channel is enabled.
+    pub fn metering(&self) -> bool {
+        self.metrics_on
+    }
+
+    /// Bumps counter `m` in the passive registry. A single predictable
+    /// branch when metering is disabled.
+    #[inline]
+    pub fn metric(&mut self, m: Metric) {
+        if self.metrics_on {
+            self.metrics.inc(m);
+        }
+    }
+
+    /// The accumulated metric registry (drivers sample this on their
+    /// snapshot cadence).
+    pub fn metrics(&self) -> &MetricSet {
+        &self.metrics
+    }
+
+    /// Mutable access to the registry, for driver-fed counters (e.g.
+    /// [`Metric::TraceDropped`] sampled from a collector) and for
+    /// re-zeroing on a driver reset.
+    pub fn metrics_mut(&mut self) -> &mut MetricSet {
+        &mut self.metrics
     }
 
     /// The local-clock reading at which the current event is being handled.
@@ -406,6 +456,28 @@ mod tests {
         out.trace(|| TraceEvent::Anchored { ballot: 4 });
         out.set_tracing(false);
         assert!(out.trace_events().is_empty());
+    }
+
+    #[test]
+    fn metric_counts_only_when_metering() {
+        use crate::metrics::Metric;
+        let mut out: Outbox<Ping> = Outbox::new(LocalInstant::ZERO);
+        out.metric(Metric::Decided);
+        assert_eq!(out.metrics().get(Metric::Decided), 0, "off by default");
+        out.set_metering(true);
+        assert!(out.metering());
+        out.metric(Metric::Decided);
+        out.metric(Metric::Decided);
+        // Reset keeps enablement and the accumulated counters (the
+        // registry is sampled, never drained).
+        out.reset(LocalInstant::from_nanos(1));
+        assert!(out.metering());
+        out.metric(Metric::Chosen);
+        assert_eq!(out.metrics().get(Metric::Decided), 2);
+        assert_eq!(out.metrics().get(Metric::Chosen), 1);
+        // Disabling zeroes the registry.
+        out.set_metering(false);
+        assert_eq!(out.metrics().get(Metric::Decided), 0);
     }
 
     #[test]

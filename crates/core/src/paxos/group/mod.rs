@@ -63,6 +63,7 @@ pub mod rebalance;
 
 use crate::ballot::{Ballot, Session};
 use crate::config::TimingConfig;
+use crate::metrics::Metric;
 use crate::outbox::{Action, Outbox, Process, Protocol};
 use crate::paxos::admitted::Admitted;
 use crate::paxos::multi::{
@@ -767,6 +768,7 @@ impl LogGroupProcess {
     fn broadcast_g1a(&mut self, out: &mut Outbox<GroupMsg>) {
         let mbal = self.mbal;
         out.trace(|| TraceEvent::OneASent { ballot: mbal.get() });
+        out.metric(Metric::OneASent);
         let prefixes = self.shards.iter().map(|s| s.chosen_prefix()).collect();
         out.broadcast(GroupMsg::G1a {
             mbal: self.mbal,
@@ -807,6 +809,7 @@ impl LogGroupProcess {
         let unanchored = self.anchored.is_some_and(|ab| ab < b);
         if unanchored {
             let dropped = self.anchored.take().expect("checked above");
+            out.metric(Metric::Unanchored);
             out.trace(|| TraceEvent::Unanchored {
                 ballot: dropped.get(),
             });
@@ -862,6 +865,7 @@ impl LogGroupProcess {
         debug_assert_eq!(q.bal, self.mbal);
         self.anchored = Some(q.bal);
         let bal = q.bal;
+        out.metric(Metric::Anchored);
         out.trace(|| TraceEvent::Anchored { ballot: bal.get() });
         for (s, (chosen, best)) in q.chosen.iter().zip(q.best.iter()).enumerate() {
             let floor = q.prefixes[s];
@@ -886,7 +890,15 @@ impl LogGroupProcess {
         let mut inner = std::mem::take(&mut self.scratch);
         inner.reset(out.now());
         inner.set_tracing(out.tracing());
+        inner.set_metering(out.metering());
         f(&mut self.shards[shard.as_usize()], &mut inner);
+        // Metric counters cross the seam by merging: the inner registry
+        // folds into the outer one and is re-zeroed for the next dispatch
+        // (counters are shard-agnostic, so no re-tagging is needed).
+        if inner.metering() {
+            out.metrics_mut().merge(inner.metrics());
+            inner.metrics_mut().reset();
+        }
         // Trace events cross the seam re-tagged with the real shard id —
         // the inner layer believes it is shard zero, exactly like its
         // decides.
@@ -953,6 +965,7 @@ impl LogGroupProcess {
             // it — without this it would commit twice).
             if let Some((shard, slot)) = self.moved.get(&value).copied() {
                 if let Some(from) = from {
+                    out.metric(Metric::Replied);
                     out.trace(|| TraceEvent::ReplySent {
                         shard: shard.get(),
                         value: value.get(),
@@ -998,6 +1011,7 @@ impl LogGroupProcess {
                         // the command only enters a shard at the flush —
                         // the frozen wait is queue latency and must show
                         // in the decomposition.
+                        out.metric(Metric::Submitted);
                         out.trace(|| TraceEvent::submit(value));
                     }
                     self.frozen.push(value);
@@ -1074,6 +1088,7 @@ impl LogGroupProcess {
             boundaries: bounds,
         };
         let ep = update.epoch;
+        out.metric(Metric::RebalanceFreeze);
         out.trace(|| TraceEvent::RebalanceFreeze { epoch: ep });
         let old = match &self.router {
             ShardRouter::Range(b) => b.clone(),
@@ -1125,6 +1140,7 @@ impl LogGroupProcess {
             return;
         }
         let ep = update.epoch;
+        out.metric(Metric::RebalanceDrain);
         out.trace(|| TraceEvent::RebalanceDrain { epoch: ep });
         let batch = batch_of(update.encode_values());
         let stored = batch.clone();
@@ -1148,6 +1164,7 @@ impl LogGroupProcess {
         let taken = self.rebalance.as_mut().and_then(|r| r.migration.take());
         if let Some(m) = &taken {
             let ep = m.update.epoch;
+            out.metric(Metric::RebalanceAbort);
             out.trace(|| TraceEvent::RebalanceAbort { epoch: ep });
         }
         if taken.is_none() && self.frozen.is_empty() {
@@ -1243,6 +1260,7 @@ impl LogGroupProcess {
         self.epoch = update.epoch;
         self.router = ShardRouter::Range(new.clone());
         let ep = self.epoch;
+        out.metric(Metric::RebalanceCommit);
         out.trace(|| TraceEvent::RebalanceCommit { epoch: ep });
         // Migrate held state: per shard, pull out every moving key's
         // pending commands and admitted entries. Unchosen values
@@ -1282,6 +1300,7 @@ impl LogGroupProcess {
         reinject.extend(std::mem::take(&mut self.frozen));
         if !reinject.is_empty() {
             let count = reinject.len() as u64;
+            out.metric(Metric::RebalanceReforward);
             out.trace(|| TraceEvent::RebalanceReforward { epoch: ep, count });
         }
         for v in reinject {
@@ -1326,6 +1345,7 @@ impl Process for LogGroupProcess {
                     if let Some(q) = self.p1b.as_mut() {
                         if q.bal == *mbal && q.record(from, promise) {
                             let bal = *mbal;
+                            out.metric(Metric::PromiseQuorum);
                             out.trace(|| TraceEvent::PromiseQuorum { ballot: bal.get() });
                             self.anchor(out);
                         }

@@ -38,6 +38,7 @@
 
 use crate::ballot::{Ballot, Session};
 use crate::config::TimingConfig;
+use crate::metrics::Metric;
 use crate::outbox::{Outbox, Process, Protocol};
 use crate::paxos::admitted::{Admitted, AdmittedSet, DEFAULT_ADMITTED_WINDOW};
 use crate::paxos::slotlog::SlotMap;
@@ -541,6 +542,7 @@ impl MultiPaxosProcess {
     fn broadcast_m1a(&mut self, out: &mut Outbox<MultiMsg>) {
         let mbal = self.mbal;
         out.trace(|| TraceEvent::OneASent { ballot: mbal.get() });
+        out.metric(Metric::OneASent);
         out.broadcast(MultiMsg::M1a {
             mbal,
             prefix: self.chosen_prefix,
@@ -588,6 +590,7 @@ impl MultiPaxosProcess {
         }
         if self.anchored.is_some_and(|ab| ab < b) {
             let dropped = self.anchored.unwrap_or(b);
+            out.metric(Metric::Unanchored);
             out.trace(|| TraceEvent::Unanchored {
                 ballot: dropped.get(),
             });
@@ -633,6 +636,7 @@ impl MultiPaxosProcess {
         let batch = self.proposals.entry(slot).or_insert(batch).clone();
         if out.tracing() {
             for v in batch.iter() {
+                out.metric(Metric::Proposed);
                 out.trace(|| TraceEvent::Proposed {
                     shard: 0,
                     slot,
@@ -656,6 +660,7 @@ impl MultiPaxosProcess {
         // been fixed up past everything the quorum reported.
         self.learn_chosen(&q.chosen, out);
         self.anchored = Some(q.bal);
+        out.metric(Metric::Anchored);
         out.trace(|| TraceEvent::Anchored {
             ballot: q.bal.get(),
         });
@@ -842,6 +847,7 @@ impl MultiPaxosProcess {
     pub fn drive_reforward(&mut self, owner: ProcessId, out: &mut Outbox<MultiMsg>) {
         debug_assert!(self.driven, "drive_reforward is for externally driven shards");
         for v in &self.pending {
+            out.metric(Metric::Forwarded);
             out.trace(|| TraceEvent::ForwardSent { value: v.get() });
             out.send(owner, MultiMsg::Forward { value: *v });
         }
@@ -976,6 +982,7 @@ impl MultiPaxosProcess {
             return;
         }
         for v in batch.iter() {
+            out.metric(Metric::Decided);
             out.trace(|| TraceEvent::Decided {
                 shard: 0,
                 slot,
@@ -1082,6 +1089,7 @@ impl Process for MultiPaxosProcess {
                 if *mbal == self.mbal {
                     if let Some(q) = self.p1b.as_mut() {
                         if q.bal == *mbal && q.record(from, *prefix, chosen, votes) {
+                            out.metric(Metric::PromiseQuorum);
                             out.trace(|| TraceEvent::PromiseQuorum {
                                 ballot: mbal.get(),
                             });
@@ -1119,6 +1127,7 @@ impl Process for MultiPaxosProcess {
                     .record(self.cfg.n(), from, *mbal, batch);
                 if let Some(b) = chosen {
                     let s = *slot;
+                    out.metric(Metric::Chosen);
                     out.trace(|| TraceEvent::Chosen { shard: 0, slot: s });
                     self.choose(s, b, out);
                 }
@@ -1134,12 +1143,14 @@ impl Process for MultiPaxosProcess {
                         .get(slot)
                         .expect("chosen commands are logged")
                         .clone();
+                    out.metric(Metric::Replied);
                     out.trace(|| TraceEvent::ReplySent {
                         shard: 0,
                         value: value.get(),
                     });
                     out.send(from, MultiMsg::LogDecided { slot, batch });
                 } else if self.admit(*value) {
+                    out.metric(Metric::Admitted);
                     out.trace(|| TraceEvent::Admitted {
                         shard: 0,
                         value: value.get(),
@@ -1229,6 +1240,7 @@ impl Process for MultiPaxosProcess {
                         let owner = self.mbal.owner(self.cfg.n());
                         if owner != self.id {
                             for v in &self.pending {
+                                out.metric(Metric::Forwarded);
                                 out.trace(|| TraceEvent::ForwardSent { value: v.get() });
                                 out.send(owner, MultiMsg::Forward { value: *v });
                             }
@@ -1252,10 +1264,12 @@ impl Process for MultiPaxosProcess {
 
     fn on_client(&mut self, value: Value, out: &mut Outbox<MultiMsg>) {
         self.load.submitted += 1;
+        out.metric(Metric::Submitted);
         out.trace(|| TraceEvent::submit(value));
         if !self.admit(value) {
             return;
         }
+        out.metric(Metric::Admitted);
         out.trace(|| TraceEvent::Admitted {
             shard: 0,
             value: value.get(),
@@ -1267,6 +1281,7 @@ impl Process for MultiPaxosProcess {
             // our current ballot); the ε tick retries the forward.
             let owner = self.mbal.owner(self.cfg.n());
             if owner != self.id {
+                out.metric(Metric::Forwarded);
                 out.trace(|| TraceEvent::ForwardSent {
                     value: value.get(),
                 });

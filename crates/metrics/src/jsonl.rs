@@ -1,0 +1,445 @@
+//! The `HEALTH_*.jsonl` artifact format.
+//!
+//! One JSON object per line, mirroring the `TRACE_*.jsonl` layout:
+//!
+//! | line | shape |
+//! |------|-------|
+//! | header | `{"meta":{"exp":…,"seed":…,"n":…,"interval_ns":…,"backend":"sim"\|"rt"}}` |
+//! | snapshot | `{"at_ns":…,"node":…\|null,"counters":[["1a_sent",v],…]}` |
+//! | firing | `{"at_ns":…,"node":…\|null,"watchdog":"bound"\|…,"value":…}` |
+//!
+//! Snapshot `counters` always carries all [`METRIC_COUNT`] pairs in
+//! [`Metric::ALL`] order; the parser accepts any order and subset (a
+//! missing name reads as zero), so the format can grow counters without
+//! breaking old readers. Firing lines are distinguished from snapshot
+//! lines by the `watchdog` key.
+//!
+//! The vendored offline `serde_json` serializes only, so parsing is a
+//! hand-rolled scanner — unlike the trace parser, this one understands
+//! arrays (for `counters`) and `null` (for cluster-wide `node`).
+
+use crate::snapshot::MetricsSnapshot;
+use crate::watchdog::{WatchdogFiring, WatchdogKind};
+use esync_core::metrics::{Metric, METRIC_COUNT};
+use serde::{Serialize, Serializer};
+use std::fmt;
+
+/// The run header of a `HEALTH_*.jsonl` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthMeta {
+    /// Experiment label (e.g. `"w6_health"`).
+    pub exp: String,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Cluster size.
+    pub n: u32,
+    /// Snapshot cadence in nanoseconds.
+    pub interval_ns: u64,
+    /// Which backend stamped the time axis: `"sim"` (virtual time) or
+    /// `"rt"` (monotonic wall time since cluster start).
+    pub backend: String,
+}
+
+/// One parsed line of a health file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthLine {
+    /// The header line.
+    Meta(HealthMeta),
+    /// A registry sample.
+    Snapshot(MetricsSnapshot),
+    /// A watchdog firing.
+    Firing(WatchdogFiring),
+}
+
+/// A malformed health line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthParseError {
+    /// What the parser was looking for.
+    pub what: &'static str,
+    /// Byte offset within the line.
+    pub at: usize,
+}
+
+impl fmt::Display for HealthParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid health line: expected {} at byte {}", self.what, self.at)
+    }
+}
+
+impl std::error::Error for HealthParseError {}
+
+/// Renders the header line (no trailing newline) — the first line a
+/// streaming writer appends.
+pub fn health_meta_line(meta: &HealthMeta) -> String {
+    meta_line(meta)
+}
+
+/// Renders one snapshot line (no trailing newline), for writers that
+/// append live in arrival order.
+pub fn snapshot_line(snap: &MetricsSnapshot) -> String {
+    let mut s = Serializer::new();
+    snap.serialize(&mut s);
+    s.finish()
+}
+
+/// Renders one firing line (no trailing newline), for writers that
+/// append live in arrival order.
+pub fn firing_line(f: &WatchdogFiring) -> String {
+    let mut s = Serializer::new();
+    f.serialize(&mut s);
+    s.finish()
+}
+
+fn meta_line(meta: &HealthMeta) -> String {
+    let mut s = Serializer::new();
+    s.begin_map();
+    s.key("meta");
+    s.begin_map();
+    s.key("exp");
+    s.value_str(&meta.exp);
+    s.key("seed");
+    s.value_u64(meta.seed);
+    s.key("n");
+    s.value_u64(u64::from(meta.n));
+    s.key("interval_ns");
+    s.value_u64(meta.interval_ns);
+    s.key("backend");
+    s.value_str(&meta.backend);
+    s.end_map();
+    s.end_map();
+    s.finish()
+}
+
+/// Renders a whole health file: the header, then every snapshot, then
+/// every firing, one JSON object per line with a trailing newline.
+/// Writers that interleave live (the runtime's `--follow` stream) emit
+/// the same line shapes in arrival order instead; the parser accepts
+/// both.
+pub fn write_health_jsonl(
+    meta: &HealthMeta,
+    snapshots: &[MetricsSnapshot],
+    firings: &[WatchdogFiring],
+) -> String {
+    let mut out = meta_line(meta);
+    out.push('\n');
+    for snap in snapshots {
+        let mut s = Serializer::new();
+        snap.serialize(&mut s);
+        out.push_str(&s.finish());
+        out.push('\n');
+    }
+    for f in firings {
+        let mut s = Serializer::new();
+        f.serialize(&mut s);
+        out.push_str(&s.finish());
+        out.push('\n');
+    }
+    out
+}
+
+// ---- parsing (hand-rolled: the vendored serde_json cannot parse) ----
+
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Num(u64),
+    Str(String),
+    Obj(Vec<(String, Val)>),
+    Arr(Vec<Val>),
+    Null,
+}
+
+struct Scanner<'a> {
+    s: &'a [u8],
+    at: usize,
+}
+
+impl Scanner<'_> {
+    fn err<T>(&self, what: &'static str) -> Result<T, HealthParseError> {
+        Err(HealthParseError { what, at: self.at })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.at).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.at += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8, what: &'static str) -> Result<(), HealthParseError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            self.err(what)
+        }
+    }
+
+    fn string(&mut self) -> Result<String, HealthParseError> {
+        self.expect(b'"', "string")?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    _ => return self.err("escape"),
+                },
+                Some(b) => out.push(b as char),
+                None => return self.err("closing quote"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, HealthParseError> {
+        let start = self.at;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.at += 1;
+        }
+        if self.at == start {
+            return self.err("number");
+        }
+        std::str::from_utf8(&self.s[start..self.at])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or(HealthParseError {
+                what: "u64 in range",
+                at: start,
+            })
+    }
+
+    fn value(&mut self) -> Result<Val, HealthParseError> {
+        match self.peek() {
+            Some(b'"') => Ok(Val::Str(self.string()?)),
+            Some(b'{') => Ok(Val::Obj(self.object()?)),
+            Some(b'[') => Ok(Val::Arr(self.array()?)),
+            Some(b'n') => {
+                if self.s[self.at..].starts_with(b"null") {
+                    self.at += 4;
+                    Ok(Val::Null)
+                } else {
+                    self.err("null")
+                }
+            }
+            Some(b) if b.is_ascii_digit() => Ok(Val::Num(self.number()?)),
+            _ => self.err("value"),
+        }
+    }
+
+    fn array(&mut self) -> Result<Vec<Val>, HealthParseError> {
+        self.expect(b'[', "array")?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(items);
+        }
+        loop {
+            items.push(self.value()?);
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(items),
+                _ => return self.err("comma or closing bracket"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Vec<(String, Val)>, HealthParseError> {
+        self.expect(b'{', "object")?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(fields);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':', "colon")?;
+            fields.push((key, self.value()?));
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(fields),
+                _ => return self.err("comma or closing brace"),
+            }
+        }
+    }
+}
+
+fn get<'v>(fields: &'v [(String, Val)], key: &'static str) -> Result<&'v Val, HealthParseError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or(HealthParseError { what: key, at: 0 })
+}
+
+fn get_u64(fields: &[(String, Val)], key: &'static str) -> Result<u64, HealthParseError> {
+    match get(fields, key)? {
+        Val::Num(n) => Ok(*n),
+        _ => Err(HealthParseError { what: key, at: 0 }),
+    }
+}
+
+fn get_str<'v>(fields: &'v [(String, Val)], key: &'static str) -> Result<&'v str, HealthParseError> {
+    match get(fields, key)? {
+        Val::Str(s) => Ok(s),
+        _ => Err(HealthParseError { what: key, at: 0 }),
+    }
+}
+
+fn get_node(fields: &[(String, Val)]) -> Result<Option<u32>, HealthParseError> {
+    match get(fields, "node")? {
+        Val::Null => Ok(None),
+        Val::Num(n) => u32::try_from(*n)
+            .map(Some)
+            .map_err(|_| HealthParseError { what: "node", at: 0 }),
+        _ => Err(HealthParseError { what: "node", at: 0 }),
+    }
+}
+
+fn counters_of(val: &Val) -> Result<[u64; METRIC_COUNT], HealthParseError> {
+    let Val::Arr(pairs) = val else {
+        return Err(HealthParseError { what: "counters", at: 0 });
+    };
+    let mut counters = [0u64; METRIC_COUNT];
+    for pair in pairs {
+        let Val::Arr(kv) = pair else {
+            return Err(HealthParseError { what: "counter pair", at: 0 });
+        };
+        let [Val::Str(name), Val::Num(v)] = kv.as_slice() else {
+            return Err(HealthParseError { what: "counter pair", at: 0 });
+        };
+        // Unknown names are skipped, so old readers survive new counters.
+        if let Some(m) = Metric::ALL.into_iter().find(|m| m.name() == name) {
+            counters[m as usize] = *v;
+        }
+    }
+    Ok(counters)
+}
+
+/// Parses one line of a health file.
+///
+/// # Errors
+///
+/// Returns [`HealthParseError`] for malformed JSON, unknown watchdog
+/// names, or missing fields.
+pub fn parse_health_line(line: &str) -> Result<HealthLine, HealthParseError> {
+    let mut sc = Scanner {
+        s: line.trim_end().as_bytes(),
+        at: 0,
+    };
+    let fields = sc.object()?;
+    if sc.at != sc.s.len() {
+        return sc.err("end of line");
+    }
+    if let Ok(Val::Obj(meta)) = get(&fields, "meta").cloned() {
+        return Ok(HealthLine::Meta(HealthMeta {
+            exp: get_str(&meta, "exp")?.to_string(),
+            seed: get_u64(&meta, "seed")?,
+            n: u32::try_from(get_u64(&meta, "n")?)
+                .map_err(|_| HealthParseError { what: "n", at: 0 })?,
+            interval_ns: get_u64(&meta, "interval_ns")?,
+            backend: get_str(&meta, "backend")?.to_string(),
+        }));
+    }
+    let at_ns = get_u64(&fields, "at_ns")?;
+    let node = get_node(&fields)?;
+    if let Ok(name) = get_str(&fields, "watchdog") {
+        let kind = WatchdogKind::from_name(name)
+            .ok_or(HealthParseError { what: "known watchdog", at: 0 })?;
+        return Ok(HealthLine::Firing(WatchdogFiring {
+            kind,
+            at_ns,
+            node,
+            value: get_u64(&fields, "value")?,
+        }));
+    }
+    Ok(HealthLine::Snapshot(MetricsSnapshot {
+        at_ns,
+        node,
+        counters: counters_of(get(&fields, "counters")?)?,
+    }))
+}
+
+/// Parses a whole health file into its header, snapshot series, and
+/// firing list, in file order (blank lines skipped).
+///
+/// # Errors
+///
+/// Returns [`HealthParseError`] on the first malformed line, or a
+/// `"meta line"` error if the header is missing.
+pub fn parse_health_jsonl(
+    text: &str,
+) -> Result<(HealthMeta, Vec<MetricsSnapshot>, Vec<WatchdogFiring>), HealthParseError> {
+    let mut meta = None;
+    let mut snapshots = Vec::new();
+    let mut firings = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_health_line(line)? {
+            HealthLine::Meta(m) => meta = Some(m),
+            HealthLine::Snapshot(s) => snapshots.push(s),
+            HealthLine::Firing(f) => firings.push(f),
+        }
+    }
+    let meta = meta.ok_or(HealthParseError { what: "meta line", at: 0 })?;
+    Ok((meta, snapshots, firings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_meta() -> HealthMeta {
+        HealthMeta {
+            exp: "w6_health".to_string(),
+            seed: 42,
+            n: 3,
+            interval_ns: 500_000_000,
+            backend: "sim".to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_a_full_file() {
+        let mut counters = [0u64; METRIC_COUNT];
+        counters[Metric::Decided as usize] = 11;
+        counters[Metric::Submitted as usize] = 12;
+        let snapshots = vec![
+            MetricsSnapshot { at_ns: 500, node: None, counters: [0; METRIC_COUNT] },
+            MetricsSnapshot { at_ns: 1000, node: Some(2), counters },
+        ];
+        let firings = vec![WatchdogFiring {
+            kind: WatchdogKind::AnchorChurn,
+            at_ns: 1000,
+            node: None,
+            value: 2,
+        }];
+        let text = write_health_jsonl(&sample_meta(), &snapshots, &firings);
+        let (meta, s2, f2) = parse_health_jsonl(&text).expect("roundtrip parses");
+        assert_eq!(meta, sample_meta());
+        assert_eq!(s2, snapshots);
+        assert_eq!(f2, firings);
+    }
+
+    #[test]
+    fn missing_counter_names_read_as_zero() {
+        let line = "{\"at_ns\":7,\"node\":null,\"counters\":[[\"decided\",3],[\"future_counter\",9]]}";
+        let HealthLine::Snapshot(s) = parse_health_line(line).expect("parses") else {
+            panic!("expected a snapshot line");
+        };
+        assert_eq!(s.counter(Metric::Decided), 3);
+        assert_eq!(s.counter(Metric::Chosen), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_health_line("{\"at_ns\":1").is_err());
+        assert!(parse_health_line("{\"at_ns\":1,\"node\":0,\"watchdog\":\"nope\",\"value\":1}").is_err());
+        assert!(parse_health_jsonl("{\"at_ns\":1,\"node\":null,\"counters\":[]}\n").is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! The atomic cross-thread counter registry.
+
+use esync_core::metrics::{Metric, METRIC_COUNT};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An allocation-free registry of atomic counters, one per [`Metric`].
+///
+/// The passive per-outbox [`MetricSet`](esync_core::metrics::MetricSet)
+/// is plain `u64`s because an outbox is single-threaded; this is where
+/// the threaded runtime's per-node counters meet: each node folds the
+/// *delta* since its last snapshot into a shared `Registry`
+/// (`accumulate`), so the cluster owner can read a live cluster-wide
+/// view at any instant without stopping a node. All operations are
+/// relaxed — counters are monotonic statistics, not synchronization.
+#[derive(Debug)]
+pub struct Registry {
+    counters: [AtomicU64; METRIC_COUNT],
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An all-zero registry.
+    pub fn new() -> Self {
+        Registry {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds `n` to counter `m`.
+    #[inline]
+    pub fn add(&self, m: Metric, n: u64) {
+        self.counters[m as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value of counter `m`.
+    #[inline]
+    pub fn get(&self, m: Metric) -> u64 {
+        self.counters[m as usize].load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every counter, in [`Metric::ALL`] order.
+    pub fn load_all(&self) -> [u64; METRIC_COUNT] {
+        std::array::from_fn(|i| self.counters[i].load(Ordering::Relaxed))
+    }
+
+    /// Folds one node's progress into the registry: adds `cur - prev`
+    /// per counter and advances `prev` to `cur`. Each node keeps its own
+    /// `prev` array, so concurrent nodes accumulate without ever
+    /// double-counting.
+    pub fn accumulate(&self, prev: &mut [u64; METRIC_COUNT], cur: &[u64; METRIC_COUNT]) {
+        for (i, (p, c)) in prev.iter_mut().zip(cur.iter()).enumerate() {
+            let delta = c.saturating_sub(*p);
+            if delta > 0 {
+                self.counters[i].fetch_add(delta, Ordering::Relaxed);
+            }
+            *p = *c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let r = Registry::new();
+        r.add(Metric::Decided, 3);
+        r.add(Metric::Decided, 2);
+        assert_eq!(r.get(Metric::Decided), 5);
+        assert_eq!(r.get(Metric::Chosen), 0);
+    }
+
+    #[test]
+    fn accumulate_folds_deltas_once() {
+        let r = Registry::new();
+        let mut prev = [0u64; METRIC_COUNT];
+        let mut cur = [0u64; METRIC_COUNT];
+        cur[Metric::Chosen as usize] = 4;
+        r.accumulate(&mut prev, &cur);
+        // Same node reports again with no progress: nothing double-counts.
+        r.accumulate(&mut prev, &cur);
+        cur[Metric::Chosen as usize] = 9;
+        r.accumulate(&mut prev, &cur);
+        assert_eq!(r.get(Metric::Chosen), 9);
+        assert_eq!(r.load_all()[Metric::Chosen as usize], 9);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let r = std::sync::Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.add(Metric::Submitted, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.get(Metric::Submitted), 4000);
+    }
+}

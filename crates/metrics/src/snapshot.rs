@@ -1,0 +1,89 @@
+//! Point-in-time samples of the counter registry.
+
+use esync_core::metrics::{Metric, METRIC_COUNT};
+use serde::{Serialize, Serializer};
+
+/// One sample of the registry at a known instant: the time series
+/// element both backends emit on their snapshot cadence.
+///
+/// On the simulator the registry is **cluster-wide** (one scratch outbox
+/// drives every process) and `node` is `None`, with `at_ns` in sim time.
+/// On the threaded runtime each node samples its own registry —
+/// `node = Some(pid)`, `at_ns` in monotonic wall time since cluster
+/// start (the same shared axis traces use; never the drifting per-node
+/// clocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Sample instant on the driver's time axis, in nanoseconds.
+    pub at_ns: u64,
+    /// The sampling node, or `None` for a cluster-wide (simulator)
+    /// sample.
+    pub node: Option<u32>,
+    /// Counter values at the instant, in [`Metric::ALL`] order.
+    pub counters: [u64; METRIC_COUNT],
+}
+
+impl MetricsSnapshot {
+    /// The sampled value of counter `m`.
+    #[inline]
+    pub fn counter(&self, m: Metric) -> u64 {
+        self.counters[m as usize]
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    // Serialized with self-describing `[name, value]` counter pairs (the
+    // `msgs_by_kind` convention), so artifact readers never depend on
+    // the enum's discriminant order.
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_map();
+        s.key("at_ns");
+        s.value_u64(self.at_ns);
+        s.key("node");
+        match self.node {
+            Some(pid) => s.value_u64(u64::from(pid)),
+            None => s.value_null(),
+        }
+        s.key("counters");
+        s.begin_seq();
+        for m in Metric::ALL {
+            s.seq_elem();
+            s.begin_seq();
+            s.seq_elem();
+            s.value_str(m.name());
+            s.seq_elem();
+            s.value_u64(self.counter(m));
+            s.end_seq();
+        }
+        s.end_seq();
+        s.end_map();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_named_pairs() {
+        let mut counters = [0u64; METRIC_COUNT];
+        counters[Metric::Decided as usize] = 7;
+        let snap = MetricsSnapshot {
+            at_ns: 5,
+            node: None,
+            counters,
+        };
+        let mut s = Serializer::new();
+        snap.serialize(&mut s);
+        let json = s.finish();
+        assert!(json.starts_with("{\"at_ns\":5,\"node\":null,\"counters\":[[\"1a_sent\",0],"));
+        assert!(json.contains("[\"decided\",7]"));
+        let snap_node = MetricsSnapshot {
+            node: Some(3),
+            ..snap
+        };
+        let mut s = Serializer::new();
+        snap_node.serialize(&mut s);
+        assert!(s.finish().contains("\"node\":3"));
+    }
+}

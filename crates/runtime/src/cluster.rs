@@ -66,6 +66,27 @@ pub struct NodeStats {
     /// Trace records evicted by the node's bounded ring (0 when tracing
     /// was off or the capacity sufficed).
     pub trace_dropped: u64,
+    /// Periodic per-node metric snapshots on the metrics cadence,
+    /// stamped in monotonic nanoseconds since cluster start (the same
+    /// axis as `trace`), oldest first — plus one final snapshot at node
+    /// exit. Empty unless the cluster was spawned with
+    /// [`ClusterConfig::metrics`] (schema-v7 observability).
+    pub snapshots: Vec<esync_metrics::MetricsSnapshot>,
+    /// Watchdog firings this node observed, in firing order. Empty
+    /// unless metrics were enabled.
+    pub firings: Vec<esync_metrics::WatchdogFiring>,
+}
+
+/// One live observability event from a metered node, streamed through
+/// [`Cluster::health`] as it happens (the same records that land in
+/// [`NodeStats`] at shutdown). `health_check --follow` style consumers
+/// tail this stream; ignoring it costs nothing but channel buffering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// A periodic per-node metric snapshot.
+    Snapshot(esync_metrics::MetricsSnapshot),
+    /// A watchdog firing.
+    Firing(esync_metrics::WatchdogFiring),
 }
 
 /// Errors from running a cluster.
@@ -123,6 +144,8 @@ pub struct ClusterConfig {
     seed: u64,
     initial_values: Option<Vec<Value>>,
     trace_capacity: Option<usize>,
+    metrics_interval: Option<Duration>,
+    watchdog_cfg: esync_metrics::WatchdogConfig,
 }
 
 impl ClusterConfig {
@@ -140,6 +163,8 @@ impl ClusterConfig {
             seed: 0,
             initial_values: None,
             trace_capacity: None,
+            metrics_interval: None,
+            watchdog_cfg: esync_metrics::WatchdogConfig::default(),
         }
     }
 
@@ -214,6 +239,40 @@ impl ClusterConfig {
         self
     }
 
+    /// Enables always-on metering on every node: each node keeps a
+    /// passive [`esync_core::metrics::MetricSet`] in its outbox (the
+    /// same sans-IO seam as tracing — disabled runs are behaviorally
+    /// inert, not merely cheap) and publishes a
+    /// [`esync_metrics::MetricsSnapshot`] every `interval` of wall
+    /// time, evaluated online by the invariant watchdogs. Snapshots and
+    /// firings stream live through [`Cluster::health`] and ship in
+    /// [`NodeStats`] at shutdown. Default: off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn metrics(mut self, interval: Duration) -> Self {
+        assert!(interval > Duration::ZERO, "metrics interval must be positive");
+        self.metrics_interval = Some(interval);
+        self
+    }
+
+    /// Overrides the watchdog tunables used when [`metrics`](Self::metrics)
+    /// is enabled — e.g. to arm the live decision-bound monitor with a
+    /// [`esync_metrics::BoundSpec`]. Default: bound monitor off,
+    /// imbalance trip at 3.0×.
+    pub fn watchdogs(mut self, cfg: esync_metrics::WatchdogConfig) -> Self {
+        self.watchdog_cfg = cfg;
+        self
+    }
+
+    /// The configured metrics cadence, if [`metrics`](Self::metrics) was
+    /// called — drivers read it to label the health series they fold out
+    /// of [`NodeStats`].
+    pub fn metrics_interval(&self) -> Option<Duration> {
+        self.metrics_interval
+    }
+
     fn timing(&self) -> Result<TimingConfig, ConfigError> {
         let mut b = TimingConfig::builder(self.n);
         b.delta(to_real(self.delta)).rho(self.rho);
@@ -248,6 +307,9 @@ pub struct Cluster<P: Protocol> {
     kill_flags: Vec<Arc<AtomicBool>>,
     /// Final per-node stats, sent by each node thread on exit.
     stats_rx: Receiver<NodeStats>,
+    /// Live snapshot/firing stream from metered nodes (empty channel
+    /// when metrics are off).
+    health_rx: Receiver<HealthEvent>,
     handles: Vec<JoinHandle<()>>,
     delayer_handle: Option<JoinHandle<()>>,
 }
@@ -280,6 +342,7 @@ where
         let (dec_tx, dec_rx) = unbounded::<Decision>();
         let (commit_tx, commit_rx) = unbounded::<Commit>();
         let (stats_tx, stats_rx) = unbounded::<NodeStats>();
+        let (health_tx, health_rx) = unbounded::<HealthEvent>();
         let shards = protocol.shard_count();
         let mut seed_rng = ChaCha8Rng::seed_from_u64(cfg.seed);
 
@@ -312,6 +375,11 @@ where
             let commits = commit_tx.clone();
             let stats = stats_tx.clone();
             let trace_capacity = cfg.trace_capacity;
+            let metrics = cfg.metrics_interval.map(|interval| crate::node::NodeMetricsCfg {
+                interval,
+                watchdogs: cfg.watchdog_cfg,
+                live: health_tx.clone(),
+            });
             let handle = std::thread::Builder::new()
                 .name(format!("esync-node-{i}"))
                 .spawn(move || {
@@ -328,6 +396,7 @@ where
                         stats,
                         shards,
                         trace_capacity,
+                        metrics,
                     )
                 })
                 .expect("spawn node thread");
@@ -342,6 +411,7 @@ where
             leader_flags,
             kill_flags,
             stats_rx,
+            health_rx,
             handles,
             delayer_handle: Some(delayer_handle),
         })
@@ -368,6 +438,18 @@ where
     /// only buffers (the channel is unbounded).
     pub fn commits(&self) -> &Receiver<Commit> {
         &self.commits_rx
+    }
+
+    /// The live health stream: every per-node [`MetricsSnapshot`]
+    /// (as [`HealthEvent::Snapshot`]) and watchdog firing
+    /// (as [`HealthEvent::Firing`]) the moment the node publishes it.
+    /// Always empty when the cluster was spawned without
+    /// [`ClusterConfig::metrics`]. Like [`commits`](Self::commits),
+    /// leaving it undrained only buffers.
+    ///
+    /// [`MetricsSnapshot`]: esync_metrics::MetricsSnapshot
+    pub fn health(&self) -> &Receiver<HealthEvent> {
+        &self.health_rx
     }
 
     /// The node currently claiming leadership (lowest pid wins a tie), if
@@ -534,6 +616,58 @@ mod tests {
             // Stamps are monotone within a node (one shared wall axis).
             assert!(s.trace.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
         }
+    }
+
+    #[test]
+    fn metered_cluster_ships_snapshots_per_node() {
+        use esync_core::metrics::Metric;
+        let cfg = ClusterConfig::new(3)
+            .delta(Duration::from_millis(5))
+            .seed(5)
+            .metrics(Duration::from_millis(20));
+        let cluster = Cluster::spawn(cfg, SessionPaxos::new()).unwrap();
+        cluster.await_decisions(Duration::from_secs(10)).unwrap();
+        // Let at least one full cadence boundary pass before stopping.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut live: Vec<HealthEvent> = Vec::new();
+        while let Ok(e) = cluster.health().try_recv() {
+            live.push(e);
+        }
+        let stats = cluster.shutdown_stats();
+        assert_eq!(stats.len(), 3);
+        for s in &stats {
+            // At least the exit snapshot, stamped for this node.
+            assert!(!s.snapshots.is_empty(), "{}: no snapshots", s.pid);
+            assert!(s.snapshots.iter().all(|p| p.node == Some(s.pid.as_u32())));
+            // Cadence stamps are exact interval multiples except the
+            // final exit stamp; all monotone on one node.
+            assert!(s.snapshots.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+            let cadenced = &s.snapshots[..s.snapshots.len() - 1];
+            assert!(cadenced.iter().all(|p| p.at_ns % 20_000_000 == 0));
+            // The decided protocol moved real counters through the seam.
+            let last = s.snapshots.last().unwrap();
+            assert!(last.counter(Metric::Decided) > 0, "{}: {last:?}", s.pid);
+            // A stable run churns no anchors and stalls nowhere.
+            assert_eq!(s.firings, vec![], "{}", s.pid);
+        }
+        // The live stream saw every cadenced snapshot the stats kept.
+        let streamed = live
+            .iter()
+            .filter(|e| matches!(e, HealthEvent::Snapshot(_)))
+            .count();
+        assert!(streamed >= 3, "one per node at least: {streamed}");
+    }
+
+    #[test]
+    fn unmetered_cluster_ships_no_snapshots() {
+        let cfg = ClusterConfig::new(3)
+            .delta(Duration::from_millis(5))
+            .seed(6);
+        let cluster = Cluster::spawn(cfg, SessionPaxos::new()).unwrap();
+        cluster.await_decisions(Duration::from_secs(10)).unwrap();
+        assert!(cluster.health().try_recv().is_err());
+        let stats = cluster.shutdown_stats();
+        assert!(stats.iter().all(|s| s.snapshots.is_empty() && s.firings.is_empty()));
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! One OS thread per process: inbox, wall-clock timers, drifting local
 //! clock.
 
-use crate::cluster::{Commit, Decision, NodeStats};
+use crate::cluster::{Commit, Decision, HealthEvent, NodeStats};
 use crate::transport::{Transport, Wire};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use esync_core::metrics::Metric;
 use esync_core::outbox::{Action, Outbox, Process};
 use esync_core::time::LocalInstant;
 use esync_core::types::{ProcessId, TimerId};
+use esync_metrics::{MetricsSnapshot, WatchdogConfig, WatchdogFiring, Watchdogs};
 use esync_trace::{TraceBuffer, TraceRecord};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -35,6 +37,90 @@ impl LocalClock {
     /// The wall duration spanned by a local duration.
     pub fn wall(&self, local: esync_core::time::LocalDuration) -> Duration {
         Duration::from_nanos((local.as_nanos() as f64 / self.rate).ceil() as u64)
+    }
+}
+
+/// Per-node metering parameters, handed to [`run_node`] when
+/// [`crate::cluster::ClusterConfig::metrics`] is enabled.
+#[derive(Debug, Clone)]
+pub struct NodeMetricsCfg {
+    /// Wall-clock snapshot cadence.
+    pub interval: Duration,
+    /// Watchdog tunables (bound spec, imbalance trip point).
+    pub watchdogs: WatchdogConfig,
+    /// Live stream for snapshots and firings as they happen.
+    pub live: Sender<HealthEvent>,
+}
+
+/// A metered node's snapshot/watchdog state: the cadence clock, the
+/// online evaluator, and the accumulated series shipped in
+/// [`NodeStats`] on exit.
+struct NodeMetrics {
+    interval: Duration,
+    /// Next snapshot boundary on the `transport.elapsed()` axis.
+    next_at: Duration,
+    node: u32,
+    watchdogs: Watchdogs,
+    snapshots: Vec<MetricsSnapshot>,
+    firings: Vec<WatchdogFiring>,
+    live: Sender<HealthEvent>,
+}
+
+impl NodeMetrics {
+    fn new(cfg: NodeMetricsCfg, pid: ProcessId) -> Self {
+        assert!(cfg.interval > Duration::ZERO, "interval must be positive");
+        NodeMetrics {
+            interval: cfg.interval,
+            next_at: cfg.interval,
+            node: pid.as_u32(),
+            watchdogs: Watchdogs::new(cfg.watchdogs),
+            snapshots: Vec::new(),
+            firings: Vec::new(),
+            live: cfg.live,
+        }
+    }
+
+    /// How long the inbox wait may sleep before the next snapshot is due.
+    fn until_due(&self, elapsed: Duration) -> Duration {
+        self.next_at.saturating_sub(elapsed)
+    }
+
+    /// Takes every snapshot whose boundary has passed, stamping each at
+    /// its exact boundary instant (matching the simulator's
+    /// exact-boundary stamps, so cadence math — not scheduling jitter —
+    /// defines the series). `loads` carries the node's per-shard routed
+    /// load for the imbalance watch when the protocol shards.
+    fn flush_due<M>(&mut self, out: &mut Outbox<M>, elapsed: Duration, dropped: u64, loads: &[u64]) {
+        while self.next_at <= elapsed {
+            out.metrics_mut().set(Metric::TraceDropped, dropped);
+            let snap = MetricsSnapshot {
+                at_ns: self.next_at.as_nanos() as u64,
+                node: Some(self.node),
+                counters: *out.metrics().counters(),
+            };
+            let imbalance = esync_metrics::imbalance_x1000(loads);
+            let before = self.firings.len();
+            self.watchdogs.on_snapshot(&snap, imbalance, &mut self.firings);
+            for f in &self.firings[before..] {
+                let _ = self.live.send(HealthEvent::Firing(*f));
+            }
+            self.snapshots.push(snap);
+            let _ = self.live.send(HealthEvent::Snapshot(snap));
+            self.next_at += self.interval;
+        }
+    }
+
+    /// One final snapshot at node exit, stamped at the actual exit
+    /// instant, so even sub-interval runs ship the node's totals.
+    fn finish<M>(&mut self, out: &mut Outbox<M>, elapsed: Duration, dropped: u64) {
+        out.metrics_mut().set(Metric::TraceDropped, dropped);
+        let snap = MetricsSnapshot {
+            at_ns: elapsed.as_nanos() as u64,
+            node: Some(self.node),
+            counters: *out.metrics().counters(),
+        };
+        self.snapshots.push(snap);
+        let _ = self.live.send(HealthEvent::Snapshot(snap));
     }
 }
 
@@ -78,6 +164,7 @@ pub fn run_node<Proc>(
     stats: Sender<NodeStats>,
     shards: usize,
     trace_capacity: Option<usize>,
+    metrics: Option<NodeMetricsCfg>,
 ) where
     Proc: Process,
     Proc::Msg: Clone,
@@ -85,14 +172,16 @@ pub fn run_node<Proc>(
     let mut timers: HashMap<TimerId, Instant> = HashMap::new();
     let mut reported = false;
     let mut tracer = trace_capacity.map(TraceBuffer::new);
-    let tracing = tracer.is_some();
-    let fresh = |clock: &LocalClock| {
-        let mut out = Outbox::new(clock.now());
-        out.set_tracing(tracing);
-        out
-    };
+    let mut met = metrics.map(|cfg| NodeMetrics::new(cfg, pid));
 
-    let mut out = fresh(&clock);
+    // One outbox for the node's whole life, reset (not reallocated) per
+    // event: `reset` keeps the tracing/metering enablement and the
+    // metric registry — counters accumulate across events and are
+    // *sampled* by snapshots, never drained.
+    let mut out = Outbox::new(clock.now());
+    out.set_tracing(tracer.is_some());
+    out.set_metering(met.is_some());
+
     proc.on_start(&mut out);
     apply(
         pid,
@@ -104,10 +193,18 @@ pub fn run_node<Proc>(
         &commits,
         &mut reported,
         &mut tracer,
+        &mut met,
     );
     leader_flag.store(proc.is_leader(), Ordering::Relaxed);
 
     while !kill_flag.load(Ordering::Relaxed) {
+        // Publish every snapshot boundary that has passed before
+        // sleeping again (cheap no-op when none is due).
+        if let Some(m) = met.as_mut() {
+            let dropped = tracer.as_ref().map_or(0, TraceBuffer::dropped);
+            let loads = shard_loads_of(&proc, shards);
+            m.flush_due(&mut out, transport.elapsed(), dropped, &loads);
+        }
         // Fire all due timers first.
         let now = Instant::now();
         let due: Vec<TimerId> = timers
@@ -121,7 +218,7 @@ pub fn run_node<Proc>(
                     break;
                 }
                 timers.remove(&id);
-                let mut out = fresh(&clock);
+                out.reset(clock.now());
                 proc.on_timer(id, &mut out);
                 apply(
                     pid,
@@ -133,26 +230,38 @@ pub fn run_node<Proc>(
                     &commits,
                     &mut reported,
                     &mut tracer,
+                    &mut met,
                 );
             }
             leader_flag.store(proc.is_leader(), Ordering::Relaxed);
             continue;
         }
-        // Wait for a message or the next timer deadline.
-        let wire = match timers.values().min() {
-            Some(next) => {
-                let now = Instant::now();
-                let wait = next.saturating_duration_since(now);
-                match inbox.recv_timeout(wait) {
-                    Ok(w) => Some(w),
-                    Err(RecvTimeoutError::Timeout) => None, // loop fires timers
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-            None => match inbox.recv() {
+        // Wait for a message, the next timer deadline, or the next
+        // snapshot boundary — whichever comes first.
+        let timer_wait = timers
+            .values()
+            .min()
+            .map(|next| next.saturating_duration_since(Instant::now()));
+        let snap_wait = met.as_ref().map(|m| m.until_due(transport.elapsed()));
+        let wire = match (timer_wait, snap_wait) {
+            (None, None) => match inbox.recv() {
                 Ok(w) => Some(w),
                 Err(_) => break,
             },
+            (a, b) => {
+                let wait = match (a, b) {
+                    (Some(a), Some(b)) => a.min(b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => unreachable!("outer match handled"),
+                };
+                match inbox.recv_timeout(wait) {
+                    Ok(w) => Some(w),
+                    // Loop fires due timers / takes due snapshots.
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
         };
         let Some(wire) = wire else { continue };
         if kill_flag.load(Ordering::Relaxed) {
@@ -161,7 +270,7 @@ pub fn run_node<Proc>(
         match wire {
             Wire::Stop => break,
             Wire::Msg { from, msg } => {
-                let mut out = fresh(&clock);
+                out.reset(clock.now());
                 proc.on_message(from, &msg, &mut out);
                 apply(
                     pid,
@@ -173,10 +282,11 @@ pub fn run_node<Proc>(
                     &commits,
                     &mut reported,
                     &mut tracer,
+                    &mut met,
                 );
             }
             Wire::Submit { value } => {
-                let mut out = fresh(&clock);
+                out.reset(clock.now());
                 proc.on_client(value, &mut out);
                 apply(
                     pid,
@@ -188,6 +298,7 @@ pub fn run_node<Proc>(
                     &commits,
                     &mut reported,
                     &mut tracer,
+                    &mut met,
                 );
             }
         }
@@ -197,6 +308,12 @@ pub fn run_node<Proc>(
     // so `leader_hint` never points at a stopped thread.
     leader_flag.store(false, Ordering::Relaxed);
     let trace_dropped = tracer.as_ref().map_or(0, TraceBuffer::dropped);
+    if let Some(m) = met.as_mut() {
+        m.finish(&mut out, transport.elapsed(), trace_dropped);
+    }
+    let (snapshots, firings) = met
+        .map(|m| (m.snapshots, m.firings))
+        .unwrap_or_default();
     let _ = stats.send(NodeStats {
         pid,
         router_epoch: proc.router_epoch(),
@@ -205,7 +322,20 @@ pub fn run_node<Proc>(
             .collect(),
         trace: tracer.as_mut().map_or_else(Vec::new, TraceBuffer::take_records),
         trace_dropped,
+        snapshots,
+        firings,
     });
+}
+
+/// The node's per-shard routed (`submitted`) load, for the imbalance
+/// watch — empty for unsharded protocols, where the ratio means nothing.
+fn shard_loads_of<Proc: Process>(proc: &Proc, shards: usize) -> Vec<u64> {
+    if shards < 2 {
+        return Vec::new();
+    }
+    (0..shards as u32)
+        .map(|s| proc.shard_load(esync_core::types::ShardId::new(s)).submitted)
+        .collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -219,6 +349,7 @@ fn apply<M: Clone>(
     commits: &Sender<Commit>,
     reported: &mut bool,
     tracer: &mut Option<TraceBuffer>,
+    met: &mut Option<NodeMetrics>,
 ) {
     if let Some(buf) = tracer.as_mut() {
         // Stamp in monotonic wall nanoseconds since cluster start — the
@@ -251,6 +382,18 @@ fn apply<M: Clone>(
                 // …but only the first is the node's single-shot decision.
                 if !*reported {
                     *reported = true;
+                    // Live decision-bound check, at the commit itself —
+                    // the online half of the paper's `TS + ε + 3τ + 5δ`
+                    // claim (the sim's world evaluator mirrors this).
+                    if let Some(m) = met.as_mut() {
+                        if let Some(f) = m
+                            .watchdogs
+                            .on_decision(elapsed.as_nanos() as u64, Some(pid.as_u32()))
+                        {
+                            let _ = m.live.send(HealthEvent::Firing(f));
+                            m.firings.push(f);
+                        }
+                    }
                     let _ = decisions.send(Decision {
                         pid,
                         value,

@@ -188,6 +188,16 @@ impl Ord for HeapKey {
 /// delay; later events go to the far spill heap.
 const RING_BUCKETS: usize = 1024;
 
+/// Pushes between adaptive re-bucketing checks (see
+/// [`EventQueue::set_adaptive`]): long enough to see a workload's real
+/// scheduling horizon, short enough to react within a warmup.
+const ADAPT_WINDOW: u32 = 4096;
+
+/// The bucket span the adaptive target aims the observed horizon at:
+/// half the ring, so a steady workload sits comfortably inside the
+/// horizon with room for jitter before events spill far.
+const ADAPT_TARGET_SPAN: u64 = (RING_BUCKETS as u64) / 2;
+
 /// A min-queue of [`ScheduledEvent`]s ordered by `(time, seq)`.
 ///
 /// Internally a **two-level calendar queue** — the classic discrete-event
@@ -232,6 +242,17 @@ pub struct EventQueue<M> {
     near_len: usize,
     /// Events at or beyond the ring horizon.
     far: BinaryHeap<HeapKey>,
+    /// Whether the bucket width re-sizes itself from the observed
+    /// scheduling horizon (default on; see [`EventQueue::set_adaptive`]).
+    adaptive: bool,
+    /// Pushes since the last adaptation check.
+    pushes_since_check: u32,
+    /// Largest push horizon (firing time minus the drain front) seen in
+    /// the current window, in nanoseconds.
+    max_horizon_ns: u64,
+    /// Pushes in the current window that landed in the far heap — the
+    /// symptom the widening rule exists to cure.
+    far_pushes: u32,
 }
 
 impl<M> Default for EventQueue<M> {
@@ -272,9 +293,41 @@ impl<M> EventQueue<M> {
             ring: (0..RING_BUCKETS).map(|_| Vec::new()).collect(),
             near_len: 0,
             far: BinaryHeap::new(),
+            adaptive: true,
+            pushes_since_check: 0,
+            max_horizon_ns: 0,
+            far_pushes: 0,
         };
         queue.reset(shift, cap);
         queue
+    }
+
+    /// Enables or disables **adaptive re-bucketing** (on by default).
+    ///
+    /// The construction-time width is a guess (the simulator derives it
+    /// from `δ/16`); a workload whose timers or submissions land far
+    /// beyond `RING_BUCKETS` widths keeps missing the ring and churns
+    /// through the far heap — a binary heap with extra steps. When
+    /// adaptive, the queue tracks the largest push horizon (firing time
+    /// minus the drain front) per adaptation window (4096 pushes) and
+    /// re-buckets so that horizon spans about half the ring: it
+    /// widens as soon as pushes actually spill far, narrows (restoring
+    /// small per-bucket sorts) only on a large margin, so the width
+    /// never flaps. Re-bucketing re-places pending keys but never
+    /// reorders pops — order is `(time, seq)` regardless of bucket
+    /// geometry, so runs stay bit-identical either way (the differential
+    /// tests drive both modes).
+    pub fn set_adaptive(&mut self, on: bool) {
+        self.adaptive = on;
+        self.pushes_since_check = 0;
+        self.max_horizon_ns = 0;
+        self.far_pushes = 0;
+    }
+
+    /// The current `log2` bucket width in nanoseconds (observability for
+    /// tests and benches; adaptation may move it at any push).
+    pub fn bucket_width_shift(&self) -> u32 {
+        self.width_shift
     }
 
     /// Empties the queue and re-anchors it at time zero with a (possibly
@@ -303,6 +356,9 @@ impl<M> EventQueue<M> {
         }
         self.near_len = 0;
         self.far.clear();
+        self.pushes_since_check = 0;
+        self.max_horizon_ns = 0;
+        self.far_pushes = 0;
     }
 
     #[inline]
@@ -331,6 +387,11 @@ impl<M> EventQueue<M> {
         };
         let key = HeapKey { at, seq, slot };
         let idx = self.bucket_of(at);
+        // Horizon sample for adaptation, taken against the drain point
+        // *before* any empty-queue re-anchor below: the distance from the
+        // current drain time to the pushed instant is the in-flight span
+        // the bucket geometry has to cover.
+        let drain_ns = self.base_idx << self.width_shift;
         self.len += 1;
         if self.len == 1 {
             // Empty queue: re-anchor the ring at this event's bucket.
@@ -357,8 +418,76 @@ impl<M> EventQueue<M> {
             self.near_len += 1;
         } else {
             self.far.push(key);
+            self.far_pushes += 1;
+        }
+        if self.adaptive {
+            self.max_horizon_ns = self
+                .max_horizon_ns
+                .max(at.as_nanos().saturating_sub(drain_ns));
+            self.pushes_since_check += 1;
+            if self.pushes_since_check >= ADAPT_WINDOW {
+                self.maybe_adapt();
+            }
         }
         seq64
+    }
+
+    /// Closes an adaptation window: picks the bucket width that makes the
+    /// window's largest observed horizon span ~[`ADAPT_TARGET_SPAN`]
+    /// buckets, and re-buckets when the current width is off — eagerly
+    /// when too narrow *and* pushes are demonstrably spilling far, only
+    /// past a two-shift hysteresis margin when too wide (over-wide
+    /// buckets merely cost larger per-bucket sorts, so narrowing can
+    /// afford to be patient and flap-free).
+    fn maybe_adapt(&mut self) {
+        self.pushes_since_check = 0;
+        let horizon = std::mem::take(&mut self.max_horizon_ns);
+        let far_pushes = std::mem::take(&mut self.far_pushes);
+        let ideal = (horizon / ADAPT_TARGET_SPAN).max(1).ilog2().clamp(10, 40);
+        let too_narrow = ideal > self.width_shift && far_pushes > ADAPT_WINDOW / 64;
+        let too_wide = ideal + 2 < self.width_shift;
+        if too_narrow || too_wide {
+            self.rebucket(ideal);
+        }
+    }
+
+    /// Re-places every pending key under a new bucket width, re-anchoring
+    /// the ring at the earliest pending bucket. Placement is geometry,
+    /// not order: pops stay exactly ascending `(time, seq)` across the
+    /// rebuild (`adaptive_queue_matches_reference_heap` checks this
+    /// differentially through repeated re-bucketings).
+    fn rebucket(&mut self, new_shift: u32) {
+        let mut keys: Vec<HeapKey> = Vec::with_capacity(self.len);
+        keys.append(&mut self.cur);
+        for bucket in &mut self.ring {
+            keys.append(bucket);
+        }
+        keys.extend(self.far.drain());
+        self.near_len = 0;
+        self.width_shift = new_shift;
+        let Some(min_at) = keys.iter().map(|k| k.at).min() else {
+            return;
+        };
+        self.base_idx = self.bucket_of(min_at);
+        for key in keys {
+            let idx = self.bucket_of(key.at);
+            if idx <= self.base_idx {
+                self.cur.push(key);
+                self.near_len += 1;
+            } else if idx - self.base_idx < RING_BUCKETS as u64 {
+                let bucket = &mut self.ring[(idx as usize) & (RING_BUCKETS - 1)];
+                if bucket.capacity() == 0 {
+                    bucket.reserve(self.bucket_hint);
+                }
+                bucket.push(key);
+                self.near_len += 1;
+            } else {
+                self.far.push(key);
+            }
+        }
+        // `cur` is the sorted front run (descending, minimum at the back).
+        self.cur
+            .sort_unstable_by_key(|k| std::cmp::Reverse(k.order()));
     }
 
     /// Advances `base_idx` to the next non-empty bucket, loading and
@@ -590,6 +719,117 @@ mod tests {
         assert_eq!(q.pop().unwrap().at, SimTime::from_millis(1));
         assert_eq!(q.pop().unwrap().at, SimTime::from_millis(2));
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn adaptive_widening_pulls_far_pushes_into_the_ring() {
+        // Narrow 2^14ns buckets cover a 16.8ms ring horizon; a workload
+        // whose delays reach seconds keeps spilling far until the
+        // adaptive rule widens the width to fit.
+        let mut q: EventQueue<()> = EventQueue::with_bucket_width_shift(14, 0);
+        assert_eq!(q.bucket_width_shift(), 14);
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        // Two pushes per pop keeps thousands of timers in flight, spread
+        // over a ~4.3s horizon — far beyond the 16.8ms ring span at 2^14.
+        let mut now = 0u64;
+        for i in 0..2 * ADAPT_WINDOW {
+            let at = SimTime::from_nanos(now + rand() % (1 << 32));
+            q.push(at, boot(0));
+            if i % 2 == 0 {
+                now = q.pop().map_or(now, |e| e.at.as_nanos());
+            }
+        }
+        let widened = q.bucket_width_shift();
+        assert!(widened > 14, "width adapted up from 14: {widened}");
+        // ~4.3s horizon over 512 target buckets → ~2^23ns buckets.
+        assert!((20..=26).contains(&widened), "sane target: {widened}");
+        // Fixed mode never moves.
+        let mut fixed: EventQueue<()> = EventQueue::with_bucket_width_shift(14, 0);
+        fixed.set_adaptive(false);
+        let mut now = 0u64;
+        for i in 0..2 * ADAPT_WINDOW {
+            let at = SimTime::from_nanos(now + rand() % (1 << 32));
+            fixed.push(at, boot(0));
+            if i % 2 == 0 {
+                now = fixed.pop().map_or(now, |e| e.at.as_nanos());
+            }
+        }
+        assert_eq!(fixed.bucket_width_shift(), 14);
+    }
+
+    /// Differential check through live re-bucketing: long trials with
+    /// wide (multi-second) horizons cross many adaptation windows, so
+    /// pops must stay exactly `(time, seq)`-ordered across repeated
+    /// width changes — and the widths must actually change.
+    #[test]
+    fn adaptive_queue_matches_reference_heap() {
+        use std::collections::BTreeMap;
+        let mut adapted = false;
+        for trial in 0u64..4 {
+            let mut x = 0xd134_2543_de82_ef95u64.wrapping_mul(trial + 1);
+            let mut rand = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let mut q: EventQueue<u64> = EventQueue::with_bucket_width_shift(12, 0);
+            let mut reference: BTreeMap<(SimTime, u64), u64> = BTreeMap::new();
+            let mut now = 0u64;
+            let mut payload = 0u64;
+            for _ in 0..30_000 {
+                let r = rand();
+                let do_push = reference.is_empty() || r % 5 < 3;
+                if do_push {
+                    let delay = match r % 7 {
+                        0 => 0,
+                        1 => 1 + r % 100,
+                        2..=4 => r % (1 << 18),
+                        // Far beyond the initial 4096-wide ring: forces
+                        // spill, then adaptation.
+                        5 => r % (1 << 30),
+                        _ => r % (1 << 34),
+                    };
+                    let at = SimTime::from_nanos(now + delay);
+                    payload += 1;
+                    let seq = q.push(
+                        at,
+                        EventKind::ClientSubmit {
+                            pid: ProcessId::new(0),
+                            value: Value::new(payload),
+                        },
+                    );
+                    reference.insert((at, seq), payload);
+                } else {
+                    let got = q.pop().expect("reference non-empty");
+                    let (&(at, seq), &val) = reference.iter().next().unwrap();
+                    assert_eq!((got.at, got.seq), (at, seq), "trial {trial}");
+                    match got.kind {
+                        EventKind::ClientSubmit { value, .. } => {
+                            assert_eq!(value.get(), val, "trial {trial}")
+                        }
+                        _ => unreachable!(),
+                    }
+                    reference.remove(&(at, seq));
+                    now = at.as_nanos();
+                }
+            }
+            adapted |= q.bucket_width_shift() != 12;
+            while let Some(got) = q.pop() {
+                let (&(at, seq), _) = reference.iter().next().unwrap();
+                assert_eq!((got.at, got.seq), (at, seq), "drain, trial {trial}");
+                reference.remove(&(at, seq));
+            }
+            assert!(reference.is_empty());
+            assert_eq!(q.len(), 0);
+        }
+        assert!(adapted, "wide-horizon trials must exercise re-bucketing");
     }
 
     /// Differential check: the calendar queue pops in exactly the same

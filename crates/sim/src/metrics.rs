@@ -295,6 +295,15 @@ pub struct WorkloadSummary {
     /// value-identical to pre-v6 ones modulo this field.
     #[serde(default)]
     pub phase_latency: Option<PhaseLatency>,
+    /// (v7) The run's health section: the metrics snapshot time series,
+    /// every online watchdog firing (live decision bound, anchor churn,
+    /// stall, shard imbalance), and the trace-drop count surfaced from
+    /// the collectors (see [`esync_metrics::HealthSummary`]). `None` —
+    /// serialized as `null` — when metering was disabled, which is the
+    /// default: artifacts regenerated without metering stay
+    /// value-identical to pre-v7 ones modulo this field.
+    #[serde(default)]
+    pub health: Option<esync_metrics::HealthSummary>,
 }
 
 /// Aggregate statistics over a set of runs (seed sweeps).

@@ -10,9 +10,11 @@ use crate::oracle::{plan_wab_delivery, LeaderOracle};
 use crate::scenario::Scenario;
 use crate::time::SimTime;
 use esync_core::config::TimingConfig;
+use esync_core::metrics::Metric;
 use esync_core::outbox::{Action, Outbox, Process, Protocol};
 use esync_core::time::RealDuration;
-use esync_core::types::{ProcessId, TimerId, Value};
+use esync_core::types::{ProcessId, ShardId, TimerId, Value};
+use esync_metrics::{MetricsSnapshot, WatchdogConfig, WatchdogFiring, Watchdogs};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
@@ -300,6 +302,20 @@ impl<Proc> ProcHarness<Proc> {
     }
 }
 
+/// Live metrics state ([`World::enable_metrics`]): the snapshot cadence,
+/// the collected series, and the online watchdog evaluator. The counters
+/// themselves live in the scratch outbox's passive
+/// [`MetricSet`](esync_core::metrics::MetricSet) — one cluster-wide
+/// registry, since one scratch outbox serves every process.
+#[derive(Debug)]
+struct MetricsState {
+    interval: RealDuration,
+    next_at: SimTime,
+    watchdogs: Watchdogs,
+    snapshots: Vec<MetricsSnapshot>,
+    firings: Vec<WatchdogFiring>,
+}
+
 /// A deterministic run of one protocol under one configuration.
 #[derive(Debug)]
 pub struct World<P: Protocol> {
@@ -339,6 +355,9 @@ pub struct World<P: Protocol> {
     /// The typed trace collector ([`World::enable_typed_trace`]); the
     /// scratch outbox's tracing flag is on exactly while this is `Some`.
     typed_trace: Option<esync_trace::TraceBuffer>,
+    /// Metrics snapshots and watchdogs ([`World::enable_metrics`]); the
+    /// scratch outbox's metering flag is on exactly while this is `Some`.
+    metrics: Option<MetricsState>,
 }
 
 impl<P: Protocol> World<P> {
@@ -367,6 +386,7 @@ impl<P: Protocol> World<P> {
             scratch: Outbox::default(),
             trace: None,
             typed_trace: None,
+            metrics: None,
         };
         world.populate();
         world
@@ -413,6 +433,15 @@ impl<P: Protocol> World<P> {
         }
         if let Some(tt) = self.typed_trace.as_mut() {
             tt.clear();
+        }
+        if let Some(state) = self.metrics.as_mut() {
+            state.next_at = SimTime::ZERO + state.interval;
+            state.snapshots.clear();
+            state.firings.clear();
+            state.watchdogs = Watchdogs::new(*state.watchdogs.config());
+            // Outbox::reset keeps counters (registries are sampled, not
+            // drained); a fresh run starts its series from zero.
+            self.scratch.metrics_mut().reset();
         }
         self.populate();
     }
@@ -529,6 +558,108 @@ impl<P: Protocol> World<P> {
             .unwrap_or_default()
     }
 
+    /// Starts metering: protocols bump the cluster-wide counter registry
+    /// through the outbox side channel, the world samples it into a
+    /// [`MetricsSnapshot`] series every `interval` of simulated time
+    /// (stamped at exact interval boundaries — each snapshot reflects
+    /// precisely the events at instants `≤ at_ns`), and `cfg`'s online
+    /// watchdogs are evaluated per snapshot window plus at every first
+    /// decision (the live bound monitor). Metering never alters protocol
+    /// behaviour — a metered run's actions, messages and report are
+    /// bit-identical to an unmetered one (`tests/metrics_smoke.rs`) —
+    /// and stays enabled across [`World::reset`] (series cleared,
+    /// watchdog windows re-based), mirroring the traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn enable_metrics(&mut self, interval: RealDuration, cfg: WatchdogConfig) {
+        assert!(interval > RealDuration::ZERO, "a snapshot cadence is required");
+        self.metrics = Some(MetricsState {
+            interval,
+            next_at: SimTime::ZERO + interval,
+            watchdogs: Watchdogs::new(cfg),
+            snapshots: Vec::new(),
+            firings: Vec::new(),
+        });
+        self.scratch.set_metering(true);
+    }
+
+    /// The snapshot series so far, if [`World::enable_metrics`] was
+    /// called.
+    pub fn metric_snapshots(&self) -> &[MetricsSnapshot] {
+        self.metrics.as_ref().map_or(&[], |m| &m.snapshots)
+    }
+
+    /// Every watchdog firing so far, in observation order.
+    pub fn watchdog_firings(&self) -> &[WatchdogFiring] {
+        self.metrics.as_ref().map_or(&[], |m| &m.firings)
+    }
+
+    /// The metering cadence, if [`World::enable_metrics`] was called.
+    pub fn metrics_interval(&self) -> Option<RealDuration> {
+        self.metrics.as_ref().map(|m| m.interval)
+    }
+
+    /// Takes the collected snapshots and firings, leaving metering
+    /// enabled. Empty when metering was never enabled.
+    pub fn take_metrics(&mut self) -> (Vec<MetricsSnapshot>, Vec<WatchdogFiring>) {
+        self.metrics
+            .as_mut()
+            .map(|m| (std::mem::take(&mut m.snapshots), std::mem::take(&mut m.firings)))
+            .unwrap_or_default()
+    }
+
+    /// Samples the registry into a snapshot stamped `at`, evaluating the
+    /// window watchdogs. `TraceDropped` is surfaced from the typed-trace
+    /// collector first, and the shard-imbalance ratio is probed from the
+    /// same per-shard `submitted` counters the rebalance trigger reads
+    /// (sharded protocols only).
+    fn take_metric_snapshot(&mut self, at: SimTime) {
+        if self.metrics.is_none() {
+            return;
+        }
+        let dropped = self
+            .typed_trace
+            .as_ref()
+            .map_or(0, esync_trace::TraceBuffer::dropped);
+        self.scratch.metrics_mut().set(Metric::TraceDropped, dropped);
+        let shards = self.protocol.shard_count();
+        let imbalance = if shards > 1 {
+            let loads: Vec<u64> = (0..shards as u32)
+                .map(|s| {
+                    let shard = ShardId::new(s);
+                    self.procs
+                        .iter()
+                        .map(|h| h.proc.shard_load(shard).submitted)
+                        .sum()
+                })
+                .collect();
+            esync_metrics::imbalance_x1000(&loads)
+        } else {
+            None
+        };
+        let snap = MetricsSnapshot {
+            at_ns: at.as_nanos(),
+            node: None,
+            counters: *self.scratch.metrics().counters(),
+        };
+        let state = self.metrics.as_mut().expect("checked above");
+        state.watchdogs.on_snapshot(&snap, imbalance, &mut state.firings);
+        state.snapshots.push(snap);
+        state.next_at = state.next_at + state.interval;
+    }
+
+    /// Flushes every snapshot boundary strictly before `up_to` (the next
+    /// event's instant): by then all events at instants `≤` the boundary
+    /// have been applied and none after, so the sample is exact.
+    fn flush_metric_snapshots(&mut self, up_to: SimTime) {
+        while self.metrics.as_ref().is_some_and(|m| m.next_at < up_to) {
+            let at = self.metrics.as_ref().expect("checked").next_at;
+            self.take_metric_snapshot(at);
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -634,6 +765,12 @@ impl<P: Protocol> World<P> {
             }
             self.step();
         }
+        // Close out the horizon: boundaries past the last event but
+        // within it still sample (every event ≤ them has been applied).
+        while self.metrics.as_ref().is_some_and(|m| m.next_at <= until) {
+            let at = self.metrics.as_ref().expect("checked").next_at;
+            self.take_metric_snapshot(at);
+        }
         self.now = self.now.max(until);
     }
 
@@ -658,6 +795,9 @@ impl<P: Protocol> World<P> {
             return false;
         };
         debug_assert!(ev.at >= self.now, "time must not run backwards");
+        if self.metrics.is_some() {
+            self.flush_metric_snapshots(ev.at);
+        }
         self.now = ev.at;
         self.events += 1;
         if let Some(trace) = self.trace.as_mut() {
@@ -997,6 +1137,16 @@ impl<P: Protocol> World<P> {
                         if self.alive.get(i) && self.started.get(i) {
                             self.live_undecided -= 1;
                         }
+                        // Live bound monitor: each process's *first*
+                        // decision is the one the paper's deadline
+                        // `TS + ε + 3τ + 5δ` speaks about.
+                        if let Some(state) = self.metrics.as_mut() {
+                            if let Some(f) =
+                                state.watchdogs.on_decision(self.now.as_nanos(), None)
+                            {
+                                state.firings.push(f);
+                            }
+                        }
                     }
                 }
                 Action::WabBroadcast { msg } => {
@@ -1335,6 +1485,75 @@ mod tests {
             .unwrap();
         reused.reset(cfg());
         assert_eq!(fresh, reused.run_to_completion().unwrap());
+    }
+
+    #[test]
+    fn metered_run_is_bit_identical_and_samples_on_cadence() {
+        let run = |metered: bool| {
+            let mut w = World::new(quick_cfg(5, 21), SessionPaxos::new());
+            if metered {
+                w.enable_metrics(
+                    RealDuration::from_millis(50),
+                    esync_metrics::WatchdogConfig::default(),
+                );
+            }
+            let r = w.run_to_completion().unwrap();
+            (
+                r,
+                w.metric_snapshots().to_vec(),
+                w.watchdog_firings().to_vec(),
+            )
+        };
+        let (plain, no_snaps, _) = run(false);
+        let (metered, snaps, firings) = run(true);
+        assert_eq!(plain, metered, "metering must not perturb the run");
+        assert!(no_snaps.is_empty());
+        // TS is 200ms and the run decides after it, so at least four
+        // 50ms boundaries pass; the series is stamped on-cadence and
+        // its counters are monotone.
+        assert!(snaps.len() >= 4, "{} snapshots", snaps.len());
+        for (i, s) in snaps.iter().enumerate() {
+            assert_eq!(s.at_ns, (i as u64 + 1) * 50_000_000);
+            assert_eq!(s.node, None);
+        }
+        for w in snaps.windows(2) {
+            assert!(w[0].counters.iter().zip(w[1].counters.iter()).all(|(a, b)| a <= b));
+        }
+        let last = snaps.last().unwrap();
+        assert!(last.counter(esync_core::metrics::Metric::OneASent) > 0);
+        // A quiet, healthy single-shot run trips no watchdog.
+        assert_eq!(firings, &[]);
+        // Metering survives reset and the series restarts from scratch.
+        let mut w = World::new(quick_cfg(5, 21), SessionPaxos::new());
+        w.enable_metrics(
+            RealDuration::from_millis(50),
+            esync_metrics::WatchdogConfig::default(),
+        );
+        w.run_to_completion().unwrap();
+        w.reset(quick_cfg(5, 21));
+        w.run_to_completion().unwrap();
+        assert_eq!(w.metric_snapshots(), &snaps[..], "reset rebases the series");
+    }
+
+    #[test]
+    fn bound_watchdog_fires_on_injected_tight_deadline() {
+        let cfg = quick_cfg(5, 1);
+        let mut w = World::new(cfg, SessionPaxos::new());
+        w.enable_metrics(
+            RealDuration::from_millis(50),
+            esync_metrics::WatchdogConfig {
+                // An absurdly tight injected deadline: 1ns after TS=0.
+                bound: Some(esync_metrics::BoundSpec { ts_ns: 0, bound_ns: 1 }),
+                ..Default::default()
+            },
+        );
+        w.run_to_completion().unwrap();
+        let fired = w
+            .watchdog_firings()
+            .iter()
+            .filter(|f| f.kind == esync_metrics::WatchdogKind::Bound)
+            .count();
+        assert_eq!(fired, 5, "every first decision is past the injected deadline");
     }
 
     #[test]

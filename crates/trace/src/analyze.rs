@@ -292,6 +292,7 @@ mod tests {
             epsilon_ns: 10,
             ts_ns: 1_000,
             bound_ns: 500,
+            dropped: 0,
         };
         let d = |at, pid| {
             rec(

@@ -8,8 +8,12 @@
 //!
 //! ```json
 //! {"meta":{"exp":"exp_e1","seed":42,"n":5,"delta_ns":10000000,
-//!          "epsilon_ns":10000000,"ts_ns":300000000,"bound_ns":170000000}}
+//!          "epsilon_ns":10000000,"ts_ns":300000000,"bound_ns":170000000,
+//!          "dropped":0}}
 //! ```
+//!
+//! `dropped` (v7) counts ring-evicted records; older files omit it and
+//! parse as 0.
 //!
 //! Every following line is one [`TraceRecord`]: the stamp, the emitting
 //! process, the event `kind` (the labels of
@@ -63,6 +67,12 @@ pub struct TraceMeta {
     /// gated on client submission schedules, not on stabilization) and
     /// checkers must skip the per-decision validation.
     pub bound_ns: u64,
+    /// Records evicted by the bounded ring(s) that collected this trace,
+    /// summed across nodes. Nonzero means the file is a *suffix* of the
+    /// run — phase decompositions and bound checks may be missing early
+    /// decisions — so checkers warn. Old files omit the key; the parser
+    /// reads it as 0.
+    pub dropped: u64,
 }
 
 /// A parsed trace line: the header or a record.
@@ -109,8 +119,8 @@ pub fn meta_line(meta: &TraceMeta) -> String {
     escape_into(&mut out, &meta.exp);
     let _ = write!(
         out,
-        "\",\"seed\":{},\"n\":{},\"delta_ns\":{},\"epsilon_ns\":{},\"ts_ns\":{},\"bound_ns\":{}}}}}",
-        meta.seed, meta.n, meta.delta_ns, meta.epsilon_ns, meta.ts_ns, meta.bound_ns
+        "\",\"seed\":{},\"n\":{},\"delta_ns\":{},\"epsilon_ns\":{},\"ts_ns\":{},\"bound_ns\":{},\"dropped\":{}}}}}",
+        meta.seed, meta.n, meta.delta_ns, meta.epsilon_ns, meta.ts_ns, meta.bound_ns, meta.dropped
     );
     out
 }
@@ -390,6 +400,8 @@ pub fn parse_line(line: &str) -> Result<Line, ParseError> {
             epsilon_ns: get_u64(&meta, "epsilon_ns")?,
             ts_ns: get_u64(&meta, "ts_ns")?,
             bound_ns: get_u64(&meta, "bound_ns")?,
+            // Pre-v7 files have no dropped count; absent means none.
+            dropped: get_u64(&meta, "dropped").unwrap_or(0),
         }));
     }
     Ok(Line::Record(TraceRecord {
@@ -433,6 +445,7 @@ mod tests {
             epsilon_ns: 10_000_000,
             ts_ns: 300_000_000,
             bound_ns: 170_000_000,
+            dropped: 0,
         }
     }
 

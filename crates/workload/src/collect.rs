@@ -254,8 +254,10 @@ impl Collector {
             },
             shard_imbalance,
             // Attached by the driver after the run when typed tracing
-            // was enabled (the collector never sees trace records).
+            // (respectively metering) was enabled — the collector sees
+            // neither trace records nor metric snapshots.
             phase_latency: None,
+            health: None,
         }
     }
 }

@@ -83,6 +83,7 @@ where
     assert!(spec.clients >= 1, "at least one client");
     assert!(spec.outstanding >= 1, "at least one in-flight command");
     let shards = protocol.shard_count();
+    let metrics_interval = cfg.metrics_interval();
     let cluster = Cluster::spawn(cfg, protocol)?;
     let n = cluster.n();
     std::thread::sleep(warmup);
@@ -121,22 +122,41 @@ where
     }
     let stats = cluster.shutdown_stats();
     let router_epochs = fold_node_stats(&mut collector, &stats, shards);
-    Ok(finish(collector, applied, router_epochs, stats))
+    Ok(finish(collector, applied, router_epochs, stats, metrics_interval))
 }
 
 /// Assembles the outcome, attaching the nodes' typed traces (and the
-/// summary's phase decomposition) when the cluster collected any.
+/// summary's phase decomposition) when the cluster collected any, and —
+/// when the cluster was metered — the per-node health series
+/// interleaved in pid order (each node's snapshots stay internally
+/// time-ordered; the `node` tag distinguishes the streams).
 fn finish(
     collector: Collector,
     applied_per_node: Vec<BTreeSet<u64>>,
     router_epochs: Vec<u64>,
     stats: Vec<NodeStats>,
+    metrics_interval: Option<Duration>,
 ) -> RtWorkloadOutcome {
-    let trace: Vec<esync_trace::TraceRecord> =
-        stats.into_iter().flat_map(|s| s.trace).collect();
+    let trace_dropped: u64 = stats.iter().map(|s| s.trace_dropped).sum();
+    let mut snapshots = Vec::new();
+    let mut firings = Vec::new();
+    let mut trace: Vec<esync_trace::TraceRecord> = Vec::new();
+    for s in stats {
+        snapshots.extend(s.snapshots);
+        firings.extend(s.firings);
+        trace.extend(s.trace);
+    }
     let mut summary = collector.summary();
     if !trace.is_empty() {
         summary.phase_latency = Some(esync_trace::decompose(&trace));
+    }
+    if let Some(interval) = metrics_interval {
+        summary.health = Some(esync_metrics::HealthSummary {
+            interval_ns: interval.as_nanos() as u64,
+            snapshots,
+            firings,
+            trace_dropped,
+        });
     }
     RtWorkloadOutcome {
         summary,
@@ -169,6 +189,7 @@ where
     P::Msg: Send + Clone + 'static,
 {
     let shards = protocol.shard_count();
+    let metrics_interval = cfg.metrics_interval();
     let cluster = Cluster::spawn(cfg, protocol)?;
     let n = cluster.n();
     let schedule = stream.expand(n);
@@ -213,7 +234,7 @@ where
     }
     let stats = cluster.shutdown_stats();
     let router_epochs = fold_node_stats(&mut collector, &stats, shards);
-    Ok(finish(collector, applied, router_epochs, stats))
+    Ok(finish(collector, applied, router_epochs, stats, metrics_interval))
 }
 
 /// Issues the next command for `client`, if the budget allows.

@@ -162,10 +162,21 @@ where
     P::Process: ShardedLogView,
 {
     let traced = world.typed_trace().is_some();
+    let trace_dropped = world.typed_trace().map_or(0, esync_trace::TraceBuffer::dropped);
+    let metered = world.metrics_interval();
     let trace = world.take_typed_trace();
     let mut summary = collector.summary();
     if traced {
         summary.phase_latency = Some(esync_trace::decompose(&trace));
+    }
+    if let Some(interval) = metered {
+        let (snapshots, firings) = world.take_metrics();
+        summary.health = Some(esync_metrics::HealthSummary {
+            interval_ns: interval.as_nanos(),
+            snapshots,
+            firings,
+            trace_dropped,
+        });
     }
     SimWorkloadOutcome {
         summary,
@@ -254,6 +265,66 @@ where
     world.enable_typed_trace(trace_capacity);
     world.run_until(warmup);
     run_closed_loop_on(&mut world, spec, horizon)
+}
+
+/// [`run_closed_loop`] with always-on metering enabled from before the
+/// warmup: the world samples a cluster-wide [`MetricsSnapshot`] every
+/// `interval` of simulated time, evaluates the online watchdogs on each,
+/// and the outcome's summary carries the whole series in its `health`
+/// section (schema v7). Metering shares tracing's sans-IO seam, so apart
+/// from the extra field the outcome is bit-identical to the unmetered
+/// run.
+///
+/// [`MetricsSnapshot`]: esync_metrics::MetricsSnapshot
+pub fn run_closed_loop_metered<P>(
+    cfg: SimConfig,
+    protocol: P,
+    spec: &ClosedLoopSpec,
+    warmup: SimTime,
+    horizon: SimTime,
+    interval: esync_core::time::RealDuration,
+    watchdogs: esync_metrics::WatchdogConfig,
+) -> SimWorkloadOutcome
+where
+    P: Protocol,
+    P::Process: ShardedLogView,
+{
+    let mut world = World::new(cfg, protocol);
+    world.enable_metrics(interval, watchdogs);
+    world.run_until(warmup);
+    run_closed_loop_on(&mut world, spec, horizon)
+}
+
+/// [`run_open_loop`] with always-on metering; see
+/// [`run_closed_loop_metered`] for the metering contract.
+pub fn run_open_loop_metered<P>(
+    cfg: SimConfig,
+    protocol: P,
+    horizon: SimTime,
+    interval: esync_core::time::RealDuration,
+    watchdogs: esync_metrics::WatchdogConfig,
+) -> SimWorkloadOutcome
+where
+    P: Protocol,
+    P::Process: ShardedLogView,
+{
+    let n = cfg.timing.n();
+    let spec_window = default_timeline_window(&cfg);
+    let mut collector = Collector::new(Some(cfg.ts.as_nanos()), spec_window);
+    collector.reserve_shards(protocol.shard_count());
+    for stream in &cfg.scenario.streams {
+        for (at, _, value) in stream.expand(n) {
+            collector.on_submit(value, at.as_nanos());
+        }
+    }
+    let mut world = World::new(cfg, protocol);
+    world.enable_metrics(interval, watchdogs);
+    world.run_until(horizon);
+    for c in world.commits() {
+        collector.on_commit(c.pid, c.shard, c.value, c.at.as_nanos());
+    }
+    collector.set_shard_loads(&shard_loads(&world));
+    finish(collector, &mut world)
 }
 
 /// [`run_closed_loop`] over a caller-prepared world: the world has
@@ -478,6 +549,53 @@ mod tests {
         assert_eq!(stripped, plain.summary);
         assert_eq!(traced.report, plain.report);
         assert_eq!(traced.end, plain.end);
+    }
+
+    #[test]
+    fn metered_run_attaches_health_without_perturbing_the_run() {
+        let spec = ClosedLoopSpec::new(3, 2, 40).seed(1);
+        let run = |metered| {
+            let cfg = stable_cfg(3, 1);
+            let warmup = SimTime::from_millis(500);
+            let horizon = SimTime::from_secs(60);
+            if metered {
+                run_closed_loop_metered(
+                    cfg,
+                    MultiPaxos::new(),
+                    &spec,
+                    warmup,
+                    horizon,
+                    esync_core::time::RealDuration::from_millis(50),
+                    esync_metrics::WatchdogConfig::default(),
+                )
+            } else {
+                run_closed_loop(cfg, MultiPaxos::new(), &spec, warmup, horizon)
+            }
+        };
+        let plain = run(false);
+        let metered = run(true);
+        assert!(plain.summary.health.is_none());
+        let health = metered.summary.health.as_ref().expect("health section");
+        assert_eq!(health.interval_ns, 50_000_000);
+        assert!(!health.snapshots.is_empty());
+        // Sim snapshots are cluster-wide (node = None) and stamped at
+        // exact cadence boundaries.
+        assert!(health.snapshots.iter().all(|s| s.node.is_none()));
+        assert!(health
+            .snapshots
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.at_ns == (i as u64 + 1) * 50_000_000));
+        // A stable closed loop trips no watchdog and drops no trace.
+        assert_eq!(health.firings, vec![]);
+        assert_eq!(health.trace_dropped, 0);
+        // Metering is observational: strip the extra field and the two
+        // runs must be bit-identical.
+        let mut stripped = metered.summary.clone();
+        stripped.health = None;
+        assert_eq!(stripped, plain.summary);
+        assert_eq!(metered.report, plain.report);
+        assert_eq!(metered.end, plain.end);
     }
 
     #[test]

@@ -50,3 +50,14 @@ trace:
 # bound per decision (e1) and report the queue/quorum/learn split (w3).
 trace-check:
     cargo run -q --release -p esync-check --bin trace_check
+
+# Regenerate the health artifact (HEALTH_exp_h1.jsonl: metrics snapshots
+# + watchdog verdicts from a stable metered run) and render its report.
+health:
+    scripts/bench.sh health
+    cargo run -q --release -p esync-check --bin health_check
+
+# Render HEALTH_*.jsonl into the cluster-status report (exit nonzero if
+# any watchdog fired). `just health` regenerates the artifact first.
+health-check:
+    cargo run -q --release -p esync-check --bin health_check

@@ -27,6 +27,7 @@ targets=(
     exp_w5_rebalance
     micro_simulator
     trace_gen
+    health_gen
 )
 
 # Subset selection: map "e1" → exp_e1_*, "micro" → micro_simulator.
@@ -50,8 +51,12 @@ for t in "${targets[@]}"; do
     else
         cargo bench -q -p esync-bench --bench "$t"
     fi
+    if [ "$t" = health_gen ]; then
+        echo "=== health_check ==="
+        cargo run -q --release -p esync-check --bin health_check -- HEALTH_exp_h1.jsonl
+    fi
 done
 
 echo
 echo "artifacts:"
-ls -1 BENCH_*.json TRACE_*.jsonl 2>/dev/null || true
+ls -1 BENCH_*.json TRACE_*.jsonl HEALTH_*.jsonl 2>/dev/null || true

@@ -24,12 +24,17 @@
 //!   stamped protocol events, the `TRACE_*.jsonl` format, and the
 //!   queue → quorum → learn phase decomposition with the per-decision
 //!   replay of the paper's bound.
+//! * [`metrics`] (`esync-metrics`) — the online observability layer:
+//!   the always-on counter registry, snapshot time series, invariant
+//!   watchdogs (live decision bound, anchor churn, stall, imbalance),
+//!   and the `HEALTH_*.jsonl` cluster-health format.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and `EXPERIMENTS.md`
 //! for the paper-claim reproduction tables.
 
 pub use esync_check as check;
 pub use esync_core as core;
+pub use esync_metrics as metrics;
 pub use esync_runtime as runtime;
 pub use esync_sim as sim;
 pub use esync_trace as trace;

@@ -52,6 +52,7 @@ fn meta(seed: u64) -> TraceMeta {
         epsilon_ns: cfg.timing.epsilon().as_nanos(),
         ts_ns: cfg.ts.as_nanos(),
         bound_ns: 0,
+        dropped: 0,
     }
 }
 
